@@ -1,0 +1,27 @@
+"""Figure 10: CosmoFlow throughput, small set (128 samples/GPU).
+
+Paper: plugin up to 8x (Summit) / 3-4x (Cori); gzip up to ~1.5x slower.
+"""
+
+from repro.experiments import fig10
+from repro.experiments.harness import render_bars
+
+
+def test_fig10_cosmoflow_small(once):
+    res = once(fig10.run, sim_samples_cap=48, verbose=False)
+    print()
+    print(res.render())
+    # visual: per-system throughput at batch 4, staged
+    rows = [r for r in res.rows if r[1] == "staged" and r[2] == 4]
+    labels, values = [], []
+    for r in rows:
+        for variant, col in (("base", 3), ("gzip", 4), ("plugin", 5)):
+            labels.append(f"{r[0]}/{variant}")
+            values.append(r[col])
+    print()
+    print(render_bars(labels, values, unit=" samples/s"))
+    f = res.findings
+    assert 4.5 < f["max plugin speedup Summit"] < 9.0
+    assert 3.0 < f["max plugin speedup Cori-V100"] < 6.5
+    assert 3.0 < f["max plugin speedup Cori-A100"] < 6.5
+    assert 1.1 < f["max gzip slowdown"] < 1.8

@@ -1,0 +1,18 @@
+"""Figure 11: CosmoFlow throughput, large set (2048 samples/GPU).
+
+Paper: staging helps Cori up to ~1.5x, Summit within 10%; the plugin's
+speedup reaches an order of magnitude (its encoded dataset fits back in
+host memory).
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_cosmoflow_large(once):
+    res = once(fig11.run, sim_samples_cap=48, verbose=False)
+    print()
+    print(res.render())
+    f = res.findings
+    assert f["max plugin speedup Cori-V100"] > 7.0  # order of magnitude
+    assert 1.2 < f["staging gain Cori-V100"] < 2.2
+    assert f["staging gain Summit"] < 1.15  # within ~10%

@@ -1,0 +1,19 @@
+"""Figure 12: CosmoFlow execution-time breakdown (Summit & Cori-V100).
+
+Paper: "the base version underutilizes the GPU, while our plugin reduces
+host CPU preprocessing overhead"; decode <1% of the sample's GPU time.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_cosmoflow_breakdown(once):
+    res = once(fig12.run, sim_samples_cap=48, verbose=False)
+    print()
+    print(res.render())
+    f = res.findings
+    for system in ("Summit", "Cori-V100"):
+        assert f[f"{system}/base cpu/gpu ratio"] > 5
+        assert f[f"{system}/gzip cpu/gpu ratio"] > f[f"{system}/base cpu/gpu ratio"]
+        assert f[f"{system}/plugin cpu/gpu ratio"] == 0
+        assert f[f"{system} decode share of gpu time"] < 0.01

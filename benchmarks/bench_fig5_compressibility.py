@@ -1,0 +1,17 @@
+"""Figure 5: CosmoFlow sample compressibility statistics.
+
+Regenerates the three panels: (a) power-law value-frequency distribution,
+(b) unique values per sample, (c) unique 4-redshift groups vs the
+permutation bound (16-bit indexable).
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_compressibility(once):
+    res = once(fig5.run, n_samples=6, grid=32, verbose=False)
+    print()
+    print(res.render())
+    assert res.findings["mean log-log slope (power law <= -1)"] < -1.0
+    assert res.findings["max groups / 2^16"] <= 1.0
+    assert all(v == "yes" for v in res.column("16-bit keys"))

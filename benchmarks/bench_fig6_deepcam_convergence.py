@@ -1,0 +1,21 @@
+"""Figure 6: DeepCAM convergence, base FP32 vs decoded FP16 samples.
+
+Paper: "our decoded samples show identical convergence behavior to the
+base case."
+"""
+
+from repro.experiments import fig6
+
+
+def test_fig6_deepcam_convergence(once):
+    res = once(
+        fig6.run,
+        n_samples=12, epochs=4, height=32, width=48, n_channels=8,
+        base_filters=4, verbose=False,
+    )
+    print()
+    print(res.render())
+    assert res.findings["max |diff| / loss span"] < 0.05
+    assert res.findings["max val |diff| / train span"] < 0.05
+    assert res.findings["loss drop base"] > 0
+    assert res.findings["loss drop decoded"] > 0

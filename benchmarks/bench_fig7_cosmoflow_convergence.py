@@ -1,0 +1,21 @@
+"""Figure 7: CosmoFlow convergence across repeated runs.
+
+Paper protocol: repeated runs per MLPerf HPC rules (16 in the paper; 4
+here for wall-clock), identical learning schedule for base and decoded
+samples.  The decoded samples must converge at least as well.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_cosmoflow_convergence(once):
+    res = once(
+        fig7.run,
+        repetitions=4, n_samples=12, epochs=6, grid=16, verbose=False,
+    )
+    print()
+    print(res.render())
+    ratio = res.findings["decoded/base final loss ratio"]
+    assert 0.5 < ratio < 1.3  # preserved-or-better convergence
+    curve = res.column("base mean")
+    assert curve[-1] < curve[0]

@@ -1,0 +1,27 @@
+"""Figure 8: DeepCAM node throughput across the full experiment grid.
+
+{Summit, Cori-V100, Cori-A100} × {small, large} × {staged, unstaged} ×
+batch {1,2,4,8} × {base, cpu plugin, gpu plugin}.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_deepcam_throughput(once):
+    res = once(fig8.run, sim_samples_cap=48, verbose=False)
+    print()
+    print(res.render())
+    # paper headline shapes on the memory-resident small set: up to ~3x on
+    # Cori (3.1x on A100); the streaming large set can exceed it because
+    # the smaller encoded samples also relieve the storage path
+    assert 2.3 < res.findings["max gpu-plugin speedup Cori-A100/small"] < 3.8
+    assert 2.3 < res.findings["max gpu-plugin speedup Cori-V100/small"] < 3.8
+    assert res.findings["max gpu-plugin speedup Cori-A100/large"] < 6.0
+    # large-dataset slowdown of the baseline (paper: 1.2-2.4x)
+    base = {
+        (r[0], r[1], r[2], r[3]): r[4] for r in res.rows
+    }
+    slow = base[("Cori-V100", "small", "unstaged", 4)] / base[
+        ("Cori-V100", "large", "unstaged", 4)
+    ]
+    assert 1.1 < slow < 2.6

@@ -1,0 +1,21 @@
+"""Figure 9: DeepCAM per-activity time breakdown (Cori V100 & A100).
+
+Paper: the optimized loader "not only improves data transfer time but also
+speeds up CPU preprocessing while reducing the fluctuations captured
+during the model synchronization allreduce."
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_deepcam_breakdown(once):
+    res = once(fig9.run, sim_samples_cap=48, verbose=False)
+    print()
+    print(res.render())
+    f = res.findings
+    for system in ("Cori-V100", "Cori-A100"):
+        assert f[f"{system}/gpu cpu ms/sample"] == 0
+        assert f[f"{system}/base cpu ms/sample"] > 0
+        assert f[f"{system}/gpu sync ms/sample"] < f[
+            f"{system}/base sync ms/sample"
+        ]

@@ -1,0 +1,12 @@
+"""Table I: system architecture of the evaluated systems."""
+
+from repro.experiments import tables
+
+
+def test_table1_systems(once):
+    res = once(tables.table1)
+    print()
+    print(res.render())
+    rows = {r[0]: r[1:] for r in res.rows}
+    assert rows["GPU"] == ["V100", "V100", "A100"]
+    assert rows["GPUs per node"] == [6, 8, 8]

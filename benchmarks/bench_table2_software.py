@@ -1,0 +1,11 @@
+"""Table II: software environment for CosmoFlow and DeepCAM."""
+
+from repro.experiments import tables
+
+
+def test_table2_software(once):
+    res = once(tables.table2)
+    print()
+    print(res.render())
+    rows = {r[0]: r[1:] for r in res.rows}
+    assert set(rows["DALI"]) == {"1.9.0"}

@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every paper exhibit (table/figure) has one benchmark module that
+regenerates it through ``pytest benchmarks/ --benchmark-only``; the
+regenerated rows print with ``-s`` and the headline findings are asserted
+against the paper's qualitative claims.  Exhibits are deterministic, so
+they run a single benchmark round; the codec microbenchmarks use normal
+multi-round timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a deterministic exhibit with one round/iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

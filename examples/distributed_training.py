@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Data-parallel CosmoFlow training with an emulated ring allreduce.
+
+Mirrors the paper's distributed setup (Horovod/NCCL over the node's GPUs)
+in one process: P model replicas, split global batches, gradients averaged
+with a real ring reduce-scatter/all-gather, identical updates everywhere —
+plus the modeled allreduce time a V100 NVLink ring would take per step.
+
+Run:  python examples/distributed_training.py [--ranks 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.plugins import CosmoflowLutPlugin
+from repro.datasets import cosmoflow
+from repro.ml import WarmupSchedule, build_cosmoflow
+from repro.ml.distributed import DataParallel, allreduce_bytes
+from repro.ml.losses import mse_loss
+from repro.pipeline import DataLoader, ListSource
+from repro.pipeline.ops import LabelTransformOp
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--ranks", type=int, default=4)
+    ap.add_argument("--samples", type=int, default=16)
+    ap.add_argument("--epochs", type=int, default=5)
+    ap.add_argument("--grid", type=int, default=8)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args()
+
+    cfg = cosmoflow.CosmoflowConfig(grid=args.grid, n_particles=5000,
+                                    n_clusters=8)
+    ds = cosmoflow.generate_dataset(args.samples, cfg, seed=args.seed)
+    plugin = CosmoflowLutPlugin("cpu")
+    blobs = [plugin.encode(s.data, s.label) for s in ds]
+    loader = DataLoader(
+        ListSource(blobs), plugin, batch_size=args.ranks * 2, seed=args.seed,
+        extra_ops=[LabelTransformOp(cosmoflow.normalize_label)],
+        drop_last=True,  # every step's batch must split across the ranks
+    )
+
+    def build(seed):
+        return build_cosmoflow(grid=args.grid, n_conv_layers=2,
+                               base_filters=2, dense_units=(8,),
+                               seed=args.seed)
+
+    dp = DataParallel(build, n_ranks=args.ranks)
+    n_params = dp.replicas[0].n_parameters()
+    # the paper's learning-rate recipe scales with the rank count
+    schedule = WarmupSchedule(base_lr=2e-3, warmup_steps=4,
+                              rank_scale=float(args.ranks) ** 0.5)
+    momentum = {k: np.zeros_like(v)
+                for k, v in dp.replicas[0].parameters().items()}
+    step = {"n": 0}
+
+    ar_bytes = allreduce_bytes(n_params)
+    nvlink_bw = 45e9
+    ar_time = 2 * (args.ranks - 1) / args.ranks * n_params * 4 / nvlink_bw
+
+    print(f"{args.ranks} ranks, {n_params:,} parameters; ring allreduce "
+          f"moves {ar_bytes / 1e6:.2f} MB/rank/step "
+          f"(~{ar_time * 1e3:.2f} ms on an NVLink ring)")
+
+    for epoch in range(args.epochs):
+        losses = []
+        for x, y in loader.batches(epoch):
+            loss, grads = dp.forward_backward(
+                x.astype(np.float32), y, mse_loss
+            )
+            lr = schedule.lr_at(step["n"])
+            step["n"] += 1
+
+            def sgd_step(params):
+                for k, p in params.items():
+                    v = momentum[k]
+                    v *= 0.9
+                    v -= lr * grads[k]
+                    p += v
+
+            dp.apply_update(sgd_step)
+            losses.append(loss)
+        print(f"epoch {epoch}: loss {np.mean(losses):.4f} "
+              f"(lr {schedule.lr_at(step['n']):.2e})")
+
+    # verify the replicas never diverged
+    p0 = dp.replicas[0].parameters()
+    for r, rep in enumerate(dp.replicas[1:], start=1):
+        for k, v in rep.parameters().items():
+            assert np.array_equal(v, p0[k]), f"rank {r} diverged at {k}"
+    print("all replicas bit-identical after training ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Apply the paper's methodology to a *new* scientific workload.
+
+The conclusion of the paper: "our approach can be used as a template to
+optimize a wide variety of SciML codes."  This example walks that template
+on a workload the paper never saw — a synthetic ocean-model field (sea
+surface temperature + salinity + current components) — using
+:class:`repro.core.plugins.AutoPlugin`:
+
+1. generate representative samples,
+2. let the content analysis pick a codec (the §V step),
+3. measure compression and decode accuracy,
+4. feed the encoded samples through the standard pipeline into training.
+
+Run:  python examples/new_workload_template.py
+"""
+
+import numpy as np
+from scipy import ndimage
+
+from repro.accel import SimulatedGpu, V100
+from repro.core.plugins import AutoPlugin, choose_codec
+from repro.ml import SGD, Trainer, WarmupSchedule, build_deepcam
+from repro.ml.losses import softmax_cross_entropy
+from repro.pipeline import DataLoader, ListSource
+
+
+def generate_ocean_sample(seed: int, height: int = 48, width: int = 72):
+    """A toy ocean snapshot: smooth basin-scale fields + eddy anomalies.
+
+    Channels: SST (K), salinity (PSU), u/v currents (m/s); the label marks
+    eddy cores (a 2-class segmentation task).
+    """
+    rng = np.random.default_rng(seed)
+    fields = np.empty((4, height, width), dtype=np.float32)
+    scales = [290.0, 35.0, 0.4, 0.4]
+    for c, scale in enumerate(scales):
+        base = ndimage.gaussian_filter1d(
+            rng.normal(0, 1, height), sigma=height / 6
+        )[:, None]
+        noise = ndimage.gaussian_filter(
+            rng.normal(0, 1, (height, width)), sigma=(2.0, 8.0), mode="wrap"
+        )
+        fields[c] = scale * (1 + 0.03 * base + 0.01 * noise)
+    mask = np.zeros((height, width), dtype=np.int8)
+    for _ in range(3):  # mesoscale eddies: sharp rotating anomalies
+        cy, cx = rng.uniform(8, height - 8), rng.uniform(8, width - 8)
+        r = rng.uniform(3, 6)
+        yy, xx = np.mgrid[0:height, 0:width].astype(np.float32)
+        d2 = (yy - cy) ** 2 + (xx - cx) ** 2
+        env = np.exp(-d2 / (2 * r * r)).astype(np.float32)
+        fields[0] -= 2.0 * env  # cold core
+        rr = np.sqrt(d2) + 1e-3
+        fields[2] += 0.8 * env * (-(yy - cy) / rr)
+        fields[3] += 0.8 * env * ((xx - cx) / rr)
+        mask[d2 <= r * r] = 1
+    return fields, mask
+
+
+def main() -> None:
+    samples = [generate_ocean_sample(seed) for seed in range(12)]
+
+    # --- step 1-2: content analysis picks the representation -------------
+    choice = choose_codec(samples[0][0])
+    print(f"content analysis: codec={choice.codec!r} ({choice.reason})")
+
+    plugin = AutoPlugin(placement="gpu")
+    blobs = [plugin.encode(f, m) for f, m in samples]
+    raw = sum(f.nbytes for f, _ in samples)
+    enc = sum(len(b) for b in blobs)
+    print(f"compression: {raw / 1e6:.2f} MB raw -> {enc / 1e6:.2f} MB "
+          f"({raw / enc:.2f}x)")
+
+    # --- step 3: decode accuracy ------------------------------------------
+    device = SimulatedGpu(spec=V100)
+    tensor, _ = plugin.decode(blobs[0], device)
+    f0 = samples[0][0]
+    norm = ((f0 - f0.reshape(4, -1).mean(axis=1)[:, None, None])
+            / f0.reshape(4, -1).std(axis=1)[:, None, None])
+    sig = np.abs(norm) > 0.01 * np.abs(norm).max()
+    rel = np.abs(tensor.astype(np.float32) - norm)[sig] / np.abs(norm)[sig]
+    print(f"decode: dtype={tensor.dtype}, max rel err on significant values "
+          f"{100 * rel.max():.2f}%, modeled V100 time "
+          f"{device.busy_seconds * 1e6:.0f} us")
+
+    # --- step 4: train an eddy detector through the pipeline --------------
+    loader = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=0,
+                        device=device)
+    model = build_deepcam(in_channels=4, n_classes=2, base_filters=4, seed=0)
+    weights = np.array([1.0, 6.0], dtype=np.float32)
+    trainer = Trainer(
+        model,
+        lambda p, t: softmax_cross_entropy(p, t, class_weights=weights),
+        SGD(model.parameters(), WarmupSchedule(base_lr=0.05, warmup_steps=4),
+            momentum=0.9),
+        mixed_precision=True,
+    )
+    for epoch in range(8):
+        loss = trainer.train_epoch(loader.batches(epoch))
+        print(f"epoch {epoch}: eddy-segmentation CE {loss:.4f}")
+    drop = trainer.history.epoch_losses[0] - trainer.history.epoch_losses[-1]
+    print(f"loss dropped by {drop:.3f} through the auto-encoded pipeline — "
+          "the template transfers.")
+
+
+if __name__ == "__main__":
+    main()

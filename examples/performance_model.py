@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Explore the data-movement performance model beyond the studied systems.
+
+The paper motivates its staging/batching experiments as a way to "explore
+architectural configurations outside the studied systems."  This example
+does exactly that with the calibrated model:
+
+1. reproduce one Figure-10 row (CosmoFlow small set on Cori-V100),
+2. sweep a hypothetical node's NVMe bandwidth to find where staging stops
+   mattering, and
+3. swap the CPU-GPU interconnect (PCIe3 → PCIe4 → NVLink) to see where the
+   baseline becomes link-insensitive (the paper's V100-vs-A100 observation).
+
+Run:  python examples/performance_model.py
+"""
+
+import dataclasses
+
+from repro.accel.transfer import NVLINK, PCIE3, PCIE4
+from repro.experiments.config import COSMOFLOW, DEEPCAM, cosmoflow_costs, deepcam_costs
+from repro.experiments.harness import print_table
+from repro.simulate import CORI_V100, TrainSimConfig, simulate_node
+from repro.storage.filesystem import TierSpec
+
+
+def _throughput(machine, workload, cost, placement, spg=128, staged=True,
+                bs=4):
+    cfg = TrainSimConfig(
+        machine=machine, workload=workload, cost=cost, plugin_name="x",
+        placement=placement, samples_per_gpu=spg, batch_size=bs,
+        staged=staged, epochs=3, sim_samples_cap=48,
+    )
+    return simulate_node(cfg).node_samples_per_s
+
+
+def figure10_row() -> None:
+    print("=== Figure-10 row: CosmoFlow small set, Cori-V100 ===")
+    costs = cosmoflow_costs()
+    rows = []
+    for bs in (1, 2, 4, 8):
+        base = _throughput(CORI_V100, COSMOFLOW, costs["base"], "cpu", bs=bs)
+        plug = _throughput(CORI_V100, COSMOFLOW, costs["plugin"], "gpu", bs=bs)
+        rows.append([bs, base, plug, plug / base])
+    print_table(["batch", "base (samples/s)", "plugin", "speedup"], rows)
+
+
+def nvme_bandwidth_sweep() -> None:
+    print("\n=== Hypothetical NVMe sweep: DeepCAM large set, staged ===")
+    costs = deepcam_costs()
+    rows = []
+    for bw in (0.5, 1.0, 2.0, 3.4, 8.0, 26.0):
+        nvme = TierSpec("nvme-x", read_bw_gbps=bw, write_bw_gbps=bw / 2,
+                        latency_s=1e-4, capacity_bytes=16e12)
+        machine = dataclasses.replace(CORI_V100, nvme=nvme)
+        base = _throughput(machine, DEEPCAM, costs["base"], "cpu",
+                           spg=1536, staged=True)
+        plug = _throughput(machine, DEEPCAM, costs["gpu"], "gpu",
+                           spg=1536, staged=True)
+        rows.append([bw, base, plug, plug / base])
+    print_table(["NVMe GB/s", "base", "gpu plugin", "speedup"], rows)
+    print("-> once the NVMe stops starving the baseline, the residual "
+          "speedup is pure preprocessing/link relief")
+
+
+def interconnect_sweep() -> None:
+    print("\n=== Hypothetical interconnect sweep: DeepCAM small set ===")
+    costs = deepcam_costs()
+    rows = []
+    for link in (PCIE3, PCIE4, NVLINK):
+        machine = dataclasses.replace(CORI_V100, link=link)
+        base = _throughput(machine, DEEPCAM, costs["base"], "cpu", spg=192)
+        plug = _throughput(machine, DEEPCAM, costs["gpu"], "gpu", spg=192)
+        rows.append([link.name, base, plug, plug / base])
+    print_table(["link", "base", "gpu plugin", "speedup"], rows)
+    print("-> the baseline barely improves with a faster link when the CPU "
+          "preprocessing path is the bottleneck — the paper's V100-vs-A100 "
+          "observation")
+
+
+if __name__ == "__main__":
+    figure10_row()
+    nvme_bandwidth_sweep()
+    interconnect_sweep()

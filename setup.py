@@ -1,0 +1,7 @@
+"""Legacy setuptools entry point (kept for offline editable installs on
+environments without the `wheel` package; all metadata lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — reproduction of "Preprocessing Pipeline Optimization for
+Scientific Deep Learning Workloads" (Ibrahim & Oliker, IPPS 2022).
+
+Public surface:
+
+* :mod:`repro.core` — the DeepCAM differential codec, the CosmoFlow
+  lookup-table codec, containers, and pipeline decoder plugins.
+* :mod:`repro.datasets` — synthetic CosmoFlow/DeepCAM generators.
+* :mod:`repro.storage` — storage-hierarchy substrate (PFS/NVMe/host cache),
+  HDF5-like and TFRecord-like containers, staging.
+* :mod:`repro.accel` — simulated GPU (functional kernels + cost model).
+* :mod:`repro.pipeline` — DALI-like data-loading pipeline and executor.
+* :mod:`repro.ml` — pure-NumPy mixed-precision DNN framework and the two
+  benchmark models.
+* :mod:`repro.simulate` — discrete-event performance model of the three
+  evaluated HPC systems.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "datasets",
+    "storage",
+    "accel",
+    "pipeline",
+    "ml",
+    "simulate",
+    "experiments",
+]

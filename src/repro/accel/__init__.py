@@ -1,0 +1,25 @@
+"""Simulated accelerator substrate (substitute for V100/A100 + CUDA).
+
+Kernels compute exact results with NumPy; elapsed device time comes from a
+roofline/warp cost model parameterized by the paper's Table I.  See
+DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.accel import kernels, transfer, warp
+from repro.accel.device import A100, V100, GpuSpec, SimulatedGpu
+from repro.accel.transfer import NVLINK, PCIE3, PCIE4, LinkSpec, transfer_time
+
+__all__ = [
+    "kernels",
+    "transfer",
+    "warp",
+    "GpuSpec",
+    "SimulatedGpu",
+    "V100",
+    "A100",
+    "LinkSpec",
+    "PCIE3",
+    "PCIE4",
+    "NVLINK",
+    "transfer_time",
+]

@@ -1,0 +1,5 @@
+"""The paper's primary contribution: codecs and pipeline decoder plugins."""
+
+from repro.core import encoding
+
+__all__ = ["encoding"]

@@ -1,0 +1,244 @@
+"""On-disk/in-flight container for encoded samples.
+
+The plugins serialize encoded samples into a self-describing binary
+container so that (a) the storage substrate can measure true transferred
+byte counts, (b) samples round-trip through files, and (c) the decoder can
+reconstruct the codec state without out-of-band information.  Labels are
+carried losslessly (paper §VIII-A: "for both applications, we use lossless
+compression of the labels"), via zlib.
+
+Layout::
+
+    b"RPRS" | u8 version | u8 codec | u16 pad | u32 header_len
+    header (UTF-8 JSON)   — shapes, dtypes, section offsets
+    payload sections      — raw bytes, back-to-back
+
+The JSON header costs a few hundred bytes per sample, negligible against
+multi-megabyte payloads, and keeps the format debuggable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from repro.core.encoding.delta import DeltaCodecConfig, DeltaEncodedImage
+from repro.core.encoding.lut import LutEncodedSample, LutTable
+
+__all__ = [
+    "CODEC_RAW",
+    "CODEC_DELTA",
+    "CODEC_LUT",
+    "pack_raw_sample",
+    "pack_delta_sample",
+    "pack_lut_sample",
+    "unpack_sample",
+    "peek_codec",
+]
+
+_MAGIC = b"RPRS"
+_VERSION = 1
+_HEADER_FMT = "<4sBBHI"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+CODEC_RAW = 0
+CODEC_DELTA = 1
+CODEC_LUT = 2
+
+_CODEC_NAMES = {CODEC_RAW: "raw", CODEC_DELTA: "delta", CODEC_LUT: "lut"}
+
+
+def _assemble(codec: int, header: dict, sections: list[bytes]) -> bytes:
+    offsets = []
+    pos = 0
+    for blob in sections:
+        offsets.append((pos, len(blob)))
+        pos += len(blob)
+    header = dict(header)
+    header["sections"] = offsets
+    hdr_json = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    prefix = struct.pack(_HEADER_FMT, _MAGIC, _VERSION, codec, 0, len(hdr_json))
+    return b"".join([prefix, hdr_json] + sections)
+
+
+def _parse(data: bytes) -> tuple[int, dict, memoryview]:
+    if len(data) < _HEADER_SIZE:
+        raise ValueError("container truncated")
+    magic, version, codec, _, hdr_len = struct.unpack_from(_HEADER_FMT, data)
+    if magic != _MAGIC:
+        raise ValueError("bad container magic")
+    if version != _VERSION:
+        raise ValueError(f"unsupported container version {version}")
+    hdr_end = _HEADER_SIZE + hdr_len
+    header = json.loads(bytes(data[_HEADER_SIZE:hdr_end]).decode("utf-8"))
+    return codec, header, memoryview(data)[hdr_end:]
+
+
+def peek_codec(data: bytes) -> str:
+    """Return the codec name of a container without full parsing."""
+    codec, _, _ = _parse(data)
+    return _CODEC_NAMES[codec]
+
+
+def _label_header(label: np.ndarray) -> dict:
+    return {"dtype": str(label.dtype), "shape": list(label.shape)}
+
+
+def _pack_label(label: np.ndarray) -> bytes:
+    return zlib.compress(np.ascontiguousarray(label).tobytes(), level=6)
+
+
+def _unpack_label(meta: dict, blob: bytes) -> np.ndarray:
+    raw = zlib.decompress(blob)
+    arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+    return arr.reshape(meta["shape"]).copy()
+
+
+def pack_raw_sample(
+    sample: np.ndarray, label: np.ndarray, extra: dict | None = None
+) -> bytes:
+    """Container for an unencoded (baseline) sample."""
+    sample = np.ascontiguousarray(sample)
+    header = {
+        "shape": list(sample.shape),
+        "dtype": str(sample.dtype),
+        "label": _label_header(label),
+        "extra": extra or {},
+    }
+    return _assemble(CODEC_RAW, header, [sample.tobytes(), _pack_label(label)])
+
+
+def pack_delta_sample(
+    channels: list[DeltaEncodedImage],
+    label: np.ndarray,
+    extra: dict | None = None,
+) -> bytes:
+    """Container for a DeepCAM sample: one delta-encoded image per channel."""
+    if not channels:
+        raise ValueError("at least one channel required")
+    cfg = channels[0].config
+    header = {
+        "shape": [len(channels), *channels[0].shape],
+        "config": {
+            "block_size": cfg.block_size,
+            "rel_tol": cfg.rel_tol,
+            "rel_floor": cfg.rel_floor,
+            "max_literal_frac": cfg.max_literal_frac,
+            "mantissa_bits": cfg.mantissa_bits,
+            "quality_gate": cfg.quality_gate,
+        },
+        "channels": [],
+        "label": _label_header(label),
+        "extra": extra or {},
+    }
+    sections: list[bytes] = []
+    for enc in channels:
+        if enc.shape != channels[0].shape:
+            raise ValueError("all channels must share one shape")
+        header["channels"].append({"payload_len": len(enc.payload)})
+        sections.append(enc.line_modes.tobytes())
+        sections.append(enc.line_offsets.astype("<u8").tobytes())
+        sections.append(enc.payload)
+    sections.append(_pack_label(label))
+    return _assemble(CODEC_DELTA, header, sections)
+
+
+def pack_lut_sample(
+    enc: LutEncodedSample, label: np.ndarray, extra: dict | None = None
+) -> bytes:
+    """Container for a CosmoFlow sample: keys + lookup tables."""
+    header = {
+        "shape": list(enc.shape),
+        "dtype": str(enc.dtype),
+        "tables": [],
+        "label": _label_header(label),
+        "extra": extra or {},
+    }
+    sections: list[bytes] = []
+    for t in enc.tables:
+        header["tables"].append(
+            {
+                "region": [list(r) for r in t.region],
+                "key_dtype": str(t.keys.dtype),
+                "n_groups": int(t.values.shape[0]),
+                "value_dtype": str(t.values.dtype),
+            }
+        )
+        sections.append(np.ascontiguousarray(t.keys).tobytes())
+        sections.append(np.ascontiguousarray(t.values).tobytes())
+    sections.append(_pack_label(label))
+    return _assemble(CODEC_LUT, header, sections)
+
+
+def unpack_sample(data: bytes):
+    """Parse any container.
+
+    Returns ``(codec_name, payload, label, extra)`` where ``payload`` is
+
+    * ``raw``   — the dense ``np.ndarray`` sample,
+    * ``delta`` — ``list[DeltaEncodedImage]`` (one per channel),
+    * ``lut``   — a :class:`LutEncodedSample`,
+
+    and ``extra`` is the plugin metadata dict passed at pack time.
+    """
+    codec, header, body = _parse(data)
+    sections = header["sections"]
+
+    def section(i: int) -> memoryview:
+        off, size = sections[i]
+        return body[off : off + size]
+
+    label = _unpack_label(header["label"], bytes(section(len(sections) - 1)))
+    extra = header.get("extra", {})
+
+    if codec == CODEC_RAW:
+        arr = np.frombuffer(section(0), dtype=np.dtype(header["dtype"]))
+        return "raw", arr.reshape(header["shape"]).copy(), label, extra
+
+    if codec == CODEC_DELTA:
+        C, H, W = header["shape"]
+        cfg = DeltaCodecConfig(**header["config"])
+        channels = []
+        for c in range(C):
+            base = 3 * c
+            modes = np.frombuffer(section(base), dtype=np.uint8).copy()
+            offsets = np.frombuffer(section(base + 1), dtype="<u8").astype(np.uint64)
+            payload = bytes(section(base + 2))
+            channels.append(
+                DeltaEncodedImage(
+                    shape=(H, W),
+                    line_modes=modes,
+                    line_offsets=offsets,
+                    payload=payload,
+                    config=cfg,
+                )
+            )
+        return "delta", channels, label, extra
+
+    if codec == CODEC_LUT:
+        shape = tuple(header["shape"])
+        C = shape[0]
+        tables = []
+        for i, tmeta in enumerate(header["tables"]):
+            keys = np.frombuffer(
+                section(2 * i), dtype=np.dtype(tmeta["key_dtype"])
+            ).copy()
+            values = np.frombuffer(
+                section(2 * i + 1), dtype=np.dtype(tmeta["value_dtype"])
+            ).reshape(tmeta["n_groups"], C)
+            tables.append(
+                LutTable(
+                    region=tuple(tuple(r) for r in tmeta["region"]),
+                    keys=keys,
+                    values=values.copy(),
+                )
+            )
+        enc = LutEncodedSample(
+            shape=shape, tables=tables, dtype=np.dtype(header["dtype"])
+        )
+        return "lut", enc, label, extra
+
+    raise ValueError(f"unknown codec id {codec}")

@@ -1,0 +1,28 @@
+"""Pipeline decoder plugins (the paper's DALI-plugin analogue)."""
+
+from repro.core.plugins.auto import AutoPlugin, CodecChoice, choose_codec
+from repro.core.plugins.base import SampleCost, SamplePlugin
+from repro.core.plugins.cosmoflow import (
+    CosmoflowBaselinePlugin,
+    CosmoflowLutPlugin,
+    log_transform,
+)
+from repro.core.plugins.deepcam import (
+    DeepcamBaselinePlugin,
+    DeepcamDeltaPlugin,
+    channel_stats,
+)
+
+__all__ = [
+    "AutoPlugin",
+    "CodecChoice",
+    "choose_codec",
+    "SampleCost",
+    "SamplePlugin",
+    "CosmoflowBaselinePlugin",
+    "CosmoflowLutPlugin",
+    "DeepcamBaselinePlugin",
+    "DeepcamDeltaPlugin",
+    "channel_stats",
+    "log_transform",
+]

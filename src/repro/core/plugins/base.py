@@ -1,0 +1,90 @@
+"""Plugin API for sample encode/decode in the data-loading pipeline.
+
+Mirrors the role of the paper's DALI plugins (§VI): a plugin owns the
+on-disk representation of a sample and produces, at load time, the tensor
+the framework trains on — with the decode placed either on the **CPU** or
+offloaded to the **GPU** ("we implemented two variants for decoding … one
+for the CPU and another for the GPU").  "Decoding" deliberately includes the
+fused preprocessing (normalization, ``log``, FP16 cast), which is the
+paper's central reordering idea.
+
+A plugin also reports :class:`SampleCost` — the byte/element accounting the
+discrete-event performance model consumes, so the functional path and the
+performance path stay consistent by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.device import SimulatedGpu
+
+__all__ = ["SamplePlugin", "SampleCost"]
+
+
+@dataclass(frozen=True)
+class SampleCost:
+    """Per-sample data-movement/compute footprint for the performance model.
+
+    Attributes
+    ----------
+    stored_bytes:
+        Bytes read from storage per sample (the encoded/container size).
+    h2d_bytes:
+        Bytes crossing the CPU→GPU link per sample.  For GPU-placed decoders
+        this equals ``stored_bytes`` (encoded form travels); for CPU-placed
+        decoders it is the decoded tensor size.
+    decoded_bytes:
+        Size of the tensor handed to the framework.
+    cpu_preprocess_elems:
+        Elements the CPU touches per sample (decode + preprocessing) — 0 for
+        a pure GPU-placed plugin.
+    gpu_decode_seconds:
+        Modeled device time of the decode kernel(s) on the reference GPU;
+        0 when decode runs on the CPU.
+    """
+
+    stored_bytes: int
+    h2d_bytes: int
+    decoded_bytes: int
+    cpu_preprocess_elems: int
+    gpu_decode_seconds: float = 0.0
+
+
+class SamplePlugin(abc.ABC):
+    """One sample representation + its encode/decode pair."""
+
+    #: short identifier used in experiment tables ("base", "cpu", "gpu", …)
+    name: str = "plugin"
+    #: "cpu" or "gpu" — where decode (incl. fused preprocessing) runs
+    placement: str = "cpu"
+
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray, label: np.ndarray) -> bytes:
+        """Serialize one sample to its container bytes."""
+
+    @abc.abstractmethod
+    def decode_cpu(self, blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+        """Decode on the host; returns ``(tensor, label)``."""
+
+    @abc.abstractmethod
+    def decode_gpu(
+        self, blob: bytes, device: SimulatedGpu
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode on the device, charging kernel time to ``device``."""
+
+    def decode(
+        self, blob: bytes, device: SimulatedGpu | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dispatch by placement: GPU when a device is supplied and the
+        plugin is GPU-placed, CPU otherwise."""
+        if self.placement == "gpu" and device is not None:
+            return self.decode_gpu(blob, device)
+        return self.decode_cpu(blob)
+
+    @abc.abstractmethod
+    def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
+        """Encode one representative sample and report its cost footprint."""

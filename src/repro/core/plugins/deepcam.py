@@ -1,0 +1,153 @@
+"""DeepCAM sample plugins (paper §V-A, §VI, §IX-A).
+
+Three representations are evaluated, matching the paper's Figure 8 bars:
+
+* :class:`DeepcamBaselinePlugin` ("base") — samples stored as raw FP32
+  HDF5-style containers; the CPU normalizes every value at load time and
+  the full FP32 tensor crosses the CPU→GPU link.
+* :class:`DeepcamDeltaPlugin` with ``placement="cpu"`` ("cpu plugin") —
+  samples stored delta-encoded; the host decodes to FP16, so storage and
+  link traffic both shrink, but host cycles are still spent.
+* :class:`DeepcamDeltaPlugin` with ``placement="gpu"`` ("gpu plugin") —
+  the *encoded* bytes cross the link and the device decodes, minimizing
+  both link traffic and host preprocessing.
+
+Per-channel normalization is **fused into the encoder**: the stored values
+are already standardized, so decode needs no separate normalization pass
+(and the wide physical scales — 1e5 Pa pressures vs 1e-3 kg/kg humidities —
+fit FP16 after standardization).  The per-channel mean/std travel in the
+container's metadata; labels (segmentation masks) are lossless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.device import SimulatedGpu, V100
+from repro.accel.kernels import k_delta_decode
+from repro.accel.warp import estimate_delta_decode_time
+from repro.core.encoding import container
+from repro.core.encoding.delta import DeltaCodecConfig
+from repro.core.encoding.delta_decode_fast import decode_image_fast
+from repro.core.encoding.delta_fast import encode_image_fast
+from repro.core.plugins.base import SampleCost, SamplePlugin
+
+__all__ = ["DeepcamBaselinePlugin", "DeepcamDeltaPlugin", "channel_stats"]
+
+
+def channel_stats(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean/std of one sample (MLPerf DeepCAM standardization)."""
+    C = data.shape[0]
+    flat = data.reshape(C, -1).astype(np.float64)
+    mean = flat.mean(axis=1)
+    std = flat.std(axis=1)
+    std = np.where(std < 1e-12, 1.0, std)
+    return mean.astype(np.float32), std.astype(np.float32)
+
+
+def _normalize(data: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    bc = (slice(None),) + (None,) * (data.ndim - 1)
+    return ((data.astype(np.float32) - mean[bc]) / std[bc]).astype(np.float32)
+
+
+class DeepcamBaselinePlugin(SamplePlugin):
+    """Raw FP32 storage + CPU normalization — the paper's baseline."""
+
+    name = "base"
+    placement = "cpu"
+
+    def encode(self, data: np.ndarray, label: np.ndarray) -> bytes:
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        mean, std = channel_stats(data)
+        return container.pack_raw_sample(
+            data, label, extra={"mean": mean.tolist(), "std": std.tolist()}
+        )
+
+    def decode_cpu(self, blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+        codec, data, label, extra = container.unpack_sample(blob)
+        if codec != "raw":
+            raise ValueError(f"baseline plugin got a {codec!r} container")
+        mean = np.asarray(extra["mean"], dtype=np.float32)
+        std = np.asarray(extra["std"], dtype=np.float32)
+        return _normalize(data, mean, std), label
+
+    def decode_gpu(self, blob, device):  # pragma: no cover - API completeness
+        raise NotImplementedError("the baseline preprocesses on the CPU only")
+
+    def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
+        blob = self.encode(data, label)
+        tensor, _ = self.decode_cpu(blob)
+        return SampleCost(
+            stored_bytes=len(blob),
+            h2d_bytes=tensor.nbytes,  # full FP32 tensor crosses the link
+            decoded_bytes=tensor.nbytes,
+            cpu_preprocess_elems=int(data.size),
+        )
+
+
+class DeepcamDeltaPlugin(SamplePlugin):
+    """Differential-codec storage with CPU- or GPU-placed decode."""
+
+    def __init__(
+        self,
+        placement: str = "gpu",
+        config: DeltaCodecConfig | None = None,
+    ) -> None:
+        if placement not in ("cpu", "gpu"):
+            raise ValueError("placement must be 'cpu' or 'gpu'")
+        self.placement = placement
+        self.name = placement
+        self.config = config or DeltaCodecConfig()
+
+    def encode(self, data: np.ndarray, label: np.ndarray) -> bytes:
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        mean, std = channel_stats(data)
+        normalized = _normalize(data, mean, std)
+        channels = [encode_image_fast(ch, self.config) for ch in normalized]
+        return container.pack_delta_sample(
+            channels, label, extra={"mean": mean.tolist(), "std": std.tolist()}
+        )
+
+    def _unpack(self, blob: bytes):
+        codec, channels, label, extra = container.unpack_sample(blob)
+        if codec != "delta":
+            raise ValueError(f"delta plugin got a {codec!r} container")
+        return channels, label
+
+    def decode_cpu(self, blob: bytes) -> tuple[np.ndarray, np.ndarray]:
+        channels, label = self._unpack(blob)
+        H, W = channels[0].shape
+        out = np.empty((len(channels), H, W), dtype=np.float16)
+        for c, enc in enumerate(channels):
+            decode_image_fast(enc, out=out[c])
+        return out, label
+
+    def decode_gpu(
+        self, blob: bytes, device: SimulatedGpu
+    ) -> tuple[np.ndarray, np.ndarray]:
+        channels, label = self._unpack(blob)
+        return k_delta_decode(device, channels), label
+
+    def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
+        blob = self.encode(data, label)
+        channels, _ = self._unpack(blob)
+        decoded_bytes = int(data.size) * 2  # FP16 tensor
+        if self.placement == "gpu":
+            gpu_seconds = estimate_delta_decode_time(channels, V100)
+            return SampleCost(
+                stored_bytes=len(blob),
+                h2d_bytes=len(blob),  # encoded form crosses the link
+                decoded_bytes=decoded_bytes,
+                cpu_preprocess_elems=0,
+                gpu_decode_seconds=gpu_seconds,
+            )
+        # The CPU decoder is leaner than the baseline's generic framework
+        # path: it emits FP16 (half the write traffic) and touches encoded
+        # bytes, not the full FP32 tensor — charged as 0.45 effective
+        # elements per value.
+        return SampleCost(
+            stored_bytes=len(blob),
+            h2d_bytes=decoded_bytes,  # FP16 tensor crosses the link
+            decoded_bytes=decoded_bytes,
+            cpu_preprocess_elems=int(0.45 * data.size),
+        )

@@ -1,0 +1,11 @@
+"""Synthetic dataset generators standing in for the paper's public data.
+
+Substitutions are documented in DESIGN.md §2: the generators reproduce the
+statistical structure each codec exploits, and the test suite asserts those
+properties (power-law value frequencies, 16-bit-indexable group counts,
+x-direction smoothness) rather than trusting them.
+"""
+
+from repro.datasets import cosmoflow, deepcam
+
+__all__ = ["cosmoflow", "deepcam"]

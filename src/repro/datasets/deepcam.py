@@ -1,0 +1,194 @@
+"""Synthetic DeepCAM-like dataset (substitute for the CAM5 climate data).
+
+The real dataset holds 16-channel 1152×768 FP32 climate snapshots
+(temperature, winds, pressure, humidity at several altitudes) with per-pixel
+segmentation masks for extreme-weather phenomena (background / tropical
+cyclone / atmospheric river).  The codec-relevant structure the paper
+identifies (§V-A, Fig. 2) is:
+
+* fields vary *smoothly along the x-direction* (latitude bands), with
+  channel-specific physical scales spanning many orders of magnitude
+  (pressure ~1e5 Pa vs humidity ~1e-2 kg/kg), and
+* abrupt transitions appear exactly at the extreme-weather phenomena the
+  model must find.
+
+The generator builds each channel as a zonal (x-smooth) base profile plus
+spectrally filtered noise that is smoother along x than along y, then
+injects cyclone-like vortices (sharp radial gradients) and elongated
+atmospheric-river filaments, writing the matching class mask as the label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DeepcamConfig",
+    "DeepcamSample",
+    "generate_sample",
+    "generate_dataset",
+    "CLASS_BACKGROUND",
+    "CLASS_CYCLONE",
+    "CLASS_RIVER",
+    "N_CLASSES",
+    "CHANNEL_SCALES",
+]
+
+CLASS_BACKGROUND = 0
+CLASS_CYCLONE = 1
+CLASS_RIVER = 2
+N_CLASSES = 3
+
+#: per-channel physical magnitude (loosely: temperatures, winds, pressures,
+#: humidities at altitudes) — the wide dynamic range stresses the codec's
+#: exponent handling exactly as the real CAM5 channels do
+CHANNEL_SCALES = np.array(
+    [
+        300.0, 280.0, 250.0, 230.0,  # temperature levels (K)
+        15.0, 12.0, 25.0, 30.0,      # wind components (m/s)
+        1.0e5, 8.5e4, 5.0e4, 2.5e4,  # pressure levels (Pa)
+        1.5e-2, 8.0e-3, 3.0e-3, 1.0e-3,  # humidity levels (kg/kg)
+    ],
+    dtype=np.float32,
+)
+
+
+@dataclass(frozen=True)
+class DeepcamConfig:
+    """Scale knobs.  Paper shape: ``DeepcamConfig(height=768, width=1152)``
+    (rows are the smooth x-direction lines the codec encodes)."""
+
+    height: int = 64
+    width: int = 96
+    n_channels: int = 16
+    n_cyclones: int = 2
+    n_rivers: int = 1
+    smooth_x: float = 6.0  # gaussian sigma along the line direction
+    smooth_y: float = 1.5  # rougher across lines
+
+    def __post_init__(self) -> None:
+        if self.height < 8 or self.width < 8:
+            raise ValueError("image too small")
+        if self.n_channels < 1:
+            raise ValueError("need at least one channel")
+        if self.n_channels > CHANNEL_SCALES.size:
+            raise ValueError(f"at most {CHANNEL_SCALES.size} channels supported")
+
+
+@dataclass
+class DeepcamSample:
+    """One sample: data[C, H, W] float32 + mask[H, W] int8 class labels."""
+
+    data: np.ndarray
+    label: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+
+def _zonal_base(H: int, W: int, rng: np.random.Generator) -> np.ndarray:
+    """Latitude-banded base profile: constant along x, smooth across y."""
+    profile = rng.normal(0.0, 1.0, size=H)
+    profile = ndimage.gaussian_filter1d(profile, sigma=max(2.0, H / 8.0))
+    return np.repeat(profile[:, None], W, axis=1)
+
+
+def _smooth_noise(
+    H: int, W: int, sx: float, sy: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Anisotropic smooth noise — smoother along x (axis 1) than y."""
+    noise = rng.normal(0.0, 1.0, size=(H, W))
+    return ndimage.gaussian_filter(noise, sigma=(sy, sx), mode="wrap")
+
+
+def _add_cyclone(
+    fields: np.ndarray, mask: np.ndarray, cy: float, cx: float, radius: float
+) -> None:
+    """Inject a vortex: sharp radial pressure drop + rotational winds."""
+    C, H, W = fields.shape
+    yy, xx = np.mgrid[0:H, 0:W].astype(np.float32)
+    dy, dx = yy - cy, xx - cx
+    r2 = dy * dy + dx * dx
+    envelope = np.exp(-r2 / (2.0 * (radius / 2.0) ** 2)).astype(np.float32)
+    core = r2 <= radius * radius
+    # pressure channels drop sharply in the core
+    for c in range(8, min(12, C)):
+        fields[c] -= 0.12 * CHANNEL_SCALES[c] * envelope
+    # wind channels gain a rotational component with abrupt shear
+    r = np.sqrt(r2) + 1e-3
+    tang = np.exp(-((r - radius / 2.0) ** 2) / (radius / 2.0) ** 2)
+    for c, comp in ((4, -dy / r), (5, dx / r), (6, -dy / r), (7, dx / r)):
+        if c < C:
+            fields[c] += 3.0 * CHANNEL_SCALES[c] * tang * comp
+    # humidity spikes in the core (values far from the channel's smooth range)
+    for c in range(12, min(16, C)):
+        fields[c] += 2.0 * CHANNEL_SCALES[c] * envelope
+    mask[core] = CLASS_CYCLONE
+
+
+def _add_river(
+    fields: np.ndarray,
+    mask: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    """Inject an elongated moisture filament (atmospheric river)."""
+    C, H, W = fields.shape
+    y0 = rng.uniform(0.2 * H, 0.8 * H)
+    slope = rng.uniform(-0.3, 0.3)
+    width = rng.uniform(0.03, 0.06) * H + 1.0
+    yy, xx = np.mgrid[0:H, 0:W].astype(np.float32)
+    center = y0 + slope * xx + 2.0 * np.sin(2 * np.pi * xx / W)
+    dist = np.abs(yy - center)
+    band = np.exp(-((dist / width) ** 2)).astype(np.float32)
+    for c in range(12, min(16, C)):
+        fields[c] += 1.5 * CHANNEL_SCALES[c] * band
+    if 4 < C:
+        fields[4] += 1.0 * CHANNEL_SCALES[4] * band
+    mask[dist < width] = CLASS_RIVER
+
+
+def generate_sample(
+    config: DeepcamConfig | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> DeepcamSample:
+    """Generate one multichannel climate snapshot with its class mask."""
+    cfg = config or DeepcamConfig()
+    rng = make_rng(seed)
+    H, W, C = cfg.height, cfg.width, cfg.n_channels
+    fields = np.empty((C, H, W), dtype=np.float32)
+    for c in range(C):
+        base = _zonal_base(H, W, rng)
+        noise = _smooth_noise(H, W, cfg.smooth_x, cfg.smooth_y, rng)
+        scale = CHANNEL_SCALES[c]
+        mean = scale if c < 12 else 0.5 * scale  # humidity non-negative-ish
+        fields[c] = mean + scale * (0.05 * base + 0.02 * noise)
+    mask = np.zeros((H, W), dtype=np.int8)
+    for _ in range(cfg.n_cyclones):
+        cy = rng.uniform(0.15 * H, 0.85 * H)
+        cx = rng.uniform(0.15 * W, 0.85 * W)
+        radius = rng.uniform(0.04, 0.08) * min(H, W) + 2.0
+        _add_cyclone(fields, mask, cy, cx, radius)
+    for _ in range(cfg.n_rivers):
+        _add_river(fields, mask, rng)
+    if C > 12:  # humidity channels are physically non-negative
+        np.clip(fields[12:16], 0.0, None, out=fields[12:16])
+    return DeepcamSample(data=fields, label=mask)
+
+
+def generate_dataset(
+    n_samples: int,
+    config: DeepcamConfig | None = None,
+    seed: int = 0,
+) -> list[DeepcamSample]:
+    """Generate ``n_samples`` independent snapshots."""
+    root = make_rng(seed)
+    return [
+        generate_sample(config, seed=make_rng(int(root.integers(0, 2**63 - 1))))
+        for _ in range(n_samples)
+    ]

@@ -1,0 +1,38 @@
+"""One module per paper exhibit; ``python -m repro.experiments`` runs them.
+
+Modules: :mod:`tables` (Tables I–II), :mod:`fig5` … :mod:`fig12`,
+:mod:`claims` (quantitative text claims).  Each exposes ``run(...)``
+returning an :class:`repro.experiments.harness.ExperimentResult`.
+"""
+
+from repro.experiments import (
+    claims,
+    config,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    harness,
+    tables,
+    time_to_accuracy,
+)
+
+__all__ = [
+    "claims",
+    "config",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "harness",
+    "tables",
+    "time_to_accuracy",
+]

@@ -1,0 +1,48 @@
+"""CLI: regenerate any paper exhibit.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments fig10      # one exhibit
+    python -m repro.experiments tables claims
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, tables,
+    time_to_accuracy,
+)
+
+_RUNNERS = {
+    "tables": lambda: [print(tables.table1().render()),
+                       print(tables.table2().render())],
+    "fig5": lambda: fig5.run(),
+    "fig6": lambda: fig6.run(),
+    "fig7": lambda: fig7.run(),
+    "fig8": lambda: fig8.run(),
+    "fig9": lambda: fig9.run(),
+    "fig10": lambda: fig10.run(),
+    "fig11": lambda: fig11.run(),
+    "fig12": lambda: fig12.run(),
+    "claims": lambda: claims.run(),
+    "tta": lambda: time_to_accuracy.run(),
+}
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or list(_RUNNERS)
+    unknown = [t for t in targets if t not in _RUNNERS]
+    if unknown:
+        print(f"unknown exhibits: {unknown}; choose from {list(_RUNNERS)}")
+        return 2
+    for t in targets:
+        _RUNNERS[t]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

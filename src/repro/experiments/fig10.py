@@ -1,0 +1,86 @@
+"""Figure 10: CosmoFlow node throughput, small set (128 samples/GPU).
+
+Base vs gzip-compressed TFRecords vs our plugin, across the three systems
+and batch sizes 1–8.  Expected shape: plugin 5–8× on Summit and 3–5× on
+Cori; gzip up to ~1.5× *slower* than base (decompression cost outweighs the
+I/O saving once the set is memory-resident).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import COSMOFLOW, GZIP_DISK_FACTOR, cosmoflow_costs
+from repro.experiments.harness import ExperimentResult
+from repro.simulate import CORI_A100, CORI_V100, SUMMIT, TrainSimConfig, simulate_node
+
+__all__ = ["run", "sweep"]
+
+BATCH_SIZES = (1, 2, 4, 8)
+
+
+def sweep(
+    machines,
+    samples_per_gpu: int,
+    batch_sizes=BATCH_SIZES,
+    staged_options=(True,),
+    epochs: int = 3,
+    sim_samples_cap: int = 48,
+) -> list[list]:
+    """Shared Fig 10/11 sweep; returns raw rows."""
+    costs = cosmoflow_costs()
+    rows = []
+    for m in machines:
+        for staged in staged_options:
+            for bs in batch_sizes:
+                tp = {}
+                for plug in ("base", "gzip", "plugin"):
+                    cfg = TrainSimConfig(
+                        machine=m, workload=COSMOFLOW, cost=costs[plug],
+                        plugin_name=plug,
+                        placement="gpu" if plug == "plugin" else "cpu",
+                        samples_per_gpu=samples_per_gpu, batch_size=bs,
+                        staged=staged,
+                        gzip_level=GZIP_DISK_FACTOR if plug == "gzip" else 0.0,
+                        epochs=epochs, sim_samples_cap=sim_samples_cap,
+                    )
+                    tp[plug] = simulate_node(cfg).node_samples_per_s
+                rows.append([
+                    m.name, "staged" if staged else "unstaged", bs,
+                    tp["base"], tp["gzip"], tp["plugin"],
+                    tp["plugin"] / tp["base"], tp["base"] / tp["gzip"],
+                ])
+    return rows
+
+
+def run(
+    machines=(SUMMIT, CORI_V100, CORI_A100),
+    samples_per_gpu: int = 128,
+    batch_sizes=BATCH_SIZES,
+    epochs: int = 3,
+    sim_samples_cap: int = 48,
+    verbose: bool = True,
+) -> ExperimentResult:
+    """Sweep the Fig 10 grid: base vs gzip vs plugin over batch sizes."""
+    res = ExperimentResult(
+        exhibit="Figure 10",
+        title="CosmoFlow throughput (samples/s per node), small set "
+              f"({samples_per_gpu} samples/GPU)",
+        headers=["system", "staging", "batch", "base", "gzip", "plugin",
+                 "plugin speedup", "gzip slowdown"],
+    )
+    res.rows = sweep(
+        machines, samples_per_gpu, batch_sizes,
+        staged_options=(True, False), epochs=epochs,
+        sim_samples_cap=sim_samples_cap,
+    )
+    by_machine: dict[str, float] = {}
+    gz_worst = 0.0
+    for row in res.rows:
+        by_machine[row[0]] = max(by_machine.get(row[0], 0.0), row[6])
+        gz_worst = max(gz_worst, row[7])
+    res.findings = {
+        **{f"max plugin speedup {k}": v for k, v in by_machine.items()},
+        "max gzip slowdown": gz_worst,
+    }
+    if verbose:
+        print(res.render())
+    return res

@@ -1,0 +1,68 @@
+"""Figure 12: CosmoFlow execution-time breakdown on Summit and Cori-V100.
+
+Small set, batch size 4.  The baseline is dominated by host-CPU
+preprocessing ("the base version underutilizes the GPU"); gzip adds
+decompression on top; the plugin removes host preprocessing, leaving the
+GPU compute (plus its sub-1% decode) as the dominant activity.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import COSMOFLOW, GZIP_DISK_FACTOR, cosmoflow_costs
+from repro.experiments.harness import ExperimentResult
+from repro.simulate import CORI_V100, SUMMIT, TrainSimConfig, simulate_node
+from repro.simulate.trace import ACTIVITIES
+
+__all__ = ["run"]
+
+
+def run(
+    machines=(SUMMIT, CORI_V100),
+    batch_size: int = 4,
+    samples_per_gpu: int = 128,
+    epochs: int = 3,
+    sim_samples_cap: int = 48,
+    verbose: bool = True,
+) -> ExperimentResult:
+    """Tabulate per-activity ms/sample and GPU utilization per variant."""
+    costs = cosmoflow_costs()
+    res = ExperimentResult(
+        exhibit="Figure 12",
+        title="CosmoFlow time breakdown per sample (ms), small set, batch 4",
+        headers=["system", "variant"] + list(ACTIVITIES),
+    )
+    findings = {}
+    for m in machines:
+        for plug in ("base", "gzip", "plugin"):
+            cfg = TrainSimConfig(
+                machine=m, workload=COSMOFLOW, cost=costs[plug],
+                plugin_name=plug,
+                placement="gpu" if plug == "plugin" else "cpu",
+                samples_per_gpu=samples_per_gpu, batch_size=batch_size,
+                staged=True,
+                gzip_level=GZIP_DISK_FACTOR if plug == "gzip" else 0.0,
+                epochs=epochs, sim_samples_cap=sim_samples_cap,
+            )
+            r = simulate_node(cfg)
+            n_samples = cfg.epochs * (sim_samples_cap // batch_size) * (
+                batch_size * m.gpus_per_node
+            )
+            per_ms = [1e3 * r.trace.total(a) / n_samples for a in ACTIVITIES]
+            res.add(m.name, plug, *per_ms)
+            cpu_ms = per_ms[ACTIVITIES.index("cpu_preprocess")]
+            gpu_ms = per_ms[ACTIVITIES.index("gpu_compute")]
+            findings[f"{m.name}/{plug} cpu/gpu ratio"] = (
+                cpu_ms / gpu_ms if gpu_ms else float("inf")
+            )
+            findings[f"{m.name}/{plug} gpu utilization"] = (
+                r.utilization["gpu"]
+            )
+            if plug == "plugin":
+                dec = per_ms[ACTIVITIES.index("gpu_decode")]
+                findings[f"{m.name} decode share of gpu time"] = dec / (
+                    dec + gpu_ms
+                )
+    res.findings = findings
+    if verbose:
+        print(res.render())
+    return res

@@ -1,0 +1,137 @@
+"""Figure 6: DeepCAM convergence — base FP32 vs decoded FP16 samples.
+
+Trains the segmentation model twice from identical initialization and an
+identical learning schedule: once fed by the baseline pipeline (raw FP32 +
+CPU normalization) and once by the decoded pipeline (differential-codec
+FP16, GPU-placed).  The paper's finding: "our decoded samples show
+identical convergence behavior to the base case."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.device import SimulatedGpu, V100
+from repro.core.plugins import DeepcamBaselinePlugin, DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.experiments.harness import ExperimentResult
+from repro.ml import SGD, Trainer, WarmupSchedule, build_deepcam
+from repro.ml.losses import softmax_cross_entropy
+from repro.pipeline import DataLoader, ListSource
+
+__all__ = ["run", "train_variant"]
+
+#: rebalancing for the rare extreme-weather classes (reference recipe)
+_CLASS_WEIGHTS = np.array([1.0, 5.0, 2.0], dtype=np.float32)
+
+
+def _loss_fn(pred, target):
+    return softmax_cross_entropy(pred, target, class_weights=_CLASS_WEIGHTS)
+
+
+def train_variant(
+    variant: str,
+    samples,
+    n_channels: int,
+    epochs: int,
+    batch_size: int,
+    base_filters: int,
+    lr: float,
+    seed: int,
+    val_samples=None,
+) -> tuple[list[float], list[float]]:
+    """Train once with the given pipeline variant.
+
+    Returns ``(step_losses, val_losses)``; validation runs once per epoch
+    through the *same* pipeline variant (the paper: "the same behavior is
+    also seen in the loss function of the validation samples").
+    """
+    if variant == "base":
+        plugin = DeepcamBaselinePlugin()
+        device = None
+    elif variant == "decoded":
+        plugin = DeepcamDeltaPlugin(placement="gpu")
+        device = SimulatedGpu(spec=V100)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    blobs = [plugin.encode(s.data, s.label) for s in samples]
+    loader = DataLoader(
+        ListSource(blobs), plugin, batch_size=batch_size, shuffle=True,
+        seed=seed, device=device,
+    )
+    val_loader = None
+    if val_samples:
+        val_blobs = [plugin.encode(s.data, s.label) for s in val_samples]
+        val_loader = DataLoader(
+            ListSource(val_blobs), plugin, batch_size=batch_size,
+            shuffle=False, device=device,
+        )
+    model = build_deepcam(
+        in_channels=n_channels, base_filters=base_filters, seed=seed
+    )
+    schedule = WarmupSchedule(base_lr=lr, warmup_steps=4)
+    optimizer = SGD(model.parameters(), schedule, momentum=0.9)
+    trainer = Trainer(model, _loss_fn, optimizer, mixed_precision=True)
+    val_losses: list[float] = []
+    for epoch in range(epochs):
+        trainer.train_epoch(loader.batches(epoch))
+        if val_loader is not None:
+            val_losses.append(trainer.evaluate(val_loader.batches(0)))
+    return trainer.history.step_losses, val_losses
+
+
+def run(
+    n_samples: int = 12,
+    epochs: int = 4,
+    batch_size: int = 2,
+    height: int = 32,
+    width: int = 48,
+    n_channels: int = 8,
+    base_filters: int = 4,
+    lr: float = 0.05,
+    seed: int = 7,
+    verbose: bool = True,
+) -> ExperimentResult:
+    """Run both variants and tabulate the training-loss trajectories."""
+    cfg = deepcam.DeepcamConfig(
+        height=height, width=width, n_channels=n_channels
+    )
+    samples = deepcam.generate_dataset(n_samples, cfg, seed=seed)
+    val_samples = deepcam.generate_dataset(
+        max(2, n_samples // 4), cfg, seed=seed + 4242
+    )
+    curves = {
+        variant: train_variant(
+            variant, samples, n_channels, epochs, batch_size,
+            base_filters, lr, seed, val_samples=val_samples,
+        )
+        for variant in ("base", "decoded")
+    }
+    res = ExperimentResult(
+        exhibit="Figure 6",
+        title="DeepCAM training loss: base (FP32) vs decoded (FP16) samples",
+        headers=["step", "loss base", "loss decoded", "abs diff"],
+    )
+    base, val_base = curves["base"]
+    dec, val_dec = curves["decoded"]
+    for i, (lb, ld) in enumerate(zip(base, dec)):
+        res.add(i, lb, ld, abs(lb - ld))
+    span = max(base) - min(base) or 1.0
+    res.findings = {
+        "final loss base": base[-1],
+        "final loss decoded": dec[-1],
+        "max |diff| / loss span": max(abs(a - b) for a, b in zip(base, dec)) / span,
+        "loss drop base": base[0] - base[-1],
+        "loss drop decoded": dec[0] - dec[-1],
+        # the paper's omitted-for-brevity validation claim; normalized by
+        # the *training* span — the validation curve itself is nearly flat
+        # at these run lengths and would make a degenerate denominator
+        "max val |diff| / train span": max(
+            abs(a - b) for a, b in zip(val_base, val_dec)
+        ) / span,
+        "final val loss base": val_base[-1],
+        "final val loss decoded": val_dec[-1],
+    }
+    if verbose:
+        print(res.render())
+    return res

@@ -1,0 +1,69 @@
+"""Figure 8: DeepCAM node throughput across systems, dataset sizes,
+staging, batch sizes, and decoder placements.
+
+Grid: {Summit, Cori-V100, Cori-A100} × {small 1536, large 12288
+samples/node} × {staged, unstaged} × batch {1, 2, 4, 8} × {base,
+cpu-plugin, gpu-plugin} — samples/s for the full node.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEEPCAM, deepcam_costs
+from repro.experiments.harness import ExperimentResult
+from repro.simulate import CORI_A100, CORI_V100, SUMMIT, TrainSimConfig, simulate_node
+
+__all__ = ["run", "DATASET_SIZES", "BATCH_SIZES"]
+
+DATASET_SIZES = {"small": 1536, "large": 12288}  # samples per node
+BATCH_SIZES = (1, 2, 4, 8)
+_PLACEMENTS = {"base": "cpu", "cpu": "cpu", "gpu": "gpu"}
+
+
+def run(
+    machines=(SUMMIT, CORI_V100, CORI_A100),
+    batch_sizes=BATCH_SIZES,
+    dataset_sizes=None,
+    epochs: int = 3,
+    sim_samples_cap: int = 48,
+    verbose: bool = True,
+) -> ExperimentResult:
+    """Sweep the full Figure 8 grid; rows are (system, dataset, staging,
+    batch) with one throughput column per plugin variant."""
+    dataset_sizes = dataset_sizes or DATASET_SIZES
+    costs = deepcam_costs()
+    res = ExperimentResult(
+        exhibit="Figure 8",
+        title="DeepCAM throughput (samples/s per node)",
+        headers=["system", "dataset", "staging", "batch",
+                 "base", "cpu plugin", "gpu plugin",
+                 "speedup cpu", "speedup gpu"],
+    )
+    best = {}
+    for m in machines:
+        for dname, node_samples in dataset_sizes.items():
+            spg = node_samples // m.gpus_per_node
+            for staged in (True, False):
+                for bs in batch_sizes:
+                    tp = {}
+                    for plug, cost in costs.items():
+                        cfg = TrainSimConfig(
+                            machine=m, workload=DEEPCAM, cost=cost,
+                            plugin_name=plug, placement=_PLACEMENTS[plug],
+                            samples_per_gpu=spg, batch_size=bs,
+                            staged=staged, epochs=epochs,
+                            sim_samples_cap=sim_samples_cap,
+                        )
+                        tp[plug] = simulate_node(cfg).node_samples_per_s
+                    su_cpu = tp["cpu"] / tp["base"]
+                    su_gpu = tp["gpu"] / tp["base"]
+                    res.add(m.name, dname, "staged" if staged else "unstaged",
+                            bs, tp["base"], tp["cpu"], tp["gpu"],
+                            su_cpu, su_gpu)
+                    key = (m.name, dname)
+                    best[key] = max(best.get(key, 0.0), su_gpu)
+    res.findings = {
+        f"max gpu-plugin speedup {m}/{d}": v for (m, d), v in best.items()
+    }
+    if verbose:
+        print(res.render())
+    return res

@@ -1,0 +1,100 @@
+"""Experiment harness: result records and plain-text table rendering.
+
+Every ``figN``/``tables`` module returns an :class:`ExperimentResult`
+holding the rows it printed, so tests can assert on the numbers and
+EXPERIMENTS.md can be regenerated from the same source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "format_table", "print_table", "render_bars"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + headline findings of one regenerated exhibit."""
+
+    exhibit: str  # e.g. "Figure 8"
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    findings: dict[str, float] = field(default_factory=dict)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.headers)} headers"
+            )
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list:
+        idx = self.headers.index(header)
+        return [r[idx] for r in self.rows]
+
+    def render(self) -> str:
+        body = format_table(self.headers, self.rows)
+        lines = [f"== {self.exhibit}: {self.title} ==", body]
+        if self.findings:
+            lines.append("-- findings --")
+            for key, val in self.findings.items():
+                lines.append(f"  {key}: {val:.3g}")
+        return "\n".join(lines)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """ASCII horizontal bar chart (terminal rendering of figure series).
+
+    Bars scale to the largest value; used by the figure harnesses to give
+    the throughput exhibits a visual shape in CI logs.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return ""
+    peak = max(values)
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, val in zip(labels, values):
+        n = int(round(width * val / peak)) if peak > 0 else 0
+        lines.append(
+            f"{str(label).ljust(label_w)}  {'#' * n}{' ' * (width - n)} "
+            f"{val:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(vals):
+        return "  ".join(str(v).ljust(w) for v, w in zip(vals, widths))
+    out = [line(headers), line("-" * w for w in widths)]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Render and print an aligned plain-text table."""
+    print(format_table(headers, rows))

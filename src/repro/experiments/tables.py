@@ -1,0 +1,60 @@
+"""Tables I and II: system architecture and software environment."""
+
+from __future__ import annotations
+
+from repro.experiments.config import TABLE2_SOFTWARE
+from repro.experiments.harness import ExperimentResult
+from repro.simulate.machine import CORI_A100, CORI_V100, SUMMIT
+
+__all__ = ["table1", "table2"]
+
+_GIB = 1024**3
+
+
+def table1() -> ExperimentResult:
+    """Regenerate Table I from the machine models the simulator runs on."""
+    res = ExperimentResult(
+        exhibit="Table I",
+        title="System architecture for evaluated systems",
+        headers=["Property", "Summit", "Cori V100", "Cori A100"],
+    )
+    machines = (SUMMIT, CORI_V100, CORI_A100)
+    res.add("Host Processor (CPU)", *(m.cpu.name for m in machines))
+    res.add("CPU Freq (GHz)", *(m.cpu.freq_ghz for m in machines))
+    res.add("Host Memory (GB)", *(int(m.host_mem_gb) for m in machines))
+    res.add("CPU-GPU Interconnect", *(m.link.name for m in machines))
+    res.add("GPU", *(m.gpu.name for m in machines))
+    res.add("GPUs per node", *(m.gpus_per_node for m in machines))
+    res.add("L2 Cache (MB)", *(m.gpu.l2_mb for m in machines))
+    res.add("SM", *(m.gpu.sm_count for m in machines))
+    res.add("Mem Capacity (GB)", *(m.gpu.mem_capacity_gb for m in machines))
+    res.add("BW to GPU Mem (TB/s)", *(m.gpu.hbm_bw_gbps / 1000 for m in machines))
+    res.add("GPU FP32 TF/s", *(m.gpu.fp32_tflops for m in machines))
+    res.add("Tensorcore TF/s", *(m.gpu.tensor_tflops for m in machines))
+    res.add("NVMe Capacity (TB)", *(m.nvme.capacity_bytes / 1e12 for m in machines))
+    res.add(
+        "NVMe Read BW (GiB/s)",
+        *(m.nvme.read_bw_gbps * 1e9 / _GIB for m in machines),
+    )
+    return res
+
+
+def table2() -> ExperimentResult:
+    """Regenerate Table II (software environment) from the recorded stack."""
+    systems = ["Summit", "CoriV100", "CoriA100"]
+    res = ExperimentResult(
+        exhibit="Table II",
+        title="Software environment for CosmoFlow and DeepCAM",
+        headers=["Component"]
+        + [f"CosmoFlow/{s}" for s in systems]
+        + [f"DeepCAM/{s}" for s in systems],
+    )
+    components = ["Framework", "torchvision", "python", "horovod", "CUDA",
+                  "CUDNN", "NCCL", "DALI", "gcc"]
+    for comp in components:
+        row = [comp]
+        for app in ("CosmoFlow", "DeepCAM"):
+            for sysname in systems:
+                row.append(TABLE2_SOFTWARE[(app, sysname)].get(comp, ""))
+        res.add(*row)
+    return res

@@ -1,0 +1,50 @@
+"""Pure-NumPy DNN framework (substitute for TensorFlow / PyTorch).
+
+Implements exactly what the convergence experiments need: conv/dense layers
+with analytic backprop, mixed precision with loss scaling, SGD/Adam with
+the reference warmup schedule, data-parallel emulation with a real ring
+allreduce, and the two benchmark models.
+"""
+
+from repro.ml import (
+    amp,
+    aspp,
+    checkpoint,
+    distributed,
+    layers,
+    losses,
+    metrics,
+    model,
+    models,
+    optim,
+    train,
+)
+from repro.ml.amp import GradScaler, autocast
+from repro.ml.model import Model, Sequential
+from repro.ml.models import build_cosmoflow, build_deepcam
+from repro.ml.optim import SGD, Adam, WarmupSchedule
+from repro.ml.train import Trainer
+
+__all__ = [
+    "amp",
+    "aspp",
+    "checkpoint",
+    "distributed",
+    "metrics",
+    "layers",
+    "losses",
+    "model",
+    "models",
+    "optim",
+    "train",
+    "GradScaler",
+    "autocast",
+    "Model",
+    "Sequential",
+    "build_cosmoflow",
+    "build_deepcam",
+    "SGD",
+    "Adam",
+    "WarmupSchedule",
+    "Trainer",
+]

@@ -1,0 +1,99 @@
+"""Automatic mixed precision (substitute for framework AMP engines).
+
+The paper relies on the frameworks' autocast: "our data-feeder plugins
+provide FP16 samples, which are compatible with the automatic mixed-
+precision engine for PyTorch and TensorFlow.  We rely on auto-casting."
+
+We reproduce the numerically meaningful parts:
+
+* under :func:`autocast`, matmul-class layers (conv, dense) cast operands
+  to FP16 and accumulate in FP32 — the tensor-core contract — and emit FP16
+  activations, while reductions and losses stay FP32;
+* master weights remain FP32 in the optimizer;
+* :class:`GradScaler` applies dynamic loss scaling so FP16 gradients do not
+  underflow, backing off on non-finite gradients exactly like the real
+  scalers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["autocast", "compute_dtype", "matmul_mixed", "GradScaler"]
+
+_STATE = {"dtype": np.float32}
+
+
+@contextlib.contextmanager
+def autocast(enabled: bool = True):
+    """Context under which matmul-class layers run in mixed precision."""
+    prev = _STATE["dtype"]
+    _STATE["dtype"] = np.float16 if enabled else np.float32
+    try:
+        yield
+    finally:
+        _STATE["dtype"] = prev
+
+
+def compute_dtype() -> np.dtype:
+    """The dtype matmul-class layers should cast their operands to."""
+    return np.dtype(_STATE["dtype"])
+
+
+def matmul_mixed(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix multiply under the active precision policy.
+
+    In FP16 mode this emulates tensor cores: operands are rounded to FP16,
+    the product accumulates in FP32, and the result is returned in FP16.
+    In FP32 mode it is a plain FP32 matmul.
+    """
+    if compute_dtype() == np.float16:
+        a16 = a.astype(np.float16, copy=False)
+        b16 = b.astype(np.float16, copy=False)
+        out = a16.astype(np.float32) @ b16.astype(np.float32)
+        return out.astype(np.float16)
+    return a.astype(np.float32, copy=False) @ b.astype(np.float32, copy=False)
+
+
+@dataclass
+class GradScaler:
+    """Dynamic loss scaling for FP16 training.
+
+    ``scale`` multiplies the loss before backward; gradients are divided
+    back before the optimizer step.  A non-finite gradient skips the step
+    and halves the scale; ``growth_interval`` clean steps double it (capped).
+    """
+
+    scale: float = 2.0**12
+    growth_factor: float = 2.0
+    backoff_factor: float = 0.5
+    growth_interval: int = 200
+    max_scale: float = 2.0**20
+    min_scale: float = 1.0
+    _good_steps: int = field(default=0, repr=False)
+
+    def scale_loss(self, loss: float) -> float:
+        return loss * self.scale
+
+    def unscale(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        inv = 1.0 / self.scale
+        return {k: g.astype(np.float32) * inv for k, g in grads.items()}
+
+    def step_ok(self, grads: dict[str, np.ndarray]) -> bool:
+        """Check gradients for inf/nan; update the scale accordingly.
+
+        Returns True when the optimizer step should be applied.
+        """
+        finite = all(np.isfinite(g).all() for g in grads.values())
+        if not finite:
+            self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+            self._good_steps = 0
+            return False
+        self._good_steps += 1
+        if self._good_steps >= self.growth_interval:
+            self.scale = min(self.scale * self.growth_factor, self.max_scale)
+            self._good_steps = 0
+        return True

@@ -1,0 +1,101 @@
+"""Atrous Spatial Pyramid Pooling (the DeepLabv3+ signature block).
+
+The paper's DeepCAM model is DeepLabv3+ — "encoder-decoder with atrous
+separable convolution".  ASPP probes the feature map with parallel atrous
+convolutions at multiple dilation rates and fuses them through a 1×1
+projection, capturing multi-scale context without losing resolution.
+This composite layer wires the branches' forward/backward by hand (concat
+gradients split by channel) and exposes the aggregate parameters through
+the standard :class:`~repro.ml.layers.Layer` interface so optimizers and
+checkpoints need no special cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Concat, Conv2d, Layer, ReLU
+from repro.util.rng import make_rng
+
+__all__ = ["ASPP"]
+
+
+class ASPP(Layer):
+    """Parallel atrous branches + 1×1 fusion.
+
+    ``rates`` are the dilation rates (DeepLabv3+ uses {1, 6, 12, 18} at
+    full scale; the reduced models default to {1, 2, 4}).  Each branch is
+    a 3×3 atrous conv (rate 1 uses a 1×1 conv, as in the original) with a
+    ReLU; branch outputs concatenate and a 1×1 conv projects back to
+    ``out_channels``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        rates: tuple[int, ...] = (1, 2, 4),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if not rates:
+            raise ValueError("need at least one dilation rate")
+        rng = make_rng(seed)
+        self.rates = tuple(rates)
+        self.branches: list[tuple[Conv2d, ReLU]] = []
+        for i, rate in enumerate(self.rates):
+            k = 1 if rate == 1 else 3
+            conv = Conv2d(
+                f"{name}.b{i}", in_channels, out_channels, k,
+                rng=int(rng.integers(0, 2**31)), dilation=rate,
+            )
+            self.branches.append((conv, ReLU(f"{name}.b{i}.relu")))
+        self.project = Conv2d(
+            f"{name}.proj", out_channels * len(self.rates), out_channels, 1,
+            rng=int(rng.integers(0, 2**31)),
+        )
+        self.proj_relu = ReLU(f"{name}.proj.relu")
+        self._branch_channels = [out_channels] * len(self.rates)
+
+    # -- parameter plumbing: delegate to the sub-layers --------------------
+
+    def _sublayers(self) -> list[Layer]:
+        subs: list[Layer] = []
+        for conv, relu in self.branches:
+            subs.extend([conv, relu])
+        subs.extend([self.project, self.proj_relu])
+        return subs
+
+    def param_items(self):
+        items = []
+        for sub in self._sublayers():
+            items.extend(sub.param_items())
+        return items
+
+    def grad_items(self):
+        grads = {}
+        for sub in self._sublayers():
+            grads.update(sub.grad_items())
+        return grads
+
+    # -- forward / backward -------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        outs = [
+            relu.forward(conv.forward(x, training), training)
+            for conv, relu in self.branches
+        ]
+        cat = Concat.forward(outs)
+        return self.proj_relu.forward(
+            self.project.forward(cat, training), training
+        )
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dcat = self.project.backward(self.proj_relu.backward(dy))
+        parts = Concat.backward(dcat, self._branch_channels)
+        dx = None
+        for (conv, relu), dpart in zip(self.branches, parts):
+            branch_dx = conv.backward(relu.backward(dpart))
+            dx = branch_dx if dx is None else dx + branch_dx
+        return dx

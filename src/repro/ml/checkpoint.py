@@ -1,0 +1,136 @@
+"""Model/optimizer checkpointing (substitute for framework checkpoints).
+
+Long MLPerf-HPC runs checkpoint and resume; this module serializes model
+parameters, optimizer slots, and the training history to a single
+self-describing file (the same header+sections layout as the sample
+container), restoring training bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml.model import Model
+from repro.ml.optim import SGD, Adam, _OptimizerBase
+
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_model"]
+
+_MAGIC = b"RPCK"
+_PREFIX = struct.Struct("<4sI")
+
+
+def _pack_arrays(arrays: dict[str, np.ndarray]) -> tuple[list[dict], bytes]:
+    metas, blobs, pos = [], [], 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        blob = arr.tobytes()
+        metas.append(
+            {
+                "name": name,
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "offset": pos,
+                "size": len(blob),
+            }
+        )
+        blobs.append(blob)
+        pos += len(blob)
+    return metas, b"".join(blobs)
+
+
+def _optimizer_state(optimizer: _OptimizerBase) -> dict[str, np.ndarray]:
+    if isinstance(optimizer, SGD):
+        return {f"velocity/{k}": v for k, v in optimizer._velocity.items()}
+    if isinstance(optimizer, Adam):
+        out = {f"m/{k}": v for k, v in optimizer._m.items()}
+        out.update({f"v/{k}": v for k, v in optimizer._v.items()})
+        return out
+    return {}
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Model,
+    optimizer: _OptimizerBase | None = None,
+    step_losses: list[float] | None = None,
+    extra: dict | None = None,
+) -> int:
+    """Write a checkpoint; returns bytes written."""
+    arrays = dict(model.parameters())
+    opt_meta: dict = {}
+    if optimizer is not None:
+        arrays.update(_optimizer_state(optimizer))
+        opt_meta = {
+            "type": type(optimizer).__name__,
+            "step_count": optimizer.step_count,
+        }
+    metas, payload = _pack_arrays(arrays)
+    header = {
+        "arrays": metas,
+        "optimizer": opt_meta,
+        "step_losses": list(step_losses or []),
+        "extra": extra or {},
+    }
+    hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    blob = _PREFIX.pack(_MAGIC, len(hdr)) + hdr + payload
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read a checkpoint; returns ``(arrays, header)``."""
+    raw = Path(path).read_bytes()
+    if len(raw) < _PREFIX.size:
+        raise ValueError("truncated checkpoint")
+    magic, hdr_len = _PREFIX.unpack_from(raw)
+    if magic != _MAGIC:
+        raise ValueError("bad checkpoint magic")
+    header = json.loads(raw[_PREFIX.size : _PREFIX.size + hdr_len].decode())
+    base = _PREFIX.size + hdr_len
+    arrays: dict[str, np.ndarray] = {}
+    for meta in header["arrays"]:
+        start = base + meta["offset"]
+        arr = np.frombuffer(
+            raw, dtype=np.dtype(meta["dtype"]), count=int(np.prod(meta["shape"]) or 1),
+            offset=start,
+        )
+        arrays[meta["name"]] = arr.reshape(meta["shape"]).copy()
+    return arrays, header
+
+
+def restore_model(
+    path: str | Path,
+    model: Model,
+    optimizer: _OptimizerBase | None = None,
+) -> dict:
+    """Load a checkpoint into an existing model (and optimizer).
+
+    Returns the checkpoint header (step losses, extra metadata).  Optimizer
+    restoration requires the same optimizer type the checkpoint was saved
+    with.
+    """
+    arrays, header = load_checkpoint(path)
+    params = {k: v for k, v in arrays.items() if "/" not in k}
+    model.load_parameters(params)
+    if optimizer is not None:
+        saved_type = header.get("optimizer", {}).get("type")
+        if saved_type and saved_type != type(optimizer).__name__:
+            raise ValueError(
+                f"checkpoint holds {saved_type} state, got "
+                f"{type(optimizer).__name__}"
+            )
+        optimizer.step_count = header.get("optimizer", {}).get(
+            "step_count", 0
+        )
+        if isinstance(optimizer, SGD):
+            for k in optimizer._velocity:
+                optimizer._velocity[k][...] = arrays[f"velocity/{k}"]
+        elif isinstance(optimizer, Adam):
+            for k in optimizer._m:
+                optimizer._m[k][...] = arrays[f"m/{k}"]
+                optimizer._v[k][...] = arrays[f"v/{k}"]
+    return header

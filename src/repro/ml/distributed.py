@@ -1,0 +1,113 @@
+"""In-process data parallelism (substitute for Horovod/NCCL).
+
+The paper's distributed training synchronizes replicas with NCCL
+allreduce.  Functionally, data parallelism is: split the global batch
+across replicas, compute local gradients, average them, apply one
+identical update everywhere.  We emulate exactly that in one process with
+a *ring allreduce* over NumPy buffers — the same reduce-scatter /
+all-gather structure NCCL uses — so tests can verify replica consistency
+and the DES can charge its time model against the same byte counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ring_allreduce", "DataParallel", "allreduce_bytes"]
+
+
+def ring_allreduce(chunks: list[np.ndarray]) -> list[np.ndarray]:
+    """Average one tensor across ``P`` ranks via ring reduce-scatter +
+    all-gather.
+
+    ``chunks[r]`` is rank *r*'s local copy.  Returns the per-rank results
+    (all equal).  The implementation really performs the 2(P−1) ring steps
+    on P segments rather than calling ``mean`` — the structure is the
+    point.
+    """
+    P = len(chunks)
+    if P == 0:
+        raise ValueError("need at least one rank")
+    if P == 1:
+        return [chunks[0].copy()]
+    shape = chunks[0].shape
+    if any(c.shape != shape for c in chunks):
+        raise ValueError("all ranks must hold identically shaped tensors")
+    flat = [c.reshape(-1).astype(np.float64).copy() for c in chunks]
+    n = flat[0].size
+    bounds = np.linspace(0, n, P + 1, dtype=np.int64)
+    seg = [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(P)]
+
+    # reduce-scatter: after P-1 steps, rank r owns the full sum of segment
+    # (r+1) mod P
+    for step in range(P - 1):
+        for r in range(P):
+            src = r
+            dst = (r + 1) % P
+            s = seg[(r - step) % P]
+            flat[dst][s] += flat[src][s]
+    # all-gather: circulate the completed segments
+    for step in range(P - 1):
+        for r in range(P):
+            dst = (r + 1) % P
+            s = seg[(r + 1 - step) % P]
+            flat[dst][s] = flat[r][s]
+    out = [(f / P).astype(chunks[0].dtype).reshape(shape) for f in flat]
+    return out
+
+
+def allreduce_bytes(n_parameters: int, dtype_size: int = 4) -> int:
+    """Bytes each rank moves in one ring allreduce (2(P−1)/P ≈ 2× data)."""
+    return 2 * n_parameters * dtype_size
+
+
+class DataParallel:
+    """P model replicas trained on split batches with averaged gradients."""
+
+    def __init__(self, build_model, n_ranks: int, seed: int = 0) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.replicas = [build_model(seed) for _ in range(n_ranks)]
+        # all replicas start from rank 0's weights (the broadcast at init)
+        state = self.replicas[0].parameters()
+        for rep in self.replicas[1:]:
+            rep.load_parameters({k: v.copy() for k, v in state.items()})
+        self.n_ranks = n_ranks
+
+    def forward_backward(
+        self, x: np.ndarray, y: np.ndarray, loss_fn
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Split the batch, run each replica, allreduce the gradients.
+
+        Returns the mean loss and the averaged gradient dict (as rank 0
+        sees it).  Batch size must be divisible by the rank count.
+        """
+        if x.shape[0] % self.n_ranks:
+            raise ValueError("global batch not divisible by rank count")
+        xs = np.split(x, self.n_ranks)
+        ys = np.split(y, self.n_ranks)
+        losses = []
+        local_grads: list[dict[str, np.ndarray]] = []
+        for rep, xi, yi in zip(self.replicas, xs, ys):
+            pred = rep.forward(xi, training=True)
+            loss, dpred = loss_fn(pred, yi)
+            rep.backward(dpred.astype(np.float32))
+            losses.append(loss)
+            local_grads.append(rep.gradients())
+        averaged: dict[str, np.ndarray] = {}
+        for name in local_grads[0]:
+            reduced = ring_allreduce([g[name] for g in local_grads])
+            averaged[name] = reduced[0]
+        return float(np.mean(losses)), averaged
+
+    def apply_update(self, optimizer_step) -> None:
+        """Apply one identical update to every replica.
+
+        ``optimizer_step(params)`` mutates a parameter dict in place; it is
+        called on rank 0 and the result broadcast — keeping replicas
+        bit-identical, which tests assert.
+        """
+        optimizer_step(self.replicas[0].parameters())
+        state = self.replicas[0].parameters()
+        for rep in self.replicas[1:]:
+            rep.load_parameters({k: v.copy() for k, v in state.items()})

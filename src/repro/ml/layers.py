@@ -1,0 +1,503 @@
+"""Neural-network layers with exact manual backprop (NumPy only).
+
+Substitute for the TensorFlow/PyTorch layer zoo the paper's models use.
+Every layer implements ``forward(x, training)`` and ``backward(dy)`` with
+analytically derived gradients (the test suite checks them against finite
+differences).  Convolutions lower to im2col + matmul — the same
+formulation CUDNN's GEMM algorithms use — so mixed precision drops in via
+:func:`repro.ml.amp.matmul_mixed`.
+
+Conventions: activations are channel-first (``[N, C, *spatial]``); conv
+layers are stride-1 with same padding and odd kernels; downsampling happens
+in pooling layers (how both benchmark models are built).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.ml.amp import compute_dtype, matmul_mixed
+from repro.util.rng import make_rng
+
+__all__ = [
+    "Layer",
+    "Conv2d",
+    "Conv3d",
+    "Dense",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "MaxPool",
+    "Upsample",
+    "Flatten",
+    "Dropout",
+    "Concat",
+]
+
+
+class Layer:
+    """Base layer: named FP32 parameters + gradient slots."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def param_items(self) -> list[tuple[str, np.ndarray]]:
+        """``(qualified_name, array)`` pairs for the optimizer."""
+        return [(f"{self.name}.{k}", v) for k, v in self.params.items()]
+
+    def grad_items(self) -> dict[str, np.ndarray]:
+        return {f"{self.name}.{k}": v for k, v in self.grads.items()}
+
+
+def _he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(np.float32)
+
+
+class _ConvNd(Layer):
+    """Shared im2col convolution machinery for 2-D and 3-D.
+
+    Supports *atrous* (dilated) kernels — DeepLabv3+'s signature operator
+    ("encoder-decoder with atrous separable convolution"): a dilation of
+    ``d`` samples the kernel taps ``d`` voxels apart while output size is
+    preserved by padding ``d·(k−1)/2``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ndim: int,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator | int | None = 0,
+        dilation: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if kernel_size % 2 != 1:
+            raise ValueError("kernel_size must be odd (same padding)")
+        if dilation < 1:
+            raise ValueError("dilation must be >= 1")
+        self.ndim = ndim
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.k = kernel_size
+        self.dilation = dilation
+        rng = make_rng(rng)
+        fan_in = in_channels * kernel_size**ndim
+        self.params["w"] = _he_init(
+            rng, (out_channels, in_channels) + (kernel_size,) * ndim, fan_in
+        )
+        self.params["b"] = np.zeros(out_channels, dtype=np.float32)
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        """[N, *spatial, Cin * k^ndim] patch matrix (spatial dims preserved)."""
+        d = self.dilation
+        ke = d * (self.k - 1) + 1  # effective (dilated) kernel extent
+        p = (ke - 1) // 2
+        pad = [(0, 0), (0, 0)] + [(p, p)] * self.ndim
+        xp = np.pad(x, pad)
+        win = sliding_window_view(xp, (ke,) * self.ndim, axis=tuple(range(2, 2 + self.ndim)))
+        if d > 1:  # keep only every d-th tap within each window axis
+            sel = (Ellipsis,) + (slice(None, None, d),) * self.ndim
+            win = win[sel]
+        # win: [N, Cin, *spatial, *k] -> [N, *spatial, Cin, *k]
+        order = (0,) + tuple(range(2, 2 + self.ndim)) + (1,) + tuple(
+            range(2 + self.ndim, 2 + 2 * self.ndim)
+        )
+        win = win.transpose(order)
+        N = x.shape[0]
+        spatial = x.shape[2:]
+        return win.reshape(N, *spatial, self.in_channels * self.k**self.ndim)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim != 2 + self.ndim or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected [N, {self.in_channels}, *spatial^{self.ndim}]"
+                f", got {x.shape}"
+            )
+        cols = self._im2col(np.ascontiguousarray(x))
+        N = x.shape[0]
+        spatial = x.shape[2:]
+        flat = cols.reshape(-1, cols.shape[-1])
+        w_mat = self.params["w"].reshape(self.out_channels, -1)
+        y = matmul_mixed(flat, w_mat.T)
+        y = y + self.params["b"].astype(y.dtype)
+        if training:
+            self._cols = flat
+            self._x_shape = x.shape
+        axes = (0, 1 + self.ndim) + tuple(range(1, 1 + self.ndim))
+        return y.reshape(N, *spatial, self.out_channels).transpose(axes)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        N = dy.shape[0]
+        # dy: [N, Cout, *spatial] -> [N*prod(spatial), Cout]
+        axes = (0,) + tuple(range(2, 2 + self.ndim)) + (1,)
+        dy_mat = (
+            dy.transpose(axes).reshape(-1, self.out_channels).astype(np.float32)
+        )
+        self.grads["w"] = (dy_mat.T @ self._cols.astype(np.float32)).reshape(
+            self.params["w"].shape
+        )
+        self.grads["b"] = dy_mat.sum(axis=0)
+        # dx: cross-correlate dy with the transposed, spatially flipped kernel
+        w = self.params["w"]
+        flip = (slice(None), slice(None)) + (slice(None, None, -1),) * self.ndim
+        w_t = np.ascontiguousarray(w[flip].transpose(
+            (1, 0) + tuple(range(2, 2 + self.ndim))
+        ))
+        dx = _cross_correlate(
+            dy.astype(np.float32), w_t, self.ndim, self.dilation
+        )
+        self._cols = None
+        return dx.reshape(self._x_shape)
+
+
+def _cross_correlate(
+    x: np.ndarray, w: np.ndarray, ndim: int, dilation: int = 1
+) -> np.ndarray:
+    """Plain FP32 same-padding cross-correlation (used for input grads)."""
+    cout, cin, k = w.shape[0], w.shape[1], w.shape[2]
+    ke = dilation * (k - 1) + 1
+    p = (ke - 1) // 2
+    pad = [(0, 0), (0, 0)] + [(p, p)] * ndim
+    xp = np.pad(x, pad)
+    win = sliding_window_view(xp, (ke,) * ndim, axis=tuple(range(2, 2 + ndim)))
+    if dilation > 1:
+        sel = (Ellipsis,) + (slice(None, None, dilation),) * ndim
+        win = win[sel]
+    order = (0,) + tuple(range(2, 2 + ndim)) + (1,) + tuple(
+        range(2 + ndim, 2 + 2 * ndim)
+    )
+    win = win.transpose(order)
+    N = x.shape[0]
+    spatial = x.shape[2:]
+    flat = win.reshape(-1, cin * k**ndim)
+    y = flat @ w.reshape(cout, -1).T.astype(np.float32)
+    axes = (0, 1 + ndim) + tuple(range(1, 1 + ndim))
+    return y.reshape(N, *spatial, cout).transpose(axes)
+
+
+class Conv2d(_ConvNd):
+    """Stride-1 same-padding 2-D convolution (DeepCAM building block).
+
+    ``dilation`` > 1 gives the atrous variant used by DeepLabv3+'s ASPP.
+    """
+
+    def __init__(self, name, in_channels, out_channels, kernel_size=3, rng=0,
+                 dilation=1):
+        super().__init__(name, 2, in_channels, out_channels, kernel_size,
+                         rng, dilation)
+
+
+class Conv3d(_ConvNd):
+    """Stride-1 same-padding 3-D convolution (CosmoFlow building block)."""
+
+    def __init__(self, name, in_channels, out_channels, kernel_size=3, rng=0,
+                 dilation=1):
+        super().__init__(name, 3, in_channels, out_channels, kernel_size,
+                         rng, dilation)
+
+
+class Dense(Layer):
+    """Fully connected layer on ``[N, features]``."""
+
+    def __init__(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | int | None = 0,
+    ) -> None:
+        super().__init__(name)
+        rng = make_rng(rng)
+        self.params["w"] = _he_init(rng, (out_features, in_features), in_features)
+        self.params["b"] = np.zeros(out_features, dtype=np.float32)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._x = x
+        y = matmul_mixed(x, self.params["w"].T)
+        return y + self.params["b"].astype(y.dtype)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dy32 = dy.astype(np.float32)
+        x32 = self._x.astype(np.float32)
+        self.grads["w"] = dy32.T @ x32
+        self.grads["b"] = dy32.sum(axis=0)
+        self._x = None
+        return dy32 @ self.params["w"]
+
+
+class ReLU(Layer):
+    """Rectified linear activation with cached sign mask."""
+
+    def __init__(self, name: str = "relu") -> None:
+        super().__init__(name)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = dy * self._mask
+        self._mask = None
+        return dx
+
+
+class LeakyReLU(Layer):
+    """ReLU with a small negative-side slope (decoder blocks)."""
+
+    def __init__(self, name: str = "lrelu", slope: float = 0.1) -> None:
+        super().__init__(name)
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, (self.slope * x).astype(x.dtype))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = np.where(self._mask, dy, (self.slope * dy).astype(dy.dtype))
+        self._mask = None
+        return dx
+
+
+class MaxPool(Layer):
+    """Factor-2 max pooling over every spatial axis (2-D or 3-D)."""
+
+    def __init__(self, name: str, ndim: int) -> None:
+        super().__init__(name)
+        self.ndim = ndim
+        self._mask: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _blocked(self, x: np.ndarray) -> np.ndarray:
+        N, C = x.shape[:2]
+        spatial = x.shape[2:]
+        if any(s % 2 for s in spatial):
+            raise ValueError(
+                f"{self.name}: spatial dims {spatial} not divisible by 2"
+            )
+        shape: list[int] = [N, C]
+        for s in spatial:
+            shape.extend([s // 2, 2])
+        return x.reshape(shape)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        blk = self._blocked(x)
+        axes = tuple(3 + 2 * i for i in range(self.ndim))
+        y = blk.max(axis=axes)
+        if training:
+            expand = y.reshape(
+                y.shape[:2]
+                + tuple(v for s in y.shape[2:] for v in (s, 1))
+            )
+            self._mask = blk == expand
+            self._x_shape = x.shape
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._x_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dy_b = dy.reshape(
+            dy.shape[:2] + tuple(v for s in dy.shape[2:] for v in (s, 1))
+        )
+        # ties: split the gradient equally among maximal positions
+        counts = self._mask.sum(
+            axis=tuple(3 + 2 * i for i in range(self.ndim)), keepdims=True
+        )
+        dx = (self._mask * (dy_b.astype(np.float32) / counts)).astype(np.float32)
+        out = dx.reshape(self._x_shape)
+        self._mask = None
+        return out
+
+
+class BatchNorm(Layer):
+    """Per-channel batch normalization with running statistics.
+
+    Normalizes over the batch and all spatial axes (channel-first layout),
+    learns ``gamma``/``beta``, and keeps running mean/var for evaluation —
+    the standard component of DeepLabv3+'s backbone.  Backward uses the
+    closed-form batch-norm gradient; finite differences verify it in the
+    test suite.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_channels: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+    ) -> None:
+        super().__init__(name)
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if not 0 < momentum <= 1:
+            raise ValueError("momentum must be in (0, 1]")
+        self.n_channels = n_channels
+        self.momentum = momentum
+        self.eps = eps
+        self.params["gamma"] = np.ones(n_channels, dtype=np.float32)
+        self.params["beta"] = np.zeros(n_channels, dtype=np.float32)
+        self.running_mean = np.zeros(n_channels, dtype=np.float32)
+        self.running_var = np.ones(n_channels, dtype=np.float32)
+        self._cache = None
+
+    def _axes(self, x: np.ndarray) -> tuple[int, ...]:
+        return (0,) + tuple(range(2, x.ndim))
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.ndim < 2 or x.shape[1] != self.n_channels:
+            raise ValueError(
+                f"{self.name}: expected [N, {self.n_channels}, ...], "
+                f"got {x.shape}"
+            )
+        axes = self._axes(x)
+        bc = (None, slice(None)) + (None,) * (x.ndim - 2)
+        x32 = x.astype(np.float32)
+        if training:
+            mean = x32.mean(axis=axes)
+            var = x32.var(axis=axes)
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x32 - mean[bc]) * inv_std[bc]
+        y = self.params["gamma"][bc] * x_hat + self.params["beta"][bc]
+        if training:
+            self._cache = (x_hat, inv_std)
+        return y.astype(x.dtype if x.dtype == np.float16 else np.float32)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x_hat, inv_std = self._cache
+        axes = self._axes(dy)
+        bc = (None, slice(None)) + (None,) * (dy.ndim - 2)
+        dy32 = dy.astype(np.float32)
+        self.grads["gamma"] = (dy32 * x_hat).sum(axis=axes)
+        self.grads["beta"] = dy32.sum(axis=axes)
+        m = dy32.size / self.n_channels
+        g = self.params["gamma"][bc] * inv_std[bc]
+        dx = g * (
+            dy32
+            - dy32.mean(axis=axes)[bc]
+            - x_hat * (dy32 * x_hat).mean(axis=axes)[bc]
+        )
+        self._cache = None
+        del m
+        return dx.astype(np.float32)
+
+
+class Upsample(Layer):
+    """Nearest-neighbour ×2 upsampling (decoder side of segmentation)."""
+
+    def __init__(self, name: str, ndim: int) -> None:
+        super().__init__(name)
+        self.ndim = ndim
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        y = x
+        for axis in range(2, 2 + self.ndim):
+            y = np.repeat(y, 2, axis=axis)
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        # adjoint of repeat: sum each 2-block
+        d = dy
+        for i in range(self.ndim):
+            axis = 2 + i
+            shape = list(d.shape)
+            shape[axis] //= 2
+            shape.insert(axis + 1, 2)
+            d = d.reshape(shape).sum(axis=axis + 1)
+        return d.astype(np.float32)
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes (conv stack → dense head)."""
+
+    def __init__(self, name: str = "flatten") -> None:
+        super().__init__(name)
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        dx = dy.reshape(self._shape)
+        self._shape = None
+        return dx
+
+
+class Dropout(Layer):
+    """Inverted dropout driven by a per-forward seed for replayability."""
+
+    def __init__(self, name: str, rate: float, seed: int = 0) -> None:
+        super().__init__(name)
+        if not 0 <= rate < 1:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = rate
+        self.seed = seed
+        self._calls = 0
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            return x
+        rng = make_rng(self.seed + self._calls)
+        self._calls += 1
+        keep = 1.0 - self.rate
+        self._mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+        return (x * self._mask).astype(x.dtype)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dy
+        dx = (dy * self._mask).astype(np.float32)
+        self._mask = None
+        return dx
+
+
+class Concat:
+    """Channel concatenation with gradient splitting (skip connections)."""
+
+    @staticmethod
+    def forward(tensors: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(tensors, axis=1)
+
+    @staticmethod
+    def backward(dy: np.ndarray, channels: Sequence[int]) -> list[np.ndarray]:
+        splits = np.cumsum(channels)[:-1]
+        return np.split(dy, splits, axis=1)

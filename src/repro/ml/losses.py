@@ -1,0 +1,66 @@
+"""Loss functions (FP32, as AMP keeps reductions in full precision)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "mae_loss", "softmax_cross_entropy", "softmax"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error; returns ``(loss, dpred)`` (CosmoFlow's loss)."""
+    pred = pred.astype(np.float32)
+    target = target.astype(np.float32)
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = (2.0 / diff.size) * diff
+    return loss, grad
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean absolute error (CosmoFlow's reported validation metric)."""
+    pred = pred.astype(np.float32)
+    target = target.astype(np.float32)
+    diff = pred - target
+    loss = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return loss, grad.astype(np.float32)
+
+
+def softmax(logits: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits.astype(np.float32)
+    z = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    class_weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Per-pixel weighted cross entropy (DeepCAM's segmentation loss).
+
+    ``logits``: ``[N, K, *spatial]``; ``labels``: integer ``[N, *spatial]``.
+    ``class_weights`` rebalances the rare extreme-weather classes, as the
+    DeepCAM reference does.  Returns ``(loss, dlogits)``.
+    """
+    K = logits.shape[1]
+    probs = softmax(logits, axis=1)
+    labels = labels.astype(np.int64)
+    if labels.min() < 0 or labels.max() >= K:
+        raise ValueError(f"labels out of range for {K} classes")
+    onehot = np.moveaxis(np.eye(K, dtype=np.float32)[labels], -1, 1)
+    if class_weights is None:
+        w = np.ones(K, dtype=np.float32)
+    else:
+        w = np.asarray(class_weights, dtype=np.float32)
+        if w.shape != (K,):
+            raise ValueError("class_weights must have one entry per class")
+    pix_w = w[labels]  # [N, *spatial]
+    total_w = float(pix_w.sum())
+    logp = np.log(np.clip(probs, 1e-12, None))
+    loss = float(-(pix_w[:, None] * onehot * logp).sum() / total_w)
+    grad = (probs - onehot) * pix_w[:, None] / total_w
+    return loss, grad.astype(np.float32)

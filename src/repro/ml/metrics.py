@@ -1,0 +1,123 @@
+"""Evaluation metrics and the time-to-accuracy synthesis.
+
+§VIII frames the evaluation: "the time to accuracy is a function of the
+number of epochs required for convergence and the time to perform a single
+epoch," intertwining statistical efficiency (epochs to target) with
+hardware/runtime efficiency (samples/s).  This module provides both halves:
+task metrics (per-class IoU/recall for DeepCAM segmentation, MAE for
+CosmoFlow regression) and the combinator that turns a loss curve plus a
+throughput into a time-to-accuracy estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "iou_per_class",
+    "pixel_recall",
+    "mean_absolute_error",
+    "epochs_to_target",
+    "TimeToAccuracy",
+    "time_to_accuracy",
+]
+
+
+def confusion_matrix(
+    pred: np.ndarray, target: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``[n_classes, n_classes]`` counts, rows = target, cols = prediction."""
+    pred = np.asarray(pred).reshape(-1).astype(np.int64)
+    target = np.asarray(target).reshape(-1).astype(np.int64)
+    if pred.shape != target.shape:
+        raise ValueError("pred and target must have the same size")
+    if pred.size and (pred.min() < 0 or pred.max() >= n_classes):
+        raise ValueError("prediction class out of range")
+    if target.size and (target.min() < 0 or target.max() >= n_classes):
+        raise ValueError("target class out of range")
+    idx = target * n_classes + pred
+    return np.bincount(idx, minlength=n_classes * n_classes).reshape(
+        n_classes, n_classes
+    )
+
+
+def iou_per_class(cm: np.ndarray) -> np.ndarray:
+    """Intersection-over-union per class from a confusion matrix.
+
+    Classes absent from both prediction and target score NaN (undefined).
+    """
+    tp = np.diag(cm).astype(np.float64)
+    denom = cm.sum(axis=0) + cm.sum(axis=1) - tp
+    with np.errstate(invalid="ignore", divide="ignore"):
+        iou = tp / denom
+    return np.where(denom > 0, iou, np.nan)
+
+
+def pixel_recall(cm: np.ndarray) -> np.ndarray:
+    """Per-class recall (true-positive rate) from a confusion matrix."""
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rec = tp / support
+    return np.where(support > 0, rec, np.nan)
+
+
+def mean_absolute_error(pred: np.ndarray, target: np.ndarray) -> float:
+    """MAE over all components (the CosmoFlow target metric)."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError("pred and target must have the same shape")
+    return float(np.mean(np.abs(pred - target)))
+
+
+def epochs_to_target(losses: list[float], target: float) -> int | None:
+    """First epoch index (1-based count) whose loss reaches ``target``.
+
+    None when the run never gets there — a failed convergence under MLPerf
+    rules.
+    """
+    for i, loss in enumerate(losses):
+        if loss <= target:
+            return i + 1
+    return None
+
+
+@dataclass(frozen=True)
+class TimeToAccuracy:
+    """One variant's time-to-accuracy decomposition."""
+
+    epochs: int
+    seconds_per_epoch: float
+
+    @property
+    def seconds(self) -> float:
+        return self.epochs * self.seconds_per_epoch
+
+
+def time_to_accuracy(
+    losses: list[float],
+    target_loss: float,
+    samples_per_epoch: int,
+    throughput_samples_per_s: float,
+) -> TimeToAccuracy | None:
+    """Combine statistical and hardware efficiency (§VIII).
+
+    ``losses`` is the per-epoch loss curve of a variant; throughput comes
+    from the measured/modeled pipeline.  Returns None when the target is
+    never reached.
+    """
+    if throughput_samples_per_s <= 0:
+        raise ValueError("throughput must be positive")
+    if samples_per_epoch <= 0:
+        raise ValueError("samples_per_epoch must be positive")
+    epochs = epochs_to_target(losses, target_loss)
+    if epochs is None:
+        return None
+    return TimeToAccuracy(
+        epochs=epochs,
+        seconds_per_epoch=samples_per_epoch / throughput_samples_per_s,
+    )

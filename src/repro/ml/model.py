@@ -1,0 +1,67 @@
+"""Model containers: a sequential chain plus the parameter plumbing the
+optimizer and the data-parallel emulation need."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Layer
+
+__all__ = ["Sequential", "Model"]
+
+
+class Model:
+    """Base model: parameter/gradient dictionaries over named layers."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        names = [l.name for l in layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names: {names}")
+        self.layers = layers
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            out.update(dict(layer.param_items()))
+        return out
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            out.update(layer.grad_items())
+        return out
+
+    def n_parameters(self) -> int:
+        return sum(int(p.size) for p in self.parameters().values())
+
+    def load_parameters(self, state: dict[str, np.ndarray]) -> None:
+        """Copy values into the model's arrays (shape-checked)."""
+        own = self.parameters()
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters: {sorted(missing)}")
+        for name, p in own.items():
+            src = state[name]
+            if src.shape != p.shape:
+                raise ValueError(f"shape mismatch for {name}")
+            p[...] = src
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Sequential(Model):
+    """Plain layer chain (CosmoFlow's architecture is sequential)."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy

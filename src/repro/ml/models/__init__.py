@@ -1,0 +1,6 @@
+"""The two benchmark models: CosmoFlow 3-D CNN and DeepCAM segmentation."""
+
+from repro.ml.models.cosmoflow import build_cosmoflow
+from repro.ml.models.deepcam import DeepcamUnet, build_deepcam
+
+__all__ = ["build_cosmoflow", "build_deepcam", "DeepcamUnet"]

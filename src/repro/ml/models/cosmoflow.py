@@ -1,0 +1,67 @@
+"""CosmoFlow network (scaled-down reproduction of the MLPerf model).
+
+The reference architecture is five 3-D convolutional layers (each followed
+by max pooling) and three fully connected layers, regressing the four
+cosmological parameters.  We keep that topology, parameterized so the
+default fits a 4×32³ synthetic sample on one CPU core; widths and depth
+scale up to the paper's shape unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Conv3d, Dense, Dropout, Flatten, MaxPool, ReLU
+from repro.ml.model import Sequential
+from repro.util.rng import make_rng
+
+__all__ = ["build_cosmoflow"]
+
+
+def build_cosmoflow(
+    grid: int = 32,
+    in_channels: int = 4,
+    n_conv_layers: int = 5,
+    base_filters: int = 4,
+    n_outputs: int = 4,
+    dense_units: tuple[int, int] = (64, 32),
+    dropout: float = 0.0,
+    seed: int = 0,
+) -> Sequential:
+    """Build the 3-D CNN.  Each conv block halves the spatial extent.
+
+    ``n_conv_layers`` is clamped so pooling never drops below 1³ — the
+    paper's five layers require ``grid >= 32``.
+    """
+    max_layers = int(np.log2(grid))
+    n_conv = min(n_conv_layers, max_layers)
+    if n_conv < 1:
+        raise ValueError("grid too small for one conv+pool block")
+    rng = make_rng(seed)
+    layers = []
+    cin = in_channels
+    size = grid
+    for i in range(n_conv):
+        cout = base_filters * (2**i)
+        layers.append(
+            Conv3d(f"conv{i + 1}", cin, cout, kernel_size=3,
+                   rng=int(rng.integers(0, 2**31)))
+        )
+        layers.append(ReLU(f"relu{i + 1}"))
+        layers.append(MaxPool(f"pool{i + 1}", ndim=3))
+        cin = cout
+        size //= 2
+    layers.append(Flatten("flatten"))
+    feat = cin * size**3
+    for j, units in enumerate(dense_units):
+        layers.append(
+            Dense(f"dense{j + 1}", feat, units, rng=int(rng.integers(0, 2**31)))
+        )
+        layers.append(ReLU(f"drelu{j + 1}"))
+        if dropout:
+            layers.append(Dropout(f"drop{j + 1}", dropout, seed=seed + j))
+        feat = units
+    layers.append(
+        Dense("head", feat, n_outputs, rng=int(rng.integers(0, 2**31)))
+    )
+    return Sequential(layers)

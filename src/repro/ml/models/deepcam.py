@@ -1,0 +1,125 @@
+"""DeepCAM segmentation network (scaled-down DeepLabv3+ stand-in).
+
+The reference model is DeepLabv3+ semantic segmentation over 16-channel
+climate images.  We reproduce the essential encoder-decoder-with-skips
+topology at a size one CPU core can train: two down-sampling encoder
+stages, a dilated-free bottleneck, and a decoder that upsamples and fuses
+encoder features before a 1×1 classification head — per-pixel logits over
+{background, tropical cyclone, atmospheric river}.
+
+The skip wiring makes this a hand-rolled graph rather than a
+:class:`Sequential`; forward caches what backward needs and gradients flow
+through the concats by channel splitting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.aspp import ASPP
+from repro.ml.layers import Concat, Conv2d, MaxPool, ReLU, Upsample
+from repro.ml.model import Model
+from repro.util.rng import make_rng
+
+__all__ = ["DeepcamUnet", "build_deepcam"]
+
+
+class DeepcamUnet(Model):
+    """Encoder–decoder segmentation network with two skip connections."""
+
+    def __init__(
+        self,
+        in_channels: int = 16,
+        n_classes: int = 3,
+        base_filters: int = 8,
+        seed: int = 0,
+        use_aspp: bool = False,
+        aspp_rates: tuple[int, ...] = (1, 2, 4),
+    ) -> None:
+        rng = make_rng(seed)
+        F = base_filters
+
+        def _seed() -> int:
+            return int(rng.integers(0, 2**31))
+
+        self.conv1 = Conv2d("enc1", in_channels, F, 3, rng=_seed())
+        self.relu1 = ReLU("relu1")
+        self.pool1 = MaxPool("pool1", ndim=2)
+        self.conv2 = Conv2d("enc2", F, 2 * F, 3, rng=_seed())
+        self.relu2 = ReLU("relu2")
+        self.pool2 = MaxPool("pool2", ndim=2)
+        self.use_aspp = use_aspp
+        if use_aspp:
+            # DeepLabv3+'s multi-rate atrous bottleneck
+            self.conv3 = ASPP("mid", 2 * F, 4 * F, rates=aspp_rates,
+                              seed=_seed())
+            self.relu3 = ReLU("relu3")  # ASPP already ends in a ReLU;
+            # keep the slot for uniform wiring (ReLU is idempotent on
+            # non-negative input)
+        else:
+            self.conv3 = Conv2d("mid", 2 * F, 4 * F, 3, rng=_seed())
+            self.relu3 = ReLU("relu3")
+        self.up1 = Upsample("up1", ndim=2)
+        self.conv4 = Conv2d("dec1", 4 * F + 2 * F, 2 * F, 3, rng=_seed())
+        self.relu4 = ReLU("relu4")
+        self.up2 = Upsample("up2", ndim=2)
+        self.conv5 = Conv2d("dec2", 2 * F + F, F, 3, rng=_seed())
+        self.relu5 = ReLU("relu5")
+        self.head = Conv2d("head", F, n_classes, 1, rng=_seed())
+        super().__init__(
+            [
+                self.conv1, self.relu1, self.pool1,
+                self.conv2, self.relu2, self.pool2,
+                self.conv3, self.relu3, self.up1,
+                self.conv4, self.relu4, self.up2,
+                self.conv5, self.relu5, self.head,
+            ]
+        )
+        self.base_filters = F
+        self._skip_channels: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        e1 = self.relu1.forward(self.conv1.forward(x, training), training)
+        p1 = self.pool1.forward(e1, training)
+        e2 = self.relu2.forward(self.conv2.forward(p1, training), training)
+        p2 = self.pool2.forward(e2, training)
+        m = self.relu3.forward(self.conv3.forward(p2, training), training)
+        u1 = self.up1.forward(m, training)
+        c1 = Concat.forward([u1, e2])
+        d1 = self.relu4.forward(self.conv4.forward(c1, training), training)
+        u2 = self.up2.forward(d1, training)
+        c2 = Concat.forward([u2, e1])
+        d2 = self.relu5.forward(self.conv5.forward(c2, training), training)
+        self._skip_channels = (u1.shape[1], e2.shape[1])
+        self._skip_channels2 = (u2.shape[1], e1.shape[1])
+        return self.head.forward(d2, training)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        dd2 = self.head.backward(dy)
+        dc2 = self.conv5.backward(self.relu5.backward(dd2))
+        du2, de1_skip = Concat.backward(dc2, self._skip_channels2)
+        dd1 = self.up2.backward(du2)
+        dc1 = self.conv4.backward(self.relu4.backward(dd1))
+        du1, de2_skip = Concat.backward(dc1, self._skip_channels)
+        dm = self.up1.backward(du1)
+        dp2 = self.conv3.backward(self.relu3.backward(dm))
+        de2 = self.pool2.backward(dp2) + de2_skip
+        dp1 = self.conv2.backward(self.relu2.backward(de2))
+        de1 = self.pool1.backward(dp1) + de1_skip
+        return self.conv1.backward(self.relu1.backward(de1))
+
+
+def build_deepcam(
+    in_channels: int = 16,
+    n_classes: int = 3,
+    base_filters: int = 8,
+    seed: int = 0,
+    use_aspp: bool = False,
+) -> DeepcamUnet:
+    """Factory mirroring :func:`repro.ml.models.cosmoflow.build_cosmoflow`.
+
+    ``use_aspp=True`` swaps the bottleneck conv for DeepLabv3+'s atrous
+    spatial pyramid pooling block.
+    """
+    return DeepcamUnet(in_channels, n_classes, base_filters, seed,
+                       use_aspp=use_aspp)

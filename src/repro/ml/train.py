@@ -1,0 +1,171 @@
+"""Training loop with mixed precision and loss history.
+
+Reproduces the experimental protocol of §VIII: fixed learning schedule and
+optimizer across sample types, mixed-precision compute with auto-casting,
+and a recorded per-step training-loss curve — the quantity Figures 6 and 7
+plot for base vs decoded samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.ml.amp import GradScaler, autocast
+from repro.ml.model import Model
+from repro.ml.optim import _OptimizerBase
+
+__all__ = ["Trainer", "TrainHistory", "FitResult"]
+
+LossFn = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class TrainHistory:
+    """Per-step loss trace plus per-epoch means."""
+
+    step_losses: list[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    skipped_steps: int = 0
+
+    def record_epoch(self, first_step: int) -> None:
+        epoch = self.step_losses[first_step:]
+        if epoch:
+            self.epoch_losses.append(float(np.mean(epoch)))
+
+
+@dataclass
+class FitResult:
+    """Outcome of :meth:`Trainer.fit`."""
+
+    epochs_run: int
+    best_epoch: int
+    best_score: float
+    train_losses: list[float]
+    val_losses: list[float]
+
+
+class Trainer:
+    """Couples a model, loss, optimizer and (optionally) AMP.
+
+    ``mixed_precision=True`` runs forward/backward under autocast with
+    dynamic loss scaling; master weights stay FP32 in the optimizer either
+    way.  The data loader decides the *input* precision — that is the
+    paper's experimental variable (FP32 base vs FP16 decoded samples).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        loss_fn: LossFn,
+        optimizer: _OptimizerBase,
+        mixed_precision: bool = True,
+        scaler: GradScaler | None = None,
+    ) -> None:
+        self.model = model
+        self.loss_fn = loss_fn
+        self.optimizer = optimizer
+        self.mixed_precision = mixed_precision
+        self.scaler = scaler or GradScaler()
+        self.history = TrainHistory()
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One optimizer step on a batch; returns the (unscaled) loss."""
+        with autocast(self.mixed_precision):
+            pred = self.model.forward(x, training=True)
+        loss, dpred = self.loss_fn(pred, y)
+        if self.mixed_precision:
+            dpred = dpred * np.float32(self.scaler.scale)
+            with autocast(True):
+                self.model.backward(dpred)
+            grads = self.scaler.unscale(self.model.gradients())
+            if self.scaler.step_ok(grads):
+                self.optimizer.step(grads)
+            else:
+                self.history.skipped_steps += 1
+        else:
+            self.model.backward(dpred.astype(np.float32))
+            self.optimizer.step(self.model.gradients())
+        self.history.step_losses.append(loss)
+        return loss
+
+    def train_epoch(self, batches: Iterable[tuple[np.ndarray, np.ndarray]]) -> float:
+        """Run one epoch; returns its mean loss."""
+        first = len(self.history.step_losses)
+        for x, y in batches:
+            self.train_step(x, y)
+        self.history.record_epoch(first)
+        return self.history.epoch_losses[-1]
+
+    def evaluate(
+        self, batches: Iterable[tuple[np.ndarray, np.ndarray]]
+    ) -> float:
+        """Mean loss over batches without parameter updates."""
+        losses = []
+        for x, y in batches:
+            with autocast(self.mixed_precision):
+                pred = self.model.forward(x, training=False)
+            loss, _ = self.loss_fn(pred, y)
+            losses.append(loss)
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def fit(
+        self,
+        train_loader,
+        epochs: int,
+        val_loader=None,
+        patience: int | None = None,
+        checkpoint_path: str | Path | None = None,
+    ) -> "FitResult":
+        """Full training driver: epochs, validation, early stop, checkpoint.
+
+        ``train_loader``/``val_loader`` are :class:`repro.pipeline.DataLoader`
+        instances (anything with ``batches(epoch)`` works).  With
+        ``patience`` set, training stops after that many epochs without a
+        new best validation loss; with ``checkpoint_path`` set, the best
+        state (by validation loss, or training loss when no validation
+        loader is given) is saved there and restored before returning —
+        the usual MLPerf run-to-target loop.
+        """
+        from repro.ml.checkpoint import restore_model, save_checkpoint
+
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1")
+        best = float("inf")
+        best_epoch = -1
+        val_losses: list[float] = []
+        since_best = 0
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(train_loader.batches(epoch))
+            score = train_loss
+            if val_loader is not None:
+                score = self.evaluate(val_loader.batches(0))
+                val_losses.append(score)
+            if score < best - 1e-12:
+                best = score
+                best_epoch = epoch
+                since_best = 0
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path, self.model, self.optimizer,
+                        step_losses=self.history.step_losses,
+                        extra={"epoch": epoch, "score": score},
+                    )
+            else:
+                since_best += 1
+                if patience is not None and since_best >= patience:
+                    break
+        if checkpoint_path is not None and best_epoch >= 0:
+            restore_model(checkpoint_path, self.model, self.optimizer)
+        return FitResult(
+            epochs_run=epoch + 1,
+            best_epoch=best_epoch,
+            best_score=best,
+            train_losses=list(self.history.epoch_losses),
+            val_losses=val_losses,
+        )

@@ -1,0 +1,31 @@
+"""Data-loading pipeline (the NVIDIA DALI analogue).
+
+``sources`` feed encoded blobs, ``ops`` transform them (decode plugins,
+augmentation), ``graph.Pipeline`` chains ops with per-stage timing,
+``executor.PrefetchExecutor`` overlaps preparation with consumption, and
+``loader.DataLoader`` is the framework-facing facade.
+"""
+
+from repro.pipeline import executor, graph, loader, ops, sources
+from repro.pipeline.loader import DataLoader
+from repro.pipeline.sources import (
+    CachedSource,
+    ListSource,
+    SampleSource,
+    TfRecordSource,
+    TierSource,
+)
+
+__all__ = [
+    "executor",
+    "graph",
+    "loader",
+    "ops",
+    "sources",
+    "DataLoader",
+    "CachedSource",
+    "ListSource",
+    "SampleSource",
+    "TfRecordSource",
+    "TierSource",
+]

@@ -1,0 +1,127 @@
+"""Threaded prefetch executor.
+
+DALI's value is overlapping sample preparation with training compute; this
+executor reproduces that with worker threads pulling indices from a work
+queue and a bounded, *order-preserving* output buffer (determinism matters:
+the convergence experiments must be replayable bit-for-bit).  NumPy releases
+the GIL inside the heavy decode kernels, so threads genuinely overlap even
+on CPython.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, Sequence
+
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.ops import PipelineItem
+
+__all__ = ["PrefetchExecutor"]
+
+_SENTINEL = object()
+
+
+class PrefetchExecutor:
+    """Run a pipeline over an index sequence with prefetching workers.
+
+    Parameters
+    ----------
+    pipeline:
+        The operator chain (shared across workers; operators must be
+        thread-safe, which the provided ones are — decode creates fresh
+        arrays per item).
+    num_workers:
+        Worker threads.  ``0`` runs synchronously in the caller's thread
+        (useful for debugging and for the time-attribution runs, where
+        overlap would muddy per-stage numbers).
+    prefetch_depth:
+        Bound on completed-but-unconsumed items, limiting memory exactly
+        like DALI's queue depth.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        num_workers: int = 2,
+        prefetch_depth: int = 4,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
+        self.pipeline = pipeline
+        self.num_workers = num_workers
+        self.prefetch_depth = prefetch_depth
+
+    def run(self, indices: Sequence[int], epoch: int = 0) -> Iterator[PipelineItem]:
+        """Yield processed items in the order of ``indices``."""
+        if self.num_workers == 0:
+            for idx in indices:
+                yield self.pipeline.run(idx, epoch)
+            return
+        yield from self._run_threaded(list(indices), epoch)
+
+    def _run_threaded(self, indices: list[int], epoch: int) -> Iterator[PipelineItem]:
+        work: queue.Queue = queue.Queue()
+        done: dict[int, PipelineItem | Exception] = {}
+        done_lock = threading.Condition()
+        # Admission window: workers may run at most prefetch_depth ahead of
+        # the consumer, bounding memory.
+        window = threading.Semaphore(self.prefetch_depth)
+
+        for pos, idx in enumerate(indices):
+            work.put((pos, idx))
+        for _ in range(self.num_workers):
+            work.put(_SENTINEL)
+
+        def worker() -> None:
+            while True:
+                # Acquire the admission slot BEFORE taking a task: slots
+                # then always belong to the oldest pending tasks, so the
+                # consumer (which frees a slot per consumed item) can never
+                # be stranded waiting on a task no slot remains for.
+                window.acquire()
+                task = work.get()
+                if task is _SENTINEL:
+                    window.release()
+                    return
+                pos, idx = task
+                try:
+                    result: PipelineItem | Exception = self.pipeline.run(idx, epoch)
+                except Exception as exc:  # propagate to the consumer
+                    result = exc
+                with done_lock:
+                    done[pos] = result
+                    done_lock.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(self.num_workers)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for pos in range(len(indices)):
+                with done_lock:
+                    while pos not in done:
+                        done_lock.wait()
+                    result = done.pop(pos)
+                window.release()
+                if isinstance(result, Exception):
+                    raise result
+                yield result
+        finally:
+            # Early close: drain pending tasks, then unblock every worker —
+            # whether parked on the admission semaphore or on the work
+            # queue — with a sentinel + slot each.
+            try:
+                while True:
+                    work.get_nowait()
+            except queue.Empty:
+                pass
+            for _ in range(self.num_workers):
+                work.put(_SENTINEL)
+                window.release()
+            for t in threads:
+                t.join(timeout=5.0)

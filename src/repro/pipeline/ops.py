@@ -1,0 +1,142 @@
+"""Pipeline operators (the DALI operator analogue).
+
+An operator transforms a :class:`PipelineItem` in place.  The standard
+chain is ``Read → Decode(plugin) → [Augment] → [LabelTransform]``; batching
+is handled by the loader.  Every operator runs under the pipeline's
+stopwatch so stage-level time attribution (Figures 9 and 12) is available
+from functional runs, not only from the performance model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.accel.device import SimulatedGpu
+from repro.core.plugins.base import SamplePlugin
+from repro.pipeline.sources import SampleSource
+
+__all__ = [
+    "PipelineItem",
+    "Op",
+    "ReadOp",
+    "DecodeOp",
+    "RandomFlipOp",
+    "LabelTransformOp",
+    "CastOp",
+]
+
+
+@dataclass
+class PipelineItem:
+    """State threaded through the operator chain for one sample."""
+
+    index: int
+    blob: bytes | None = None
+    tensor: np.ndarray | None = None
+    label: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+
+class Op(abc.ABC):
+    """One pipeline stage."""
+
+    #: stage name used for time attribution
+    name: str = "op"
+
+    @abc.abstractmethod
+    def __call__(self, item: PipelineItem) -> PipelineItem: ...
+
+
+class ReadOp(Op):
+    """Fetch the container bytes for the item's index from a source."""
+
+    name = "read"
+
+    def __init__(self, source: SampleSource) -> None:
+        self.source = source
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        item.blob = self.source.read(item.index)
+        item.meta["stored_bytes"] = len(item.blob)
+        return item
+
+
+class DecodeOp(Op):
+    """Decode via a plugin, on CPU or the simulated GPU."""
+
+    name = "decode"
+
+    def __init__(
+        self, plugin: SamplePlugin, device: SimulatedGpu | None = None
+    ) -> None:
+        self.plugin = plugin
+        self.device = device
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        if item.blob is None:
+            raise ValueError("DecodeOp requires a ReadOp upstream")
+        item.tensor, item.label = self.plugin.decode(item.blob, self.device)
+        item.blob = None  # free the encoded form
+        return item
+
+
+class RandomFlipOp(Op):
+    """Horizontal flip augmentation (DeepCAM-style), seeded per item.
+
+    The flip is a view, not a copy — cheap on CPU, and the seed derives
+    from (epoch, index) so reruns are bit-identical.
+    """
+
+    name = "augment"
+
+    def __init__(self, probability: float = 0.5, flip_label: bool = True) -> None:
+        if not 0 <= probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+        self.flip_label = flip_label
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        if item.tensor is None:
+            raise ValueError("RandomFlipOp requires a decoded tensor")
+        epoch = item.meta.get("epoch", 0)
+        rng = np.random.default_rng((epoch << 32) ^ item.index)
+        if rng.random() < self.probability:
+            item.tensor = item.tensor[..., ::-1]
+            if self.flip_label and item.label is not None and item.label.ndim >= 2:
+                item.label = item.label[..., ::-1]
+            item.meta["flipped"] = True
+        return item
+
+
+class LabelTransformOp(Op):
+    """Apply a function to the label (e.g. CosmoFlow parameter scaling)."""
+
+    name = "label"
+
+    def __init__(self, func: Callable[[np.ndarray], np.ndarray]) -> None:
+        self.func = func
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        if item.label is None:
+            raise ValueError("LabelTransformOp requires a label")
+        item.label = self.func(item.label)
+        return item
+
+
+class CastOp(Op):
+    """Cast the tensor dtype (e.g. FP16 → FP32 for an FP32-only model)."""
+
+    name = "cast"
+
+    def __init__(self, dtype) -> None:
+        self.dtype = np.dtype(dtype)
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        if item.tensor is None:
+            raise ValueError("CastOp requires a decoded tensor")
+        item.tensor = item.tensor.astype(self.dtype, copy=False)
+        return item

@@ -1,0 +1,97 @@
+"""Sample sources: where encoded blobs come from.
+
+A source maps a sample index to its container bytes.  Implementations wrap
+in-memory lists (tests), storage tiers (staged/unstaged experiments),
+record files (CosmoFlow's TFRecord-style storage), and an LRU-caching
+decorator that realizes Figure 1's "cache the training set in the nearest
+memory level that fits" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.storage.cache import SampleCache
+from repro.storage.filesystem import Tier
+from repro.storage.tfrecord import build_index, read_record_at
+
+__all__ = [
+    "SampleSource",
+    "ListSource",
+    "TierSource",
+    "TfRecordSource",
+    "CachedSource",
+]
+
+
+@runtime_checkable
+class SampleSource(Protocol):
+    """Index → container bytes."""
+
+    def __len__(self) -> int: ...
+
+    def read(self, index: int) -> bytes: ...
+
+
+class ListSource:
+    """In-memory blobs — the simplest source, used throughout the tests."""
+
+    def __init__(self, blobs: list[bytes]) -> None:
+        self._blobs = list(blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def read(self, index: int) -> bytes:
+        return self._blobs[index]
+
+
+class TierSource:
+    """One file per sample on a storage tier (HDF5-per-sample layout)."""
+
+    def __init__(self, tier: Tier, names: list[str]) -> None:
+        self.tier = tier
+        self.names = list(names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def read(self, index: int) -> bytes:
+        return self.tier.read(self.names[index])
+
+
+class TfRecordSource:
+    """Random-access reader over an uncompressed record file."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._index = build_index(path)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def read(self, index: int) -> bytes:
+        offset, length = self._index[index]
+        return read_record_at(self.path, offset, length)
+
+
+class CachedSource:
+    """LRU host-memory cache in front of any source.
+
+    Smaller encoded samples ⇒ more of them fit ⇒ higher hit rate — the
+    compression-enables-caching effect the paper's optimization relies on.
+    """
+
+    def __init__(self, inner: SampleSource, cache: SampleCache) -> None:
+        self.inner = inner
+        self.cache = cache
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def read(self, index: int) -> bytes:
+        blob = self.cache.get(index)
+        if blob is None:
+            blob = self.inner.read(index)
+            self.cache.put(index, blob)
+        return blob

@@ -1,0 +1,26 @@
+"""Discrete-event performance model of the evaluated HPC systems."""
+
+from repro.simulate import events, machine, trace, trainsim
+from repro.simulate.machine import CORI_A100, CORI_V100, MACHINES, SUMMIT, MachineSpec
+from repro.simulate.trainsim import (
+    TrainSimConfig,
+    TrainSimResult,
+    WorkloadSpec,
+    simulate_node,
+)
+
+__all__ = [
+    "events",
+    "machine",
+    "trace",
+    "trainsim",
+    "MachineSpec",
+    "MACHINES",
+    "SUMMIT",
+    "CORI_V100",
+    "CORI_A100",
+    "TrainSimConfig",
+    "TrainSimResult",
+    "WorkloadSpec",
+    "simulate_node",
+]

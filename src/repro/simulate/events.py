@@ -1,0 +1,224 @@
+"""Minimal discrete-event simulation engine (simpy-like, deterministic).
+
+The performance experiments replay a training node's pipeline — storage
+fetch, CPU preprocessing, host→device transfer, GPU compute, allreduce —
+as communicating processes over shared resources.  This module provides
+the engine: an event heap, generator-based processes, timeouts, FIFO
+resources, bounded stores, and barriers.
+
+Everything is deterministic: ties break on a monotone sequence number, so
+a simulation is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+__all__ = ["Environment", "Event", "Process", "Resource", "Store", "Barrier"]
+
+
+class Event:
+    """An occurrence processes can wait on."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        #: value determined and the event is on the heap
+        self.triggered = False
+        #: the event's scheduled time has passed and callbacks have fired
+        self.processed = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self)
+        return self
+
+
+class Process(Event):
+    """Drives a generator that yields events; itself an event that
+    triggers (with the generator's return value) on completion."""
+
+    def __init__(self, env: "Environment", gen: Generator) -> None:
+        super().__init__(env)
+        self._gen = gen
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            nxt = self._gen.send(trigger.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(nxt, Event):
+            raise TypeError(f"process yielded {type(nxt).__name__}, not an Event")
+        if nxt.processed:
+            # already fired in the past: resume on the next scheduling round
+            chain = Event(self.env)
+            chain.callbacks.append(self._resume)
+            chain.value = nxt.value
+            chain.triggered = True
+            self.env._schedule(chain)
+        else:
+            nxt.callbacks.append(self._resume)
+
+
+class Environment:
+    """Event loop: schedule, timeout, process, run."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event triggering ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        ev = Event(self)
+        ev.triggered = True
+        ev.value = value
+        self._schedule(ev, delay)
+        return ev
+
+    def process(self, gen: Generator) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> None:
+        """Execute events until the heap drains or ``until`` is reached."""
+        while self._heap:
+            t, _, event = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = t
+            event.processed = True
+            for cb in event.callbacks:
+                cb(event)
+            event.callbacks = []
+        if until is not None:
+            self.now = max(self.now, until)
+
+
+class Resource:
+    """FIFO resource with integer capacity (CPU pool, link, GPU).
+
+    ``busy_time`` accumulates slot-seconds of held time, so
+    ``utilization(now)`` reports how loaded the resource ran — the raw
+    material of the breakdown figures' "who is the bottleneck" question.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self.busy_time = 0.0
+        self._waiters: list[Event] = []
+
+    def request(self) -> Event:
+        """Event that triggers when a slot is granted."""
+        ev = Event(self.env)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use == 0:
+            raise RuntimeError("release without acquire")
+        if self._waiters:
+            nxt = self._waiters.pop(0)
+            nxt.succeed()  # slot transfers to the next waiter
+        else:
+            self.in_use -= 1
+
+    def acquire(self, hold: float):
+        """Process helper: request, hold for ``hold`` seconds, release."""
+
+        def _gen():
+            yield self.request()
+            yield self.env.timeout(hold)
+            self.busy_time += hold
+            self.release()
+
+        return _gen()
+
+    def utilization(self, now: float) -> float:
+        """Fraction of capacity-time spent busy up to ``now``."""
+        if now <= 0:
+            return 0.0
+        return self.busy_time / (self.capacity * now)
+
+
+class Store:
+    """Bounded FIFO queue between producer and consumer processes."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._put_waiters: list[tuple[Event, Any]] = []
+        self._get_waiters: list[Event] = []
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.env)
+        if self._get_waiters:
+            getter = self._get_waiters.pop(0)
+            getter.succeed(item)
+            ev.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._put_waiters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.pop(0))
+            if self._put_waiters:
+                put_ev, item = self._put_waiters.pop(0)
+                self._items.append(item)
+                put_ev.succeed()
+        else:
+            self._get_waiters.append(ev)
+        return ev
+
+
+class Barrier:
+    """N-party synchronization (the allreduce rendezvous)."""
+
+    def __init__(self, env: Environment, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.env = env
+        self.parties = parties
+        self._arrived: list[Event] = []
+
+    def wait(self) -> Event:
+        ev = Event(self.env)
+        self._arrived.append(ev)
+        if len(self._arrived) == self.parties:
+            batch, self._arrived = self._arrived, []
+            for waiter in batch:
+                waiter.succeed()
+        return ev

@@ -1,0 +1,156 @@
+"""Machine models for the three evaluated systems (paper Table I).
+
+Each :class:`MachineSpec` aggregates the node-level parameters the
+performance model needs: GPU spec, CPU→GPU link, host CPU preprocessing
+capability, host memory, node-local NVMe, and shared-file-system bandwidth.
+GPU/NVMe numbers come straight from Table I; link curves from the §IX-A
+measurements; PFS per-node bandwidths and CPU per-element preprocessing
+rates are calibration constants documented in DESIGN.md §5 (chosen once,
+shared by every experiment).
+
+Note: Table I lists NVMe capacity 1.0 TB for Summit and 1.6 TB for
+Cori-V100 while the prose swaps them; we follow the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.device import A100, V100, GpuSpec
+from repro.accel.transfer import NVLINK, PCIE3, PCIE4, LinkSpec
+from repro.storage.filesystem import TierSpec
+
+__all__ = ["CpuSpec", "MachineSpec", "SUMMIT", "CORI_V100", "CORI_A100", "MACHINES"]
+
+_GIB = 1024**3
+_TB = 1e12
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host-CPU preprocessing capability.
+
+    ``speed_factor`` scales workload-declared per-element preprocessing
+    costs (1.0 = Cori Xeon reference; Summit's P9 software stack measured
+    slower in the paper); ``decompress_mbps`` is the per-core gunzip rate;
+    ``loader_cores_per_gpu`` how many cores the framework's data workers
+    get per GPU.
+    """
+
+    name: str
+    cores: int
+    freq_ghz: float
+    speed_factor: float
+    decompress_mbps: float
+    loader_cores_per_gpu: int
+    mem_bw_gbps: float
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One compute node of an evaluated system."""
+
+    name: str
+    gpu: GpuSpec
+    gpus_per_node: int
+    link: LinkSpec
+    cpu: CpuSpec
+    host_mem_gb: float
+    nvme: TierSpec
+    pfs: TierSpec
+    #: GPU↔GPU fabric for the allreduce ring (NVLink on all three systems)
+    gpu_fabric_gbps: float = 45.0
+    #: node-to-node interconnect bandwidth (InfiniBand EDR rails, aggregate
+    #: per node) — used by the multi-node scaling extension
+    internode_bw_gbps: float = 25.0
+    #: fraction of host memory usable as a sample cache (framework runtime,
+    #: model replicas, pinned buffers and the OS take the rest)
+    cache_fraction: float = 0.45
+    #: achieved fraction of nominal GPU throughput for this system's
+    #: software stack (the paper finds Summit's stack less optimized, and
+    #: A100 tensor cores harder to saturate at these model sizes)
+    gpu_sw_efficiency: float = 1.0
+
+    @property
+    def cache_bytes(self) -> float:
+        return self.host_mem_gb * 1e9 * self.cache_fraction
+
+
+SUMMIT = MachineSpec(
+    name="Summit",
+    gpu=V100,
+    gpus_per_node=6,
+    link=NVLINK,
+    cpu=CpuSpec(
+        name="IBM P9",
+        cores=42,
+        freq_ghz=3.1,
+        # the paper finds Summit's host software stack noticeably slower
+        # ("the ability of host processor to process the software stack …
+        # appears to be lower for Summit")
+        speed_factor=1.7,
+        decompress_mbps=38.0,
+        loader_cores_per_gpu=4,
+        mem_bw_gbps=135.0,
+    ),
+    host_mem_gb=512.0,
+    nvme=TierSpec("summit-nvme", read_bw_gbps=5.5 * _GIB / 1e9,
+                  write_bw_gbps=2.1, latency_s=80e-6,
+                  capacity_bytes=1.0 * _TB),
+    pfs=TierSpec("alpine-gpfs", read_bw_gbps=0.7, write_bw_gbps=0.7,
+                 latency_s=10e-3),
+    gpu_sw_efficiency=0.8,
+    internode_bw_gbps=25.0,  # two dual-rail EDR NICs
+)
+
+CORI_V100 = MachineSpec(
+    name="Cori-V100",
+    gpu=V100,
+    gpus_per_node=8,
+    link=PCIE3,
+    cpu=CpuSpec(
+        name="Intel Xeon Gold 6148",
+        cores=40,
+        freq_ghz=2.4,
+        speed_factor=1.0,
+        decompress_mbps=55.0,
+        loader_cores_per_gpu=4,
+        mem_bw_gbps=128.0,
+    ),
+    host_mem_gb=384.0,
+    nvme=TierSpec("coriv100-nvme", read_bw_gbps=3.2 * _GIB / 1e9,
+                  write_bw_gbps=1.8,
+                  latency_s=90e-6, capacity_bytes=1.6 * _TB),
+    pfs=TierSpec("cori-lustre", read_bw_gbps=0.4, write_bw_gbps=0.4,
+                 latency_s=12e-3),
+    internode_bw_gbps=50.0,  # four dual-rail EDR NICs
+)
+
+CORI_A100 = MachineSpec(
+    name="Cori-A100",
+    gpu=A100,
+    gpus_per_node=8,
+    link=PCIE4,
+    cpu=CpuSpec(
+        name="AMD EPYC 7742",
+        cores=128,
+        freq_ghz=2.25,
+        speed_factor=0.95,
+        decompress_mbps=55.0,
+        loader_cores_per_gpu=8,
+        mem_bw_gbps=205.0,
+    ),
+    host_mem_gb=1056.0,
+    nvme=TierSpec("coria100-nvme", read_bw_gbps=24.3 * _GIB / 1e9,
+                  write_bw_gbps=9.0, latency_s=60e-6,
+                  capacity_bytes=15.4 * _TB),
+    pfs=TierSpec("cori-lustre", read_bw_gbps=0.4, write_bw_gbps=0.4,
+                 latency_s=12e-3),
+    gpu_fabric_gbps=60.0,
+    gpu_sw_efficiency=0.8,
+    internode_bw_gbps=50.0,
+)
+
+MACHINES: dict[str, MachineSpec] = {
+    m.name: m for m in (SUMMIT, CORI_V100, CORI_A100)
+}

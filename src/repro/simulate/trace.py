@@ -1,0 +1,104 @@
+"""Timeline traces and activity breakdowns (Figures 9 and 12).
+
+The training-node simulation records an interval for every activity —
+storage read, CPU preprocessing, H2D copy, GPU decode, GPU compute,
+allreduce wait + transfer — attributed to a GPU (or the host).  The
+breakdown figures are per-activity time shares over the steady-state
+portion of the run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["Interval", "Trace", "ACTIVITIES"]
+
+#: canonical activity names, grouped as the paper's breakdown plots do
+ACTIVITIES = (
+    "storage_read",
+    "cpu_preprocess",
+    "h2d_copy",
+    "gpu_decode",
+    "gpu_compute",
+    "allreduce",
+    "sync_wait",
+)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One activity occurrence on one timeline."""
+
+    activity: str
+    gpu: int  # -1 for node-level/host activities
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Accumulated intervals for one simulation run."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(self, activity: str, gpu: int, start: float, end: float) -> None:
+        if activity not in ACTIVITIES:
+            raise ValueError(f"unknown activity {activity!r}")
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append(Interval(activity, gpu, start, end))
+
+    def total(self, activity: str, gpu: int | None = None) -> float:
+        """Summed duration of one activity (optionally one GPU)."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if iv.activity == activity and (gpu is None or iv.gpu == gpu)
+        )
+
+    def breakdown(self, gpu: int | None = None) -> dict[str, float]:
+        """Seconds per activity, in canonical order."""
+        return {a: self.total(a, gpu) for a in ACTIVITIES}
+
+    def breakdown_shares(self, gpu: int | None = None) -> dict[str, float]:
+        """Fraction of accounted time per activity."""
+        b = self.breakdown(gpu)
+        total = sum(b.values())
+        if total == 0:
+            return {a: 0.0 for a in ACTIVITIES}
+        return {a: v / total for a, v in b.items()}
+
+    def to_json(self, path: str | Path) -> int:
+        """Export intervals as a Chrome-traceable JSON list; returns count.
+
+        Each record: ``{"activity", "gpu", "start", "end"}`` — loadable
+        into any timeline viewer or pandas for inspection.
+        """
+        records = [asdict(iv) for iv in self.intervals]
+        Path(path).write_text(json.dumps(records, separators=(",", ":")))
+        return len(records)
+
+    def to_csv(self, path: str | Path) -> int:
+        """Export intervals as CSV with a header row; returns count."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["activity", "gpu", "start", "end"])
+            for iv in self.intervals:
+                writer.writerow([iv.activity, iv.gpu, iv.start, iv.end])
+        return len(self.intervals)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        records = json.loads(Path(path).read_text())
+        trace = cls()
+        for r in records:
+            trace.record(r["activity"], r["gpu"], r["start"], r["end"])
+        return trace

@@ -1,0 +1,83 @@
+"""Host-memory sample cache with byte-capacity LRU eviction.
+
+Figure 1's key observation: whether steps ①/② repeat every epoch depends on
+whether the per-node dataset fits in the tier.  "Reducing the input sample
+size, for instance through compression, enables caching more samples in the
+host CPU memory" — this cache is that mechanism.  It is used both by the
+functional pipeline (real blobs) and, through its hit/miss statistics, by
+the performance model to decide which tier a sample is served from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["SampleCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting across the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SampleCache:
+    """LRU cache keyed by sample id, bounded by total payload bytes."""
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[object, bytes] = OrderedDict()
+        self.used_bytes = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object) -> bytes | None:
+        """Look up a sample, refreshing its recency.  None on miss."""
+        blob = self._entries.get(key)
+        if blob is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return blob
+
+    def put(self, key: object, blob: bytes) -> bool:
+        """Insert a sample, evicting LRU entries to make room.
+
+        Returns False (and caches nothing) when the blob alone exceeds
+        capacity — oversized samples simply stream every epoch, as they do
+        on the real systems.
+        """
+        size = len(blob)
+        if size > self.capacity_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used_bytes -= len(old)
+        while self.used_bytes + size > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.used_bytes -= len(evicted)
+            self.stats.evictions += 1
+        self._entries[key] = blob
+        self.used_bytes += size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0

@@ -1,0 +1,96 @@
+"""Storage-tier model (substitute for GPFS/Lustre + node-local NVMe).
+
+Figure 1 of the paper tracks a sample's migration path: shared parallel
+file system → node NVMe → host memory → device memory.  The performance
+model needs each tier's bandwidth and latency; the functional pipeline
+needs real files.  This module defines the tier abstraction used by both:
+:class:`TierSpec` carries the performance parameters (paper Table I for the
+NVMe rows; interconnect-attached PFS bandwidths chosen per system), and
+:class:`Tier` binds a spec to an on-disk directory for functional runs.
+
+Bandwidths are *per node* and shared by all GPUs on the node — the paper's
+point that "the NVMe node bandwidth is 3.2 GB/s shared across 8 GPU" on
+Cori-V100 is exactly this accounting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["TierSpec", "Tier", "read_time", "write_time"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance parameters of one storage/memory tier."""
+
+    name: str
+    read_bw_gbps: float  # GB/s, whole-node aggregate
+    write_bw_gbps: float
+    latency_s: float  # per-access latency (seek / RPC)
+    capacity_bytes: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.read_bw_gbps <= 0 or self.write_bw_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+
+def read_time(spec: TierSpec, nbytes: int) -> float:
+    """Seconds to read ``nbytes`` from a tier (full-bandwidth share)."""
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    return spec.latency_s + nbytes / (spec.read_bw_gbps * 1e9)
+
+
+def write_time(spec: TierSpec, nbytes: int) -> float:
+    """Seconds to write ``nbytes`` to a tier."""
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    return spec.latency_s + nbytes / (spec.write_bw_gbps * 1e9)
+
+
+class Tier:
+    """A tier spec bound to a real directory for functional pipelines.
+
+    Tracks used capacity so staging onto a small NVMe fails the same way it
+    would on the machine.
+    """
+
+    def __init__(self, spec: TierSpec, root: str | os.PathLike) -> None:
+        self.spec = spec
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, name: str) -> Path:
+        p = (self.root / name).resolve()
+        if self.root.resolve() not in p.parents and p != self.root.resolve():
+            raise ValueError(f"path {name!r} escapes the tier root")
+        return p
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(
+            f.stat().st_size for f in self.root.rglob("*") if f.is_file()
+        )
+
+    def has_room(self, nbytes: int) -> bool:
+        return self.used_bytes + nbytes <= self.spec.capacity_bytes
+
+    def write(self, name: str, data: bytes) -> Path:
+        """Write a blob, enforcing the tier's capacity."""
+        if not self.has_room(len(data)):
+            raise OSError(
+                f"tier {self.spec.name!r} out of capacity "
+                f"({self.used_bytes} + {len(data)} > {self.spec.capacity_bytes})"
+            )
+        p = self.path(name)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_bytes(data)
+        return p
+
+    def read(self, name: str) -> bytes:
+        return self.path(name).read_bytes()

@@ -1,0 +1,94 @@
+"""Minimal HDF5-like container (substitute for the CAM5 HDF5 files).
+
+The real DeepCAM dataset ships one HDF5 file per sample holding named
+datasets (``climate/data``, ``climate/labels``).  We reproduce the role —
+multiple named n-dimensional arrays per file with independent partial
+reads — with a simple self-describing layout:
+
+    b"H5LT" | u32 header_len | JSON header | dataset payloads
+
+The JSON header records each dataset's name, dtype, shape, and byte
+offset/size, so a reader can ``seek`` straight to one dataset without
+touching the others (what HDF5's chunk index provides).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_file", "read_dataset", "read_all", "list_datasets"]
+
+_MAGIC = b"H5LT"
+_PREFIX = struct.Struct("<4sI")
+
+
+def write_file(path: str | Path, datasets: dict[str, np.ndarray]) -> int:
+    """Write named arrays to ``path``; returns total bytes written."""
+    if not datasets:
+        raise ValueError("at least one dataset required")
+    header: dict = {"datasets": {}}
+    blobs: list[bytes] = []
+    pos = 0
+    for name, arr in datasets.items():
+        arr = np.ascontiguousarray(arr)
+        blob = arr.tobytes()
+        header["datasets"][name] = {
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+            "offset": pos,
+            "size": len(blob),
+        }
+        blobs.append(blob)
+        pos += len(blob)
+    hdr = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    out = b"".join([_PREFIX.pack(_MAGIC, len(hdr)), hdr] + blobs)
+    Path(path).write_bytes(out)
+    return len(out)
+
+
+def _read_header(fh) -> tuple[dict, int]:
+    prefix = fh.read(_PREFIX.size)
+    if len(prefix) < _PREFIX.size:
+        raise ValueError("truncated hdf5lite file")
+    magic, hdr_len = _PREFIX.unpack(prefix)
+    if magic != _MAGIC:
+        raise ValueError("bad hdf5lite magic")
+    header = json.loads(fh.read(hdr_len).decode("utf-8"))
+    return header, _PREFIX.size + hdr_len
+
+
+def list_datasets(path: str | Path) -> list[str]:
+    """Dataset names stored in the file."""
+    with open(path, "rb") as fh:
+        header, _ = _read_header(fh)
+    return list(header["datasets"])
+
+
+def read_dataset(path: str | Path, name: str) -> np.ndarray:
+    """Read one dataset, seeking past the others (partial read)."""
+    with open(path, "rb") as fh:
+        header, base = _read_header(fh)
+        meta = header["datasets"].get(name)
+        if meta is None:
+            raise KeyError(f"dataset {name!r} not in file")
+        fh.seek(base + meta["offset"])
+        raw = fh.read(meta["size"])
+    arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+    return arr.reshape(meta["shape"]).copy()
+
+
+def read_all(path: str | Path) -> dict[str, np.ndarray]:
+    """Read every dataset in the file."""
+    with open(path, "rb") as fh:
+        header, base = _read_header(fh)
+        out = {}
+        for name, meta in header["datasets"].items():
+            fh.seek(base + meta["offset"])
+            raw = fh.read(meta["size"])
+            arr = np.frombuffer(raw, dtype=np.dtype(meta["dtype"]))
+            out[name] = arr.reshape(meta["shape"]).copy()
+    return out

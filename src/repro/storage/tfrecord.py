@@ -1,0 +1,139 @@
+"""TFRecord-like record files (substitute for TensorFlow's TFRecord).
+
+The CosmoFlow benchmark stores decomposed samples in TFRecord files, and
+its standard distribution offers a gzip-compressed variant meant to dampen
+the well-known CosmoFlow I/O bottleneck (paper §IV, §IX-B).  We reproduce
+both: length-prefixed CRC-checked records, either plain or behind
+whole-file gzip — and, faithfully, the gzip variant supports only
+*sequential* access (no random seeks into a compressed stream), which is
+why the loader needs a shuffle buffer for it.
+
+Record framing (little-endian), mirroring TFRecord's::
+
+    u64 length | u32 crc32(length bytes) | payload | u32 crc32(payload)
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["TfRecordWriter", "read_records", "iter_records", "build_index", "read_record_at"]
+
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class TfRecordWriter:
+    """Sequential record writer, optionally gzip-compressed.
+
+    Use as a context manager::
+
+        with TfRecordWriter(path, compression="gzip") as w:
+            w.write(blob)
+    """
+
+    def __init__(self, path: str | Path, compression: str | None = None) -> None:
+        if compression not in (None, "gzip"):
+            raise ValueError("compression must be None or 'gzip'")
+        self.path = Path(path)
+        self.compression = compression
+        if compression == "gzip":
+            self._fh = gzip.open(self.path, "wb", compresslevel=6)
+        else:
+            self._fh = open(self.path, "wb")
+        self.n_records = 0
+
+    def write(self, payload: bytes) -> None:
+        length = _LEN.pack(len(payload))
+        self._fh.write(length)
+        self._fh.write(_CRC.pack(_crc(length)))
+        self._fh.write(payload)
+        self._fh.write(_CRC.pack(_crc(payload)))
+        self.n_records += 1
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TfRecordWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _read_one(fh) -> bytes | None:
+    head = fh.read(_LEN.size)
+    if not head:
+        return None
+    if len(head) < _LEN.size:
+        raise ValueError("truncated record length")
+    (length,) = _LEN.unpack(head)
+    (len_crc,) = _CRC.unpack(fh.read(_CRC.size))
+    if len_crc != _crc(head):
+        raise ValueError("record length CRC mismatch")
+    payload = fh.read(length)
+    if len(payload) < length:
+        raise ValueError("truncated record payload")
+    (pay_crc,) = _CRC.unpack(fh.read(_CRC.size))
+    if pay_crc != _crc(payload):
+        raise ValueError("record payload CRC mismatch")
+    return payload
+
+
+def iter_records(
+    path: str | Path, compression: str | None = None
+) -> Iterator[bytes]:
+    """Stream records sequentially (the only mode gzip permits)."""
+    opener = gzip.open if compression == "gzip" else open
+    with opener(path, "rb") as fh:
+        while True:
+            payload = _read_one(fh)
+            if payload is None:
+                return
+            yield payload
+
+
+def read_records(path: str | Path, compression: str | None = None) -> list[bytes]:
+    """Read every record into memory."""
+    return list(iter_records(path, compression))
+
+
+def build_index(path: str | Path) -> list[tuple[int, int]]:
+    """Byte offsets/sizes of each record in an *uncompressed* file.
+
+    Enables random access for shuffled training.  Raises for gzip files —
+    matching the real limitation that motivates shuffle buffers.
+    """
+    with open(path, "rb") as fh:
+        if fh.read(2) == b"\x1f\x8b":
+            raise ValueError("cannot random-access a gzip-compressed record file")
+        fh.seek(0)
+        index = []
+        pos = 0
+        while True:
+            head = fh.read(_LEN.size)
+            if not head:
+                return index
+            (length,) = _LEN.unpack(head)
+            fh.seek(_CRC.size, 1)
+            index.append((pos + _LEN.size + _CRC.size, length))
+            fh.seek(length + _CRC.size, 1)
+            pos += _LEN.size + 2 * _CRC.size + length
+
+
+def read_record_at(path: str | Path, offset: int, length: int) -> bytes:
+    """Random-access read of one record located by :func:`build_index`."""
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        payload = fh.read(length)
+    if len(payload) < length:
+        raise ValueError("truncated record payload")
+    return payload

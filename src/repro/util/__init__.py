@@ -1,0 +1,25 @@
+"""Low-level utilities shared across the repro package.
+
+Contains vectorized bit-packing helpers, floating-point field
+decomposition/composition used by the differential codec, a deterministic
+RNG helper, and lightweight timing utilities.
+"""
+
+from repro.util.bitpack import pack_uint, unpack_uint
+from repro.util.fp16 import (
+    compose_float32,
+    decompose_float32,
+    quantize_magnitude,
+    dequantize_magnitude,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "pack_uint",
+    "unpack_uint",
+    "compose_float32",
+    "decompose_float32",
+    "quantize_magnitude",
+    "dequantize_magnitude",
+    "make_rng",
+]

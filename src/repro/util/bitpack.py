@@ -1,0 +1,106 @@
+"""Vectorized packing of small unsigned integers into byte streams.
+
+The differential codec stores sub-byte fields (sign, exponent offset,
+mantissa) inside single bytes; the lookup-table codec stores 1- or 2-byte
+keys.  These helpers keep all packing fully vectorized — no Python-level
+per-element loops — following the NumPy idiom of operating on whole arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_uint", "unpack_uint", "pack_fields", "unpack_fields"]
+
+
+def pack_uint(values: np.ndarray, width: int) -> bytes:
+    """Pack an array of unsigned integers into little-endian bytes.
+
+    Parameters
+    ----------
+    values:
+        Array of non-negative integers, each fitting in ``width`` bytes.
+    width:
+        Bytes per value; must be 1, 2, 4 or 8.
+
+    Returns
+    -------
+    bytes
+        ``len(values) * width`` bytes.
+    """
+    if width not in (1, 2, 4, 8):
+        raise ValueError(f"unsupported key width {width}")
+    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[width]
+    arr = np.asarray(values)
+    if arr.size and arr.min() < 0:
+        raise ValueError("pack_uint requires non-negative values")
+    limit = int(2 ** (8 * width))
+    if arr.size and int(arr.max()) >= limit:
+        raise ValueError(f"value {int(arr.max())} does not fit in {width} byte(s)")
+    return np.ascontiguousarray(arr, dtype=np.dtype(dtype).newbyteorder("<")).tobytes()
+
+
+def unpack_uint(data: bytes, width: int, count: int | None = None) -> np.ndarray:
+    """Inverse of :func:`pack_uint`.
+
+    Parameters
+    ----------
+    data:
+        Byte string produced by :func:`pack_uint`.
+    width:
+        Bytes per value.
+    count:
+        Optional number of leading values to read; defaults to all.
+    """
+    if width not in (1, 2, 4, 8):
+        raise ValueError(f"unsupported key width {width}")
+    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[width]
+    n = len(data) // width if count is None else count
+    out = np.frombuffer(data, dtype=np.dtype(dtype).newbyteorder("<"), count=n)
+    return out.astype(dtype, copy=False)
+
+
+def pack_fields(
+    sign: np.ndarray,
+    eoff: np.ndarray,
+    mant: np.ndarray,
+    mantissa_bits: int = 4,
+) -> np.ndarray:
+    """Pack (sign, exponent-offset, mantissa) triples into single bytes.
+
+    Layout (MSB first): 1 sign bit | ``7 - mantissa_bits`` exponent-offset
+    bits | ``mantissa_bits`` mantissa bits.  The paper's DeepCAM codec
+    (§V-A) uses the default 1/3/4 split; the split is configurable for the
+    precision-vs-window ablation study.
+    """
+    if not 1 <= mantissa_bits <= 6:
+        raise ValueError("mantissa_bits must be in [1, 6]")
+    eoff_bits = 7 - mantissa_bits
+    eoff_max = (1 << eoff_bits) - 1
+    mant_max = (1 << mantissa_bits) - 1
+    sign = np.asarray(sign, dtype=np.uint8)
+    eoff = np.asarray(eoff, dtype=np.uint8)
+    mant = np.asarray(mant, dtype=np.uint8)
+    if eoff.size and int(eoff.max()) > eoff_max:
+        raise ValueError(f"exponent offset exceeds {eoff_bits} bits")
+    if mant.size and int(mant.max()) > mant_max:
+        raise ValueError(f"mantissa exceeds {mantissa_bits} bits")
+    return (
+        ((sign & 1) << np.uint8(7))
+        | ((eoff & np.uint8(eoff_max)) << np.uint8(mantissa_bits))
+        | (mant & np.uint8(mant_max))
+    )
+
+
+def unpack_fields(
+    packed: np.ndarray, mantissa_bits: int = 4
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_fields`; returns ``(sign, eoff, mant)``."""
+    if not 1 <= mantissa_bits <= 6:
+        raise ValueError("mantissa_bits must be in [1, 6]")
+    eoff_bits = 7 - mantissa_bits
+    packed = np.asarray(packed, dtype=np.uint8)
+    sign = packed >> np.uint8(7)
+    eoff = (packed >> np.uint8(mantissa_bits)) & np.uint8((1 << eoff_bits) - 1)
+    mant = packed & np.uint8((1 << mantissa_bits) - 1)
+    return sign, eoff, mant

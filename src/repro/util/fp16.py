@@ -1,0 +1,127 @@
+"""Floating-point field manipulation for the differential codec.
+
+The DeepCAM codec (paper §V-A) encodes the *difference* between neighbouring
+values as an 8-bit quantity: 1 sign bit, a 3-bit exponent offset relative to
+the segment's minimum exponent, and a 4-bit mantissa.  These helpers perform
+the decomposition ``|d| = (1 + m/16) * 2**E`` and its inverse, fully
+vectorized.  Decoding performs "software emulated addition" in FP32 and emits
+FP16, mirroring the paper's decoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "decompose_float32",
+    "compose_float32",
+    "quantize_magnitude",
+    "dequantize_magnitude",
+    "MANTISSA_BITS",
+    "EXPONENT_OFFSET_BITS",
+]
+
+#: mantissa bits kept per difference (paper: "We use 4 bits for the mantissa")
+MANTISSA_BITS = 4
+#: exponent-offset bits per difference (paper: "defined by an arbitrary
+#: number of bits, 3 in our case")
+EXPONENT_OFFSET_BITS = 3
+
+
+def decompose_float32(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose finite float32 values into (sign, exponent, fraction).
+
+    Returns ``sign`` (0/1 uint8), ``E`` (int32 unbiased exponent such that
+    ``|x| = (1+f) * 2**E`` with ``f in [0, 1)``), and ``f`` (float32).  For
+    ``x == 0`` the exponent is reported as the minimum int32 sentinel and the
+    fraction as 0 — callers treat zeros specially.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    sign = (np.signbit(x)).astype(np.uint8)
+    mag = np.abs(x)
+    # frexp: mag = m * 2**e with m in [0.5, 1)  =>  mag = (2m) * 2**(e-1)
+    m, e = np.frexp(mag)
+    E = (e - 1).astype(np.int32)
+    f = (2.0 * m - 1.0).astype(np.float32)
+    zero = mag == 0
+    E = np.where(zero, np.int32(np.iinfo(np.int32).min), E)
+    f = np.where(zero, np.float32(0.0), f)
+    return sign, E, f
+
+
+def compose_float32(sign: np.ndarray, E: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`decompose_float32` for non-zero values.
+
+    ``x = (-1)**sign * (1 + f) * 2**E``.  Entries with the zero sentinel
+    exponent compose to 0.0.
+    """
+    E = np.asarray(E, dtype=np.int32)
+    zero = E == np.iinfo(np.int32).min
+    # ldexp saturates gracefully for large exponents; clamp sentinel first.
+    safe_E = np.where(zero, np.int32(0), E)
+    mag = np.ldexp((1.0 + np.asarray(f, dtype=np.float32)), safe_E).astype(np.float32)
+    mag = np.where(zero, np.float32(0.0), mag)
+    out = np.where(np.asarray(sign, dtype=np.uint8) == 1, -mag, mag)
+    return out.astype(np.float32)
+
+
+def quantize_magnitude(
+    x: np.ndarray,
+    emin: np.ndarray | int,
+    mantissa_bits: int = MANTISSA_BITS,
+    eoff_bits: int = EXPONENT_OFFSET_BITS,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize magnitudes onto the codec grid relative to ``emin``.
+
+    Returns ``(sign, eoff, mant)`` with ``eoff`` in ``[0, 2**eoff_bits-1]``
+    and ``mant`` in ``[0, 2**mantissa_bits-1]``.  Values must already
+    satisfy the segment invariant that their exponent lies in the window
+    above ``emin`` (rounding may carry the exponent up by one; a carry out
+    of the top bin clamps to the largest representable magnitude).  Zeros
+    map to the reserved all-zero byte ``(0, 0, 0)`` and exact ``+2**emin``
+    is nudged to mantissa 1 so the all-zero byte stays unambiguous (see
+    paper's "special encoding" for similar neighbouring values).
+    """
+    x = np.asarray(x, dtype=np.float32)
+    sign, E, f = decompose_float32(x)
+    zero = E == np.iinfo(np.int32).min
+    mant = np.rint(f * (1 << mantissa_bits)).astype(np.int32)
+    carry = mant == (1 << mantissa_bits)
+    mant = np.where(carry, 0, mant)
+    E = np.where(carry, E + 1, E)
+    eoff = E - np.asarray(emin, dtype=np.int32)
+    # Clamp a rounding carry that escaped the top exponent bin.
+    overflow = eoff > (1 << eoff_bits) - 1
+    eoff = np.where(overflow, (1 << eoff_bits) - 1, eoff)
+    mant = np.where(overflow, (1 << mantissa_bits) - 1, mant)
+    if np.any(eoff[~zero] < 0):
+        raise ValueError("magnitude below segment minimum exponent")
+    # Reserve byte 0x00 for exact zero: nudge a genuine +1.0*2**emin.
+    is_reserved = (~zero) & (sign == 0) & (eoff == 0) & (mant == 0)
+    mant = np.where(is_reserved, 1, mant)
+    eoff = np.where(zero, 0, eoff).astype(np.uint8)
+    mant = np.where(zero, 0, mant).astype(np.uint8)
+    sign = np.where(zero, 0, sign).astype(np.uint8)
+    return sign, eoff, mant
+
+
+def dequantize_magnitude(
+    sign: np.ndarray,
+    eoff: np.ndarray,
+    mant: np.ndarray,
+    emin: np.ndarray | int,
+    mantissa_bits: int = MANTISSA_BITS,
+) -> np.ndarray:
+    """Inverse of :func:`quantize_magnitude` — float32 output.
+
+    The reserved all-zero triple decodes to exactly 0.0.
+    """
+    sign = np.asarray(sign, dtype=np.uint8)
+    eoff = np.asarray(eoff, dtype=np.int32)
+    mant = np.asarray(mant, dtype=np.int32)
+    zero = (sign == 0) & (eoff == 0) & (mant == 0)
+    frac = mant.astype(np.float32) / np.float32(1 << mantissa_bits)
+    E = eoff + np.asarray(emin, dtype=np.int32)
+    mag = np.ldexp(1.0 + frac, E).astype(np.float32)
+    mag = np.where(zero, np.float32(0.0), mag)
+    return np.where(sign == 1, -mag, mag).astype(np.float32)

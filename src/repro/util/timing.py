@@ -1,0 +1,51 @@
+"""Lightweight wall-clock timing helpers used by the pipeline executor."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations (seconds).
+
+    Used by the real (threaded) pipeline executor to attribute time to
+    pipeline stages, mirroring the activity breakdown the paper profiles in
+    Figures 9 and 12.
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean duration of one ``name`` interval, 0.0 if never measured."""
+        n = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / n if n else 0.0
+
+    def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's accumulators into this one."""
+        for key, val in other.totals.items():
+            self.totals[key] = self.totals.get(key, 0.0) + val
+        for key, val in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + val
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a callable that returns elapsed seconds."""
+    start = time.perf_counter()
+    yield lambda: time.perf_counter() - start

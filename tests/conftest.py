@@ -1,0 +1,27 @@
+"""Shared fixtures: small synthetic samples and plugin instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cosmoflow, deepcam
+
+
+@pytest.fixture(scope="session")
+def deepcam_sample():
+    """One small DeepCAM-like sample (8 channels, 32×48)."""
+    cfg = deepcam.DeepcamConfig(height=32, width=48, n_channels=8)
+    return deepcam.generate_sample(cfg, seed=101)
+
+
+@pytest.fixture(scope="session")
+def cosmo_sample():
+    """One small CosmoFlow-like sample (4×16³)."""
+    cfg = cosmoflow.CosmoflowConfig(grid=16, n_particles=30_000, n_clusters=10)
+    return cosmoflow.generate_sample(cfg, seed=202)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,95 @@
+"""Tests for the sample-compressibility analysis (Fig 5 machinery)."""
+
+import numpy as np
+
+from repro.core.encoding.analysis import (
+    analyze_cosmoflow_sample,
+    analyze_deepcam_sample,
+    powerlaw_slope,
+)
+
+
+class TestPowerlawSlope:
+    def test_exact_power_law(self):
+        ranks = np.arange(1, 200)
+        freqs = 1e6 * ranks**-1.5
+        assert abs(powerlaw_slope(freqs) - (-1.5)) < 0.01
+
+    def test_uniform_distribution_is_flat(self):
+        assert abs(powerlaw_slope(np.full(100, 7.0))) < 1e-9
+
+    def test_order_invariant(self):
+        freqs = np.array([100.0, 10.0, 1.0, 1000.0])
+        assert powerlaw_slope(freqs) == powerlaw_slope(freqs[::-1])
+
+    def test_degenerate_inputs(self):
+        assert powerlaw_slope(np.array([])) == 0.0
+        assert powerlaw_slope(np.array([5.0])) == 0.0
+        assert powerlaw_slope(np.array([0.0, 0.0])) == 0.0
+
+
+class TestCosmoAnalysis:
+    def test_crafted_sample_counts(self):
+        # 2 channels, 3 voxels: values {0,1,2}; groups {(0,1),(1,2),(2,0)}
+        sample = np.array([[[0, 1, 2]], [[1, 2, 0]]], dtype=np.int16)
+        st = analyze_cosmoflow_sample(sample)
+        assert st.n_values == 6
+        assert st.n_unique_values == 3
+        assert st.n_unique_groups == 3
+        assert st.n_possible_permutations == 9.0
+        assert st.group_fraction == 3 / 9
+        assert st.keys_fit_16bit
+
+    def test_coupled_channels_have_few_groups(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 50, size=(10, 10, 10))
+        coupled = np.stack([base, base + 1, base + 2, base + 3]).astype(np.int16)
+        st = analyze_cosmoflow_sample(coupled)
+        # groups are exactly the unique base values: far below permutations
+        assert st.n_unique_groups == len(np.unique(base))
+        assert st.group_fraction < 1e-4
+
+    def test_frequencies_sorted_descending(self):
+        sample = np.array([[[0, 0, 0, 1, 1, 2]]], dtype=np.int16)
+        st = analyze_cosmoflow_sample(sample)
+        assert list(st.value_frequencies) == [3, 2, 1]
+
+
+class TestDeepcamAnalysis:
+    def test_smooth_field_scores_smooth(self):
+        x = np.linspace(0, 1, 64, dtype=np.float32)
+        img = np.tile(1.0 + 0.1 * np.sin(2 * np.pi * x), (8, 1)).astype(
+            np.float32
+        )
+        st = analyze_deepcam_sample(img)
+        assert st.frac_smooth_lines >= 0.9
+        assert st.abrupt_fraction < 0.01
+
+    def test_noise_field_scores_rough(self):
+        rng = np.random.default_rng(1)
+        img = (rng.standard_normal((8, 64)) * 10.0 ** rng.integers(
+            -5, 5, size=(8, 64)).astype(np.float64)).astype(np.float32)
+        st = analyze_deepcam_sample(img)
+        assert st.frac_smooth_lines < 0.5
+
+    def test_x_smoother_than_y_detected(self):
+        rng = np.random.default_rng(2)
+        from scipy import ndimage
+
+        noise = rng.standard_normal((32, 64))
+        img = ndimage.gaussian_filter(noise, sigma=(1.0, 8.0)).astype(
+            np.float32
+        )
+        st = analyze_deepcam_sample(img)
+        assert st.mean_abs_diff_x < st.mean_abs_diff_y
+
+    def test_constant_image(self):
+        st = analyze_deepcam_sample(np.ones((4, 8), dtype=np.float32))
+        assert st.frac_smooth_lines == 1.0
+        assert st.mean_abs_diff_x == 0.0
+
+    def test_rejects_non_2d(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            analyze_deepcam_sample(np.zeros((2, 3, 4), dtype=np.float32))

@@ -1,0 +1,85 @@
+"""Unit + property tests for the bit-packing utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitpack import pack_fields, pack_uint, unpack_fields, unpack_uint
+
+
+class TestPackUint:
+    def test_roundtrip_u8(self):
+        vals = np.array([0, 1, 127, 255], dtype=np.uint8)
+        assert np.array_equal(unpack_uint(pack_uint(vals, 1), 1), vals)
+
+    def test_roundtrip_u16(self):
+        vals = np.array([0, 256, 65535], dtype=np.uint16)
+        assert np.array_equal(unpack_uint(pack_uint(vals, 2), 2), vals)
+
+    def test_roundtrip_u32_u64(self):
+        vals = np.array([0, 2**31, 2**32 - 1], dtype=np.uint64)
+        assert np.array_equal(unpack_uint(pack_uint(vals, 4), 4), vals[:3])
+        big = np.array([2**63], dtype=np.uint64)
+        assert np.array_equal(unpack_uint(pack_uint(big, 8), 8), big)
+
+    def test_little_endian_layout(self):
+        assert pack_uint(np.array([0x0102]), 2) == b"\x02\x01"
+
+    def test_count_limits_read(self):
+        data = pack_uint(np.arange(10), 2)
+        assert len(unpack_uint(data, 2, count=3)) == 3
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            pack_uint(np.array([1]), 3)
+        with pytest.raises(ValueError):
+            unpack_uint(b"\x00\x00", 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pack_uint(np.array([-1]), 1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            pack_uint(np.array([256]), 1)
+
+    def test_empty(self):
+        assert pack_uint(np.array([], dtype=np.uint8), 1) == b""
+        assert unpack_uint(b"", 1).size == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**16 - 1), max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property_u16(self, values):
+        arr = np.array(values, dtype=np.uint16)
+        assert np.array_equal(unpack_uint(pack_uint(arr, 2), 2), arr)
+
+
+class TestPackFields:
+    def test_layout(self):
+        # sign=1, eoff=0b101, mant=0b0011 -> 1 101 0011
+        packed = pack_fields(np.array([1]), np.array([5]), np.array([3]))
+        assert packed[0] == 0b1101_0011
+
+    def test_roundtrip_exhaustive(self):
+        # every possible byte decodes and re-encodes identically
+        all_bytes = np.arange(256, dtype=np.uint8)
+        s, e, m = unpack_fields(all_bytes)
+        assert np.array_equal(pack_fields(s, e, m), all_bytes)
+
+    def test_rejects_wide_fields(self):
+        with pytest.raises(ValueError):
+            pack_fields(np.array([0]), np.array([8]), np.array([0]))
+        with pytest.raises(ValueError):
+            pack_fields(np.array([0]), np.array([0]), np.array([16]))
+
+    @given(
+        st.integers(0, 1), st.integers(0, 7), st.integers(0, 15)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, s, e, m):
+        packed = pack_fields(np.array([s]), np.array([e]), np.array([m]))
+        s2, e2, m2 = unpack_fields(packed)
+        assert (int(s2[0]), int(e2[0]), int(m2[0])) == (s, e, m)

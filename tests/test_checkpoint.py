@@ -1,0 +1,95 @@
+"""Tests for model/optimizer checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Adam, SGD, Trainer, WarmupSchedule, build_cosmoflow
+from repro.ml.checkpoint import load_checkpoint, restore_model, save_checkpoint
+from repro.ml.losses import mse_loss
+
+_RNG = np.random.default_rng(3)
+
+
+def _model(seed=0):
+    return build_cosmoflow(grid=8, in_channels=2, n_conv_layers=1,
+                           base_filters=2, dense_units=(4,), seed=seed)
+
+
+def _batch():
+    x = _RNG.standard_normal((2, 2, 8, 8, 8)).astype(np.float32)
+    y = _RNG.standard_normal((2, 4)).astype(np.float32)
+    return x, y
+
+
+class TestRoundtrip:
+    def test_params_bit_exact(self, tmp_path):
+        model = _model(seed=1)
+        path = tmp_path / "ck.rpck"
+        save_checkpoint(path, model)
+        fresh = _model(seed=2)
+        restore_model(path, fresh)
+        for k, v in model.parameters().items():
+            assert np.array_equal(fresh.parameters()[k], v)
+
+    def test_header_metadata(self, tmp_path):
+        model = _model()
+        path = tmp_path / "ck.rpck"
+        save_checkpoint(path, model, step_losses=[3.0, 2.0],
+                        extra={"epoch": 7})
+        _, header = load_checkpoint(path)
+        assert header["step_losses"] == [3.0, 2.0]
+        assert header["extra"] == {"epoch": 7}
+
+    def test_corrupt_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"XXXX" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            load_checkpoint(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "tiny"
+        path.write_bytes(b"RP")
+        with pytest.raises(ValueError, match="truncated"):
+            load_checkpoint(path)
+
+
+class TestResume:
+    @pytest.mark.parametrize("opt_cls", [SGD, Adam])
+    def test_training_resumes_bit_for_bit(self, tmp_path, opt_cls):
+        x, y = _batch()
+
+        def fresh_trainer(model):
+            opt = opt_cls(model.parameters(), WarmupSchedule(base_lr=5e-3))
+            return Trainer(model, mse_loss, opt, mixed_precision=False)
+
+        # continuous run: 6 steps
+        m_ref = _model(seed=5)
+        tr_ref = fresh_trainer(m_ref)
+        for _ in range(6):
+            tr_ref.train_step(x, y)
+
+        # checkpointed run: 3 steps, save, restore into new objects, 3 more
+        m_a = _model(seed=5)
+        tr_a = fresh_trainer(m_a)
+        for _ in range(3):
+            tr_a.train_step(x, y)
+        path = tmp_path / "resume.rpck"
+        save_checkpoint(path, m_a, tr_a.optimizer)
+
+        m_b = _model(seed=999)  # different init, fully overwritten
+        tr_b = fresh_trainer(m_b)
+        restore_model(path, m_b, tr_b.optimizer)
+        for _ in range(3):
+            tr_b.train_step(x, y)
+
+        for k, v in m_ref.parameters().items():
+            assert np.array_equal(m_b.parameters()[k], v), k
+
+    def test_optimizer_type_mismatch(self, tmp_path):
+        m = _model()
+        opt = SGD(m.parameters(), WarmupSchedule(base_lr=0.1))
+        path = tmp_path / "ck.rpck"
+        save_checkpoint(path, m, opt)
+        other = Adam(m.parameters(), WarmupSchedule(base_lr=0.1))
+        with pytest.raises(ValueError, match="state"):
+            restore_model(path, m, other)

@@ -1,0 +1,108 @@
+"""Tests for the command-line tools."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.encoding import container
+from repro.storage import tfrecord
+
+
+class TestGenerate:
+    def test_cosmoflow_base(self, tmp_path, capsys):
+        out = tmp_path / "c.tfr"
+        assert main(["generate", "--workload", "cosmoflow", "--count", "2",
+                     "--size", "8", "--output", str(out)]) == 0
+        records = tfrecord.read_records(out)
+        assert len(records) == 2
+        codec, payload, label, _ = container.unpack_sample(records[0])
+        assert codec == "raw" and payload.shape == (4, 8, 8, 8)
+
+    def test_cosmoflow_plugin(self, tmp_path):
+        out = tmp_path / "cp.tfr"
+        main(["generate", "--workload", "cosmoflow", "--representation",
+              "plugin", "--count", "1", "--size", "8", "--output", str(out)])
+        codec, _, _, _ = container.unpack_sample(
+            tfrecord.read_records(out)[0]
+        )
+        assert codec == "lut"
+
+    def test_deepcam_plugin_gzip(self, tmp_path):
+        out = tmp_path / "d.tfr.gz"
+        main(["generate", "--workload", "deepcam", "--representation",
+              "plugin", "--count", "1", "--size", "16", "--gzip",
+              "--output", str(out)])
+        records = tfrecord.read_records(out, compression="gzip")
+        codec, _, _, _ = container.unpack_sample(records[0])
+        assert codec == "delta"
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.tfr", tmp_path / "b.tfr"
+        for out in (a, b):
+            main(["generate", "--workload", "cosmoflow", "--count", "1",
+                  "--size", "8", "--seed", "5", "--output", str(out)])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestInspectAnalyzeBench:
+    @pytest.fixture()
+    def record_file(self, tmp_path):
+        out = tmp_path / "c.tfr"
+        main(["generate", "--workload", "cosmoflow", "--count", "2",
+              "--size", "8", "--output", str(out)])
+        return out
+
+    def test_inspect(self, record_file, capsys):
+        assert main(["inspect", "--input", str(record_file)]) == 0
+        text = capsys.readouterr().out
+        assert "raw" in text and "total: 2 samples" in text
+
+    def test_analyze(self, record_file, capsys):
+        assert main(["analyze", "--input", str(record_file)]) == 0
+        text = capsys.readouterr().out
+        assert "unique values" in text and "yes" in text
+
+    def test_analyze_rejects_encoded(self, tmp_path):
+        out = tmp_path / "cp.tfr"
+        main(["generate", "--workload", "cosmoflow", "--representation",
+              "plugin", "--count", "1", "--size", "8", "--output", str(out)])
+        with pytest.raises(SystemExit):
+            main(["analyze", "--input", str(out)])
+
+    def test_bench(self, record_file, capsys):
+        assert main(["bench", "--workload", "cosmoflow",
+                     "--representation", "base", "--input",
+                     str(record_file)]) == 0
+        assert "samples/s" in capsys.readouterr().out
+
+    def test_unknown_representation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--workload", "cosmoflow", "--representation",
+                  "nope", "--input", "x"])
+
+
+class TestStats:
+    def test_delta_stats(self, tmp_path, capsys):
+        out = tmp_path / "d.tfr"
+        main(["generate", "--workload", "deepcam", "--representation",
+              "plugin", "--count", "2", "--size", "16", "--output",
+              str(out)])
+        assert main(["stats", "--input", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "delta" in text and "vs fp16" in text
+
+    def test_lut_stats(self, tmp_path, capsys):
+        out = tmp_path / "c.tfr"
+        main(["generate", "--workload", "cosmoflow", "--representation",
+              "plugin", "--count", "1", "--size", "16", "--output",
+              str(out)])
+        assert main(["stats", "--input", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "lut" in text and "groups" in text
+
+    def test_raw_stats(self, tmp_path, capsys):
+        out = tmp_path / "r.tfr"
+        main(["generate", "--workload", "cosmoflow", "--count", "1",
+              "--size", "8", "--output", str(out)])
+        assert main(["stats", "--input", str(out)]) == 0
+        assert "raw" in capsys.readouterr().out

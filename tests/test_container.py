@@ -1,0 +1,136 @@
+"""Tests for the encoded-sample container format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import container
+from repro.core.encoding.delta import DeltaCodecConfig, decode_image, encode_image
+from repro.core.encoding.lut import decode_sample, encode_sample
+
+
+def _delta_channels(c=3, h=8, w=32, seed=0):
+    rng = np.random.default_rng(seed)
+    img = np.cumsum(rng.normal(0, 0.01, size=(c, h, w)), axis=2).astype(
+        np.float32
+    ) + 1.0
+    return img, [encode_image(ch) for ch in img]
+
+
+class TestRawContainer:
+    def test_roundtrip(self):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        label = np.array([1, 2, 3], dtype=np.int64)
+        codec, out, lab, extra = container.unpack_sample(
+            container.pack_raw_sample(data, label)
+        )
+        assert codec == "raw"
+        assert np.array_equal(out, data) and out.dtype == data.dtype
+        assert np.array_equal(lab, label) and lab.dtype == label.dtype
+        assert extra == {}
+
+    def test_extra_metadata(self):
+        blob = container.pack_raw_sample(
+            np.zeros(3, np.float32), np.zeros(1), extra={"mean": [1.0, 2.0]}
+        )
+        _, _, _, extra = container.unpack_sample(blob)
+        assert extra == {"mean": [1.0, 2.0]}
+
+    def test_peek_codec(self):
+        blob = container.pack_raw_sample(np.zeros(3, np.float32), np.zeros(1))
+        assert container.peek_codec(blob) == "raw"
+
+
+class TestDeltaContainer:
+    def test_roundtrip_decodes_identically(self):
+        _, channels = _delta_channels()
+        label = np.ones((8, 32), dtype=np.int8)
+        blob = container.pack_delta_sample(channels, label)
+        codec, out_channels, lab, _ = container.unpack_sample(blob)
+        assert codec == "delta"
+        assert len(out_channels) == len(channels)
+        for a, b in zip(channels, out_channels):
+            assert np.array_equal(decode_image(a), decode_image(b))
+        assert np.array_equal(lab, label)
+
+    def test_config_roundtrips(self):
+        img = np.cumsum(
+            np.random.default_rng(1).normal(0, 0.01, (4, 64)), axis=1
+        ).astype(np.float32)
+        cfg = DeltaCodecConfig(block_size=16, rel_tol=0.02)
+        blob = container.pack_delta_sample(
+            [encode_image(img, cfg)], np.zeros(1)
+        )
+        _, chans, _, _ = container.unpack_sample(blob)
+        assert chans[0].config == cfg
+
+    def test_empty_channel_list_rejected(self):
+        with pytest.raises(ValueError):
+            container.pack_delta_sample([], np.zeros(1))
+
+    def test_mismatched_shapes_rejected(self):
+        _, c1 = _delta_channels(c=1, h=8, w=32)
+        _, c2 = _delta_channels(c=1, h=8, w=16)
+        with pytest.raises(ValueError):
+            container.pack_delta_sample([c1[0], c2[0]], np.zeros(1))
+
+
+class TestLutContainer:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 40, size=(4, 6, 6, 6)).astype(np.int16)
+        label = rng.normal(size=4).astype(np.float32)
+        blob = container.pack_lut_sample(encode_sample(data), label)
+        codec, enc, lab, _ = container.unpack_sample(blob)
+        assert codec == "lut"
+        assert np.array_equal(decode_sample(enc), data)
+        assert np.array_equal(lab, label)
+
+    def test_multi_table_roundtrip(self):
+        from repro.core.encoding.lut import LutCodecConfig
+
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 1000, size=(4, 8, 8, 8)).astype(np.int16)
+        enc = encode_sample(data, LutCodecConfig(max_groups_per_table=150))
+        blob = container.pack_lut_sample(enc, np.zeros(4, np.float32))
+        _, enc2, _, _ = container.unpack_sample(blob)
+        assert len(enc2.tables) == len(enc.tables)
+        assert np.array_equal(decode_sample(enc2), data)
+
+
+class TestLabelLosslessness:
+    @given(
+        st.lists(st.integers(-128, 127), min_size=1, max_size=64)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_bit_exact(self, values):
+        label = np.array(values, dtype=np.int8)
+        blob = container.pack_raw_sample(np.zeros(2, np.float32), label)
+        _, _, lab, _ = container.unpack_sample(blob)
+        assert np.array_equal(lab, label) and lab.dtype == label.dtype
+
+    def test_float_labels_bit_exact(self):
+        label = np.array([0.1, -1e-30, 3e30, np.pi], dtype=np.float32)
+        blob = container.pack_raw_sample(np.zeros(2, np.float32), label)
+        _, _, lab, _ = container.unpack_sample(blob)
+        assert np.array_equal(lab, label)
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        blob = container.pack_raw_sample(np.zeros(2, np.float32), np.zeros(1))
+        with pytest.raises(ValueError, match="magic"):
+            container.unpack_sample(b"XXXX" + blob[4:])
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="truncated"):
+            container.unpack_sample(b"RP")
+
+    def test_bad_version(self):
+        blob = bytearray(
+            container.pack_raw_sample(np.zeros(2, np.float32), np.zeros(1))
+        )
+        blob[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            container.unpack_sample(bytes(blob))

@@ -1,0 +1,165 @@
+"""Tests that the synthetic datasets have the properties the codecs exploit.
+
+These are the load-bearing checks of the substitution argument (DESIGN.md
+§2): the generators must reproduce the statistical structure the paper
+measured on the real data, or the codec results would be meaningless.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding.analysis import (
+    analyze_cosmoflow_sample,
+    analyze_deepcam_sample,
+)
+from repro.datasets import cosmoflow, deepcam
+
+
+class TestCosmoflowGenerator:
+    def test_shapes_and_dtype(self, cosmo_sample):
+        assert cosmo_sample.data.shape == (4, 16, 16, 16)
+        assert cosmo_sample.data.dtype == np.int16
+        assert cosmo_sample.label.shape == (4,)
+
+    def test_deterministic(self):
+        cfg = cosmoflow.CosmoflowConfig(grid=8, n_particles=5000)
+        a = cosmoflow.generate_sample(cfg, seed=5)
+        b = cosmoflow.generate_sample(cfg, seed=5)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.label, b.label)
+
+    def test_different_seeds_differ(self):
+        cfg = cosmoflow.CosmoflowConfig(grid=8, n_particles=5000)
+        a = cosmoflow.generate_sample(cfg, seed=5)
+        b = cosmoflow.generate_sample(cfg, seed=6)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_particle_count_conserved(self):
+        cfg = cosmoflow.CosmoflowConfig(grid=8, n_particles=5000)
+        s = cosmoflow.generate_sample(cfg, seed=1)
+        sums = s.data.astype(np.int64).reshape(4, -1).sum(axis=1)
+        assert np.all(sums == cfg.n_particles)
+
+    def test_labels_within_30pct_spread(self):
+        for seed in range(5):
+            s = cosmoflow.generate_sample(
+                cosmoflow.CosmoflowConfig(grid=8, n_particles=2000), seed=seed
+            )
+            rel = s.label / cosmoflow.PARAM_MEANS
+            assert np.all(rel >= 0.699) and np.all(rel <= 1.301)
+
+    def test_label_normalization_roundtrip(self):
+        label = cosmoflow.PARAM_MEANS * 1.2
+        norm = cosmoflow.normalize_label(label)
+        assert np.allclose(norm, 1.2 / 0.3 - 1 / 0.3, atol=1e-5)
+        back = cosmoflow.denormalize_label(norm)
+        assert np.allclose(back, label, rtol=1e-5)
+
+    def test_progressive_clustering(self, cosmo_sample):
+        # later redshifts concentrate mass: max voxel count grows
+        maxima = cosmo_sample.data.reshape(4, -1).max(axis=1).astype(int)
+        assert maxima[-1] > maxima[0]
+
+    # --- Fig 5 structural properties the LUT codec needs -----------------
+
+    def test_unique_values_order_hundreds(self, cosmo_sample):
+        st = analyze_cosmoflow_sample(cosmo_sample.data)
+        assert 20 <= st.n_unique_values <= 2000
+
+    def test_power_law_frequencies(self, cosmo_sample):
+        st = analyze_cosmoflow_sample(cosmo_sample.data)
+        assert st.powerlaw_slope < -1.0  # steep, power-law-like
+
+    def test_groups_fit_16bit_keys(self, cosmo_sample):
+        st = analyze_cosmoflow_sample(cosmo_sample.data)
+        assert st.keys_fit_16bit
+        assert st.group_fraction < 0.01  # far below the permutation bound
+
+    def test_dataset_generation(self):
+        cfg = cosmoflow.CosmoflowConfig(grid=8, n_particles=2000)
+        ds = cosmoflow.generate_dataset(3, cfg, seed=0)
+        assert len(ds) == 3
+        labels = np.stack([s.label for s in ds])
+        assert len(np.unique(labels[:, 0])) == 3  # independent parameters
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            cosmoflow.CosmoflowConfig(grid=1)
+        with pytest.raises(ValueError):
+            cosmoflow.CosmoflowConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            cosmoflow.CosmoflowConfig(n_particles=0)
+
+
+class TestDeepcamGenerator:
+    def test_shapes_and_dtype(self, deepcam_sample):
+        assert deepcam_sample.data.shape == (8, 32, 48)
+        assert deepcam_sample.data.dtype == np.float32
+        assert deepcam_sample.label.shape == (32, 48)
+        assert deepcam_sample.label.dtype == np.int8
+
+    def test_deterministic(self):
+        cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+        a = deepcam.generate_sample(cfg, seed=9)
+        b = deepcam.generate_sample(cfg, seed=9)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.label, b.label)
+
+    def test_all_classes_present(self, deepcam_sample):
+        present = set(np.unique(deepcam_sample.label))
+        assert deepcam.CLASS_BACKGROUND in present
+        assert deepcam.CLASS_CYCLONE in present
+        assert deepcam.CLASS_RIVER in present
+
+    def test_background_dominates(self, deepcam_sample):
+        frac_bg = np.mean(deepcam_sample.label == deepcam.CLASS_BACKGROUND)
+        assert frac_bg > 0.5  # extreme weather is rare, as in CAM5
+
+    def test_channel_scales_span_orders_of_magnitude(self):
+        # full 16-channel samples span pressures (~1e5 Pa) down to upper
+        # humidities (~1e-3 kg/kg)
+        cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=16)
+        s = deepcam.generate_sample(cfg, seed=4)
+        means = np.abs(s.data.reshape(16, -1)).mean(axis=1)
+        assert means.max() / max(means.min(), 1e-12) > 1e4
+
+    def test_x_direction_is_smoothest(self, deepcam_sample):
+        smoother = 0
+        for ch in deepcam_sample.data:
+            st = analyze_deepcam_sample(ch)
+            if st.mean_abs_diff_x < st.mean_abs_diff_y:
+                smoother += 1
+        assert smoother >= 6  # most channels smoother along x
+
+    def test_thermodynamic_channels_are_codec_friendly(self, deepcam_sample):
+        # temperature channels (0–3) are the smooth majority the codec
+        # targets; wind channels carry the vortices and are allowed to be
+        # rough (they fall back to literal/raw storage)
+        fracs = []
+        for ch in deepcam_sample.data[:4]:
+            norm = (ch - ch.mean()) / ch.std()
+            fracs.append(analyze_deepcam_sample(norm).frac_smooth_lines)
+        assert np.mean(fracs) > 0.5
+
+    def test_cyclone_perturbs_pressure(self):
+        cfg = deepcam.DeepcamConfig(height=48, width=64, n_channels=16,
+                                    n_cyclones=1, n_rivers=0)
+        s = deepcam.generate_sample(cfg, seed=3)
+        inside = s.label == deepcam.CLASS_CYCLONE
+        assert inside.any()
+        pressure = s.data[8]
+        assert pressure[inside].mean() < pressure[~inside].mean()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            deepcam.DeepcamConfig(height=4)
+        with pytest.raises(ValueError):
+            deepcam.DeepcamConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            deepcam.DeepcamConfig(n_channels=17)
+
+    def test_dataset_generation(self):
+        cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+        ds = deepcam.generate_dataset(2, cfg, seed=0)
+        assert len(ds) == 2
+        assert not np.array_equal(ds[0].data, ds[1].data)

@@ -1,0 +1,130 @@
+"""Tests for the greedy variable-length segmentation variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.encoding.delta import DeltaCodecConfig, encode_image
+from repro.core.encoding.delta_greedy import (
+    decode_image_greedy,
+    encode_image_greedy,
+    greedy_segments,
+)
+from repro.util.fp16 import decompose_float32
+
+_INT32_MIN = np.iinfo(np.int32).min
+
+
+def _smooth(h=8, w=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return (np.cumsum(rng.normal(0, 0.01, (h, w)), axis=1) + 1.0).astype(
+        np.float32
+    )
+
+
+class TestGreedySegments:
+    def test_smooth_line_is_one_segment(self):
+        diffs = np.full(100, 0.01, dtype=np.float32)
+        _, E, _ = decompose_float32(diffs)
+        segs = greedy_segments(E, np.isfinite(diffs), eoff_max=7)
+        assert len(segs) == 1
+        assert segs[0][:2] == (0, 100)
+        assert segs[0][2] is not None
+
+    def test_segments_partition_line(self):
+        rng = np.random.default_rng(1)
+        diffs = rng.normal(0, 1, 300).astype(np.float32)
+        diffs[50] = np.nan
+        diffs[200] = np.inf
+        _, E, _ = decompose_float32(diffs)
+        segs = greedy_segments(E, np.isfinite(diffs), 7)
+        covered = []
+        for s, e, _ in segs:
+            covered.extend(range(s, e))
+        assert covered == list(range(300))
+
+    def test_nonfinite_marked_literal(self):
+        diffs = np.array([0.1, np.nan, 0.1], dtype=np.float32)
+        _, E, _ = decompose_float32(diffs)
+        segs = greedy_segments(E, np.isfinite(diffs), 7)
+        kinds = [emin is None for _, _, emin in segs]
+        assert True in kinds
+
+    def test_length_cap(self):
+        diffs = np.full(600, 0.5, dtype=np.float32)
+        _, E, _ = decompose_float32(diffs)
+        segs = greedy_segments(E, np.isfinite(diffs), 7)
+        assert all(e - s <= 255 for s, e, _ in segs)
+        assert len(segs) == 3  # 255 + 255 + 90
+
+
+class TestGreedyCodec:
+    def test_roundtrip_accuracy(self):
+        img = _smooth()
+        cfg = DeltaCodecConfig()
+        enc = encode_image_greedy(img, cfg)
+        out = decode_image_greedy(enc).astype(np.float32)
+        scale = np.abs(img).max()
+        sig = np.abs(img) > 0.01 * scale
+        rel = np.abs(out - img)[sig] / np.abs(img)[sig]
+        assert rel.max() <= 0.055
+
+    def test_fewer_descriptor_bytes_on_smooth_runs(self):
+        # greedy spends ~2 bytes per long run; the block codec spends one
+        # descriptor per 64-diff block
+        img = _smooth(h=16, w=1024, seed=2)
+        block = encode_image(img)
+        greedy = encode_image_greedy(img)
+        assert greedy.nbytes <= block.nbytes
+
+    def test_const_and_raw_modes(self):
+        rng = np.random.default_rng(3)
+        img = np.empty((3, 64), dtype=np.float32)
+        img[0] = 2.5
+        img[1] = np.cumsum(rng.normal(0, 0.01, 64)) + 1
+        img[2] = (rng.standard_normal(64)
+                  * 10.0 ** rng.integers(-6, 6, 64).astype(float))
+        enc = encode_image_greedy(img)
+        out = decode_image_greedy(enc)
+        assert np.all(out[0] == np.float16(2.5))
+        assert np.array_equal(out[2], img[2].astype(np.float16))
+
+    def test_nan_survives(self):
+        img = _smooth(h=2, w=64)
+        img[0, 10] = np.nan
+        enc = encode_image_greedy(img)
+        out = decode_image_greedy(enc)
+        assert np.isnan(out[0, 10])
+
+    def test_width_one(self):
+        img = np.array([[3.5]], dtype=np.float32)
+        out = decode_image_greedy(encode_image_greedy(img))
+        assert out[0, 0] == np.float16(3.5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            encode_image_greedy(np.zeros(4, dtype=np.float32))
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 80)),
+            elements=st.floats(min_value=-1e4, max_value=1e4,
+                               allow_nan=False, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gate_property(self, img):
+        cfg = DeltaCodecConfig()
+        enc = encode_image_greedy(img, cfg)
+        out = decode_image_greedy(enc).astype(np.float32)
+        assert out.shape == img.shape
+        scale = float(np.abs(img).max()) if img.size else 0.0
+        if scale == 0.0 or scale < 1e-4:
+            return
+        sig = np.abs(img) > cfg.rel_floor * scale
+        if sig.any():
+            rel = np.abs(out - img)[sig] / np.abs(img)[sig]
+            assert rel.max() <= cfg.rel_tol + 1e-3

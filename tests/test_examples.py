@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with reduced arguments where the
+script accepts them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.slow
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "bit-exact vs FP16 reference: True" in proc.stdout
+        assert "lossy, near-zero values only" in proc.stdout
+
+    def test_train_cosmoflow(self):
+        proc = _run("train_cosmoflow.py", "--samples", "8", "--epochs", "2",
+                    "--grid", "8")
+        assert proc.returncode == 0, proc.stderr
+        assert "convergence preserved" in proc.stdout
+
+    def test_train_deepcam(self):
+        proc = _run("train_deepcam.py", "--samples", "8", "--epochs", "3",
+                    "--height", "16", "--width", "24", "--channels", "4")
+        assert proc.returncode == 0, proc.stderr
+        assert "validation per-class pixel recall" in proc.stdout
+
+    def test_distributed_training(self):
+        proc = _run("distributed_training.py", "--ranks", "2",
+                    "--samples", "8", "--epochs", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "bit-identical after training" in proc.stdout
+
+    def test_performance_model(self):
+        proc = _run("performance_model.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure-10 row" in proc.stdout
+        assert "interconnect sweep" in proc.stdout
+
+    def test_new_workload_template(self):
+        proc = _run("new_workload_template.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "codec='delta'" in proc.stdout
+        assert "the template transfers" in proc.stdout

@@ -1,0 +1,190 @@
+"""Tests for the exhibit harnesses (scaled-down runs of every figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    claims,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    tables,
+)
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.simulate import CORI_V100, SUMMIT
+
+
+class TestHarness:
+    def test_result_add_and_column(self):
+        res = ExperimentResult("X", "t", headers=["a", "b"])
+        res.add(1, 2.0)
+        res.add(3, 4.0)
+        assert res.column("b") == [2.0, 4.0]
+        with pytest.raises(ValueError):
+            res.add(1)
+
+    def test_format_table_alignment(self):
+        out = format_table(["col", "x"], [[1, 2.5], ["long-value", 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) or True for l in lines)
+        assert "long-value" in out
+
+    def test_render_includes_findings(self):
+        res = ExperimentResult("Fig X", "demo", headers=["a"])
+        res.add(1)
+        res.findings = {"speedup": 3.0}
+        text = res.render()
+        assert "Fig X" in text and "speedup" in text
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        res = tables.table1()
+        rows = {r[0]: r[1:] for r in res.rows}
+        assert rows["GPUs per node"] == [6, 8, 8]
+        assert rows["Tensorcore TF/s"] == [120.0, 120.0, 312.0]
+        assert rows["Host Memory (GB)"] == [512, 384, 1056]
+        assert rows["NVMe Read BW (GiB/s)"] == pytest.approx([5.5, 3.2, 24.3],
+                                                             rel=0.01)
+
+    def test_table2_matches_paper(self):
+        res = tables.table2()
+        rows = {r[0]: r[1:] for r in res.rows}
+        assert rows["Framework"][:3] == ["TF 2.5"] * 3
+        assert rows["Framework"][3:] == ["PT 1.10", "PT 1.8", "PT 1.9"]
+        assert set(rows["DALI"]) == {"1.9.0"}
+
+
+class TestFig5:
+    def test_properties_hold(self):
+        res = fig5.run(n_samples=3, grid=16, verbose=False)
+        assert all(v == "yes" for v in res.column("16-bit keys"))
+        assert res.findings["mean log-log slope (power law <= -1)"] < -1.0
+        assert 10 < res.findings["mean unique values"] < 2000
+
+
+class TestFig6:
+    def test_convergence_identical(self):
+        res = fig6.run(n_samples=6, epochs=2, height=16, width=24,
+                       n_channels=4, base_filters=2, verbose=False)
+        # paper: "identical convergence behavior"
+        assert res.findings["max |diff| / loss span"] < 0.05
+        # "... also seen in the loss function of the validation samples"
+        assert res.findings["max val |diff| / train span"] < 0.05
+        assert res.findings["loss drop base"] > 0  # it actually learns
+
+
+class TestFig7:
+    def test_convergence_preserved_across_reps(self):
+        res = fig7.run(repetitions=2, n_samples=6, epochs=3, grid=8,
+                       verbose=False)
+        ratio = res.findings["decoded/base final loss ratio"]
+        assert 0.5 < ratio < 1.5  # preserved (paper: decoded slightly better)
+        base_curve = res.column("base mean")
+        assert base_curve[-1] < base_curve[0]  # learning happens
+
+
+class TestFig8:
+    def test_grid_shape_and_speedups(self):
+        res = fig8.run(machines=(CORI_V100,), batch_sizes=(4,),
+                       dataset_sizes={"small": 1536}, sim_samples_cap=32,
+                       verbose=False)
+        assert len(res.rows) == 2  # staged + unstaged
+        for row in res.rows:
+            su_gpu = row[res.headers.index("speedup gpu")]
+            assert su_gpu > 1.5
+
+
+class TestFig9:
+    def test_plugin_removes_cpu_time(self):
+        res = fig9.run(machines=(CORI_V100,), sim_samples_cap=32,
+                       verbose=False)
+        idx_cpu = res.headers.index("cpu_preprocess")
+        by_plugin = {r[1]: r for r in res.rows}
+        assert by_plugin["gpu"][idx_cpu] == 0.0
+        assert by_plugin["base"][idx_cpu] > by_plugin["cpu"][idx_cpu] > 0
+        # sync_wait (allreduce variability) shrinks with the plugin
+        idx_sync = res.headers.index("sync_wait")
+        assert by_plugin["gpu"][idx_sync] < by_plugin["base"][idx_sync]
+
+
+class TestFig10:
+    def test_speedups_and_gzip(self):
+        res = fig10.run(machines=(SUMMIT,), batch_sizes=(1, 4),
+                        sim_samples_cap=32, verbose=False)
+        assert res.findings["max plugin speedup Summit"] > 4
+        assert 1.0 < res.findings["max gzip slowdown"] < 2.0
+
+
+class TestFig11:
+    def test_large_set_findings(self):
+        res = fig11.run(machines=(CORI_V100,), batch_sizes=(4,),
+                        sim_samples_cap=32, verbose=False)
+        assert res.findings["max plugin speedup Cori-V100"] > 6
+        assert 1.1 < res.findings["staging gain Cori-V100"] < 2.2
+
+
+class TestFig12:
+    def test_base_cpu_dominates_plugin_does_not(self):
+        res = fig12.run(machines=(CORI_V100,), sim_samples_cap=32,
+                        verbose=False)
+        f = res.findings
+        assert f["Cori-V100/base cpu/gpu ratio"] > 5  # GPU underutilized
+        assert f["Cori-V100/plugin cpu/gpu ratio"] == 0
+        assert f["Cori-V100 decode share of gpu time"] < 0.01
+
+
+class TestClaims:
+    def test_claims_table(self):
+        res = claims.run(verbose=False)
+        f = res.findings
+        assert f["deepcam frac >10% err"] < 0.05
+        assert 3.0 < f["lut ratio"] < 5.0
+        assert 3.0 < f["gzip ratio"] < 7.0
+        assert 0.01 < f["deepcam decode share"] < 0.08
+        assert f["cosmoflow decode share"] < 0.01
+
+
+class TestMainDriver:
+    def test_runs_named_exhibit(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_rejects_unknown(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig99"]) == 2
+        assert "unknown exhibits" in capsys.readouterr().out
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        from repro.experiments.harness import render_bars
+
+        out = render_bars(["a", "bb"], [2.0, 4.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert "4.0" in lines[1]
+
+    def test_validation_and_empty(self):
+        from repro.experiments.harness import render_bars
+
+        assert render_bars([], []) == ""
+        with pytest.raises(ValueError):
+            render_bars(["a"], [])
+
+    def test_zero_peak(self):
+        from repro.experiments.harness import render_bars
+
+        out = render_bars(["x"], [0.0])
+        assert "#" not in out

@@ -1,0 +1,106 @@
+"""Tests for floating-point decomposition and codec-grid quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.fp16 import (
+    MANTISSA_BITS,
+    compose_float32,
+    decompose_float32,
+    dequantize_magnitude,
+    quantize_magnitude,
+)
+
+_SENTINEL = np.iinfo(np.int32).min
+
+
+class TestDecompose:
+    def test_exact_roundtrip(self):
+        x = np.array([1.0, -2.5, 0.375, 1e-10, -7.25e8], dtype=np.float32)
+        s, e, f = decompose_float32(x)
+        assert np.array_equal(compose_float32(s, e, f), x)
+
+    def test_zero_sentinel(self):
+        s, e, f = decompose_float32(np.array([0.0], dtype=np.float32))
+        assert e[0] == _SENTINEL and f[0] == 0.0
+        assert compose_float32(s, e, f)[0] == 0.0
+
+    def test_unit_values(self):
+        _, e, f = decompose_float32(np.array([1.0, 2.0, 0.5], dtype=np.float32))
+        assert list(e) == [0, 1, -1]
+        assert np.allclose(f, 0.0)
+
+    def test_sign_bit(self):
+        s, _, _ = decompose_float32(np.array([3.0, -3.0], dtype=np.float32))
+        assert list(s) == [0, 1]
+
+    @given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, v):
+        x = np.array([v], dtype=np.float32)
+        s, e, f = decompose_float32(x)
+        assert compose_float32(s, e, f)[0] == x[0]
+
+
+class TestQuantize:
+    def test_relative_error_bound(self):
+        # quantization to 4 mantissa bits: relative error <= 2^-(M+1)
+        # (excluding +2^emin exactly, which the reserved-byte nudge moves
+        # by one mantissa step — covered by test_reserved_byte_nudge)
+        vals = np.array([1.1, 1.3, 7.9, 2.0, 3.999], dtype=np.float32)
+        s, e, m = quantize_magnitude(vals, 0)
+        back = dequantize_magnitude(s, e, m, 0)
+        rel = np.abs(back - vals) / vals
+        assert rel.max() <= 2.0 ** -(MANTISSA_BITS + 1) + 1e-6
+
+    def test_zero_maps_to_reserved_byte(self):
+        s, e, m = quantize_magnitude(np.array([0.0], dtype=np.float32), -5)
+        assert (s[0], e[0], m[0]) == (0, 0, 0)
+        assert dequantize_magnitude(s, e, m, -5)[0] == 0.0
+
+    def test_reserved_byte_nudge(self):
+        # exact +2^emin must NOT collide with the zero byte
+        s, e, m = quantize_magnitude(np.array([1.0], dtype=np.float32), 0)
+        assert (s[0], e[0], m[0]) != (0, 0, 0)
+        back = dequantize_magnitude(s, e, m, 0)[0]
+        assert abs(back - 1.0) / 1.0 <= 2.0**-MANTISSA_BITS + 1e-6
+
+    def test_negative_2_pow_emin_is_exact(self):
+        s, e, m = quantize_magnitude(np.array([-1.0], dtype=np.float32), 0)
+        assert dequantize_magnitude(s, e, m, 0)[0] == -1.0
+
+    def test_below_emin_raises(self):
+        with pytest.raises(ValueError):
+            quantize_magnitude(np.array([0.25], dtype=np.float32), 0)
+
+    def test_rounding_carry_at_top_bin_clamps(self):
+        # 255.9 has E = 7; mantissa rounds up, carrying to E=8 -> clamped
+        val = np.array([255.9], dtype=np.float32)
+        s, e, m = quantize_magnitude(val, 0)
+        assert e[0] == 7 and m[0] == 15
+        back = dequantize_magnitude(s, e, m, 0)[0]
+        assert abs(back - 255.9) / 255.9 < 0.04
+
+    def test_signs_preserved(self):
+        vals = np.array([3.0, -3.0], dtype=np.float32)
+        s, e, m = quantize_magnitude(vals, 1)
+        back = dequantize_magnitude(s, e, m, 1)
+        assert back[0] > 0 and back[1] < 0
+        assert back[0] == -back[1]
+
+    @given(
+        st.floats(min_value=1.0, max_value=255.0, allow_nan=False),
+        st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_property(self, mag, emin):
+        # scale magnitude into the segment window [2^emin, 2^(emin+8))
+        v = np.array([mag * 2.0**emin], dtype=np.float32)
+        if not np.isfinite(v[0]) or v[0] == 0.0:
+            return
+        s, e, m = quantize_magnitude(v, emin)
+        back = dequantize_magnitude(s, e, m, emin)
+        rel = abs(back[0] - v[0]) / v[0]
+        assert rel <= 2.0**-MANTISSA_BITS + 1e-6

@@ -1,0 +1,110 @@
+"""Fuzz tests: corrupted inputs fail loudly, never hang or crash oddly.
+
+The container has no payload checksum by design (record-level CRC lives in
+the TFRecord framing), so corruption inside a payload may decode to wrong
+values; what must never happen is an unexpected exception type or a hang.
+Header corruption must raise a clean error.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import container
+from repro.core.encoding.delta import encode_image
+from repro.core.encoding.lut import encode_sample
+
+_EXPECTED = (ValueError, KeyError, zlib.error, struct.error, IndexError,
+             TypeError, EOFError, OverflowError)
+
+
+def _sample_blob():
+    rng = np.random.default_rng(0)
+    img = (np.cumsum(rng.normal(0, 0.01, (3, 4, 32)), axis=2) + 1.0).astype(
+        np.float32
+    )
+    chans = [encode_image(c) for c in img]
+    return container.pack_delta_sample(chans, np.arange(4, dtype=np.int8))
+
+
+class TestContainerFuzz:
+    @given(st.integers(0, 11), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_corruption_is_loud(self, pos, value):
+        blob = bytearray(_sample_blob())
+        if blob[pos] == value:
+            return
+        blob[pos] = value
+        try:
+            codec, payload, label, extra = container.unpack_sample(bytes(blob))
+        except _EXPECTED:
+            return
+        # corrupting padding bytes is legitimately a no-op
+        assert pos in (6, 7)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_is_loud(self, data):
+        blob = _sample_blob()
+        cut = data.draw(st.integers(0, len(blob) - 1))
+        with pytest.raises(_EXPECTED):
+            container.unpack_sample(blob[:cut])
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_never_crash_oddly(self, junk):
+        try:
+            container.unpack_sample(junk)
+        except _EXPECTED:
+            pass
+
+    @given(st.integers(0, 10_000), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_payload_corruption_decodes_or_raises(self, pos, value):
+        """Payload flips may change values (no checksum by design) but the
+        decode path must either produce an array or raise cleanly."""
+        from repro.core.encoding.delta import decode_image
+
+        blob = bytearray(_sample_blob())
+        hdr_len = struct.unpack_from("<I", blob, 8)[0]
+        start = 12 + hdr_len
+        target = start + (pos % (len(blob) - start))
+        blob[target] = value
+        try:
+            codec, payload, label, _ = container.unpack_sample(bytes(blob))
+        except _EXPECTED:
+            return
+        if codec == "delta":
+            for enc in payload:
+                try:
+                    out = decode_image(enc)
+                    assert out.shape == enc.shape
+                except _EXPECTED:
+                    return
+
+
+class TestLutContainerFuzz:
+    @given(st.integers(0, 255), st.integers(0, 5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_lut_payload_corruption(self, value, pos):
+        from repro.core.encoding.lut import decode_sample
+
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 40, (4, 6, 6, 6)).astype(np.int16)
+        blob = bytearray(
+            container.pack_lut_sample(encode_sample(data), np.zeros(4))
+        )
+        hdr_len = struct.unpack_from("<I", blob, 8)[0]
+        start = 12 + hdr_len
+        target = start + (pos % (len(blob) - start))
+        blob[target] = value
+        try:
+            codec, enc, _, _ = container.unpack_sample(bytes(blob))
+            out = decode_sample(enc)
+            assert out.shape == enc.shape
+        except _EXPECTED:
+            pass

@@ -1,0 +1,198 @@
+"""Tests for the CosmoFlow lookup-table codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.encoding.lut import (
+    LutCodecConfig,
+    apply_to_tables,
+    decode_sample,
+    encode_sample,
+)
+
+
+def _sample(grid=8, channels=4, n_values=12, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, n_values, size=(grid, grid, grid))
+    # couple channels: later redshifts are deterministic-ish functions of
+    # the base field plus small shifts, like the coupled snapshots
+    out = np.stack(
+        [np.clip(base + c + rng.integers(0, 2, base.shape), 0, None)
+         for c in range(channels)]
+    )
+    return out.astype(np.int16)
+
+
+class TestRoundtrip:
+    def test_lossless(self):
+        data = _sample()
+        enc = encode_sample(data)
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_lossless_2d_volume(self):
+        data = _sample()[:, :, :, 0]  # channel-first 2-D
+        enc = encode_sample(data)
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_lossless_1_channel(self):
+        data = _sample(channels=1)
+        enc = encode_sample(data)
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_output_dtype_override(self):
+        data = _sample()
+        out = decode_sample(encode_sample(data), dtype=np.float16)
+        assert out.dtype == np.float16
+        assert np.array_equal(out.astype(np.int16), data)
+
+    def test_out_buffer(self):
+        data = _sample()
+        enc = encode_sample(data)
+        buf = np.empty(data.shape, dtype=data.dtype)
+        res = decode_sample(enc, out=buf)
+        assert res is buf and np.array_equal(buf, data)
+
+    def test_out_buffer_validation(self):
+        enc = encode_sample(_sample())
+        with pytest.raises(ValueError):
+            decode_sample(enc, out=np.empty((1, 2, 3), dtype=np.int16))
+
+    def test_rejects_scalar_input(self):
+        with pytest.raises(ValueError):
+            encode_sample(np.int16(3))
+
+
+class TestKeyWidths:
+    def test_1_byte_keys_for_small_tables(self):
+        data = np.zeros((4, 4, 4, 4), dtype=np.int16)
+        data[0, 0, 0, 0] = 1  # two groups
+        enc = encode_sample(data)
+        assert enc.tables[0].key_width == 1
+
+    def test_2_byte_keys_above_256_groups(self):
+        # 512 distinct groups in one channel
+        vals = np.arange(512, dtype=np.int16).reshape(1, 8, 8, 8)
+        enc = encode_sample(vals)
+        assert enc.tables[0].key_width == 2
+        assert np.array_equal(decode_sample(enc), vals)
+
+    def test_compression_on_lowish_cardinality(self):
+        data = _sample(grid=16, n_values=30)
+        enc = encode_sample(data)
+        # 4 channels x int16 = 8 B/voxel vs ~2 B/voxel keys + small table
+        assert enc.nbytes < data.nbytes / 2
+
+
+class TestMultiTable:
+    def test_splits_when_groups_exceed_limit(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 3000, size=(4, 8, 8, 8)).astype(np.int16)
+        cfg = LutCodecConfig(max_groups_per_table=200)
+        enc = encode_sample(data, cfg)
+        assert len(enc.tables) > 1
+        assert all(t.n_groups <= 200 for t in enc.tables)
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_regions_partition_volume(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2000, size=(4, 8, 8, 8)).astype(np.int16)
+        enc = encode_sample(data, LutCodecConfig(max_groups_per_table=100))
+        voxels = sum(
+            int(np.prod([hi - lo for lo, hi in t.region]))
+            for t in enc.tables
+        )
+        assert voxels == 8 * 8 * 8
+
+    def test_single_voxel_volume(self):
+        # a 1-voxel region always has exactly one group, so even the
+        # tightest limit never needs a split
+        data = np.arange(8, dtype=np.int16).reshape(8, 1, 1, 1)
+        enc = encode_sample(data, LutCodecConfig(max_groups_per_table=1))
+        assert len(enc.tables) == 1
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LutCodecConfig(max_groups_per_table=0)
+        with pytest.raises(ValueError):
+            LutCodecConfig(max_groups_per_table=1 << 17)
+
+
+class TestOperatorFusion:
+    def test_log_on_tables_equals_log_on_volume(self):
+        data = _sample(grid=12, n_values=40, seed=3)
+        enc = encode_sample(data)
+        fused = apply_to_tables(
+            enc, lambda v: np.log1p(v.astype(np.float32)),
+            out_dtype=np.float16,
+        )
+        got = decode_sample(fused, dtype=np.float16)
+        want = np.log1p(data.astype(np.float32)).astype(np.float16)
+        assert np.array_equal(got, want)
+
+    def test_fusion_touches_only_table_entries(self):
+        data = _sample(grid=12)
+        enc = encode_sample(data)
+        calls = {"n": 0}
+
+        def op(v):
+            calls["n"] += v.size
+            return v * 2
+
+        apply_to_tables(enc, op)
+        total_entries = sum(t.values.size for t in enc.tables)
+        assert calls["n"] == total_entries
+        assert total_entries < data.size  # the whole point of the fusion
+
+    def test_fusion_shares_key_arrays(self):
+        enc = encode_sample(_sample())
+        fused = apply_to_tables(enc, lambda v: v + 1)
+        for a, b in zip(enc.tables, fused.tables):
+            assert a.keys is b.keys  # zero-copy on the bulky part
+
+    def test_fusion_multi_table(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 2000, size=(4, 8, 8, 8)).astype(np.int16)
+        enc = encode_sample(data, LutCodecConfig(max_groups_per_table=128))
+        fused = apply_to_tables(
+            enc, lambda v: np.log1p(v.astype(np.float32)),
+            out_dtype=np.float16,
+        )
+        got = decode_sample(fused, dtype=np.float16)
+        want = np.log1p(data.astype(np.float32)).astype(np.float16)
+        assert np.array_equal(got, want)
+
+
+class TestProperties:
+    @given(
+        hnp.arrays(
+            np.int16,
+            shape=st.tuples(
+                st.integers(1, 4), st.integers(1, 6),
+                st.integers(1, 6), st.integers(1, 6),
+            ),
+            elements=st.integers(-300, 300),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        enc = encode_sample(data)
+        assert np.array_equal(decode_sample(enc), data)
+
+    @given(
+        hnp.arrays(
+            np.int16,
+            shape=st.tuples(st.integers(2, 4), st.integers(2, 5),
+                            st.integers(2, 5), st.integers(2, 5)),
+            elements=st.integers(0, 50),
+        ),
+        st.integers(2, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_multitable_roundtrip_property(self, data, limit):
+        enc = encode_sample(data, LutCodecConfig(max_groups_per_table=limit))
+        assert np.array_equal(decode_sample(enc), data)
+        assert all(t.n_groups <= limit for t in enc.tables)

@@ -1,0 +1,360 @@
+"""Finite-difference gradient checks and behaviour tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import (
+    Concat,
+    Conv2d,
+    Conv3d,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool,
+    ReLU,
+    Upsample,
+)
+
+_RNG = np.random.default_rng(0)
+
+
+def check_gradients(layer, x, n_probe=4, eps=1e-3, tol=5e-3):
+    """Compare analytic grads (params + input) against central differences
+    of a random linear functional of the output."""
+    y = layer.forward(x.copy())
+    dy = _RNG.standard_normal(y.shape).astype(np.float32)
+
+    def loss():
+        out = layer.forward(x, training=False)
+        return float((out.astype(np.float64) * dy).sum())
+
+    dx = layer.backward(dy)
+    assert dx.shape == x.shape
+    for pname, p in layer.params.items():
+        g = layer.grads[pname].reshape(-1)
+        flat = p.reshape(-1)
+        for i in _RNG.choice(flat.size, min(n_probe, flat.size), replace=False):
+            orig = flat[i]
+            flat[i] = orig + eps
+            l1 = loss()
+            flat[i] = orig - eps
+            l2 = loss()
+            flat[i] = orig
+            fd = (l1 - l2) / (2 * eps)
+            denom = max(abs(fd), abs(g[i]), 1e-4)
+            assert abs(fd - g[i]) / denom < tol, (
+                f"{layer.name}.{pname}[{i}]: fd={fd} analytic={g[i]}"
+            )
+    xf = x.reshape(-1)
+    dxf = dx.reshape(-1)
+    for i in _RNG.choice(xf.size, n_probe, replace=False):
+        orig = xf[i]
+        xf[i] = orig + eps
+        l1 = loss()
+        xf[i] = orig - eps
+        l2 = loss()
+        xf[i] = orig
+        fd = (l1 - l2) / (2 * eps)
+        denom = max(abs(fd), abs(dxf[i]), 1e-4)
+        assert abs(fd - dxf[i]) / denom < tol, (
+            f"{layer.name}.dx[{i}]: fd={fd} analytic={dxf[i]}"
+        )
+
+
+class TestConv2d:
+    def test_gradients(self):
+        layer = Conv2d("c", 3, 5, 3, rng=1)
+        check_gradients(layer, _RNG.standard_normal((2, 3, 7, 9)).astype(np.float32))
+
+    def test_1x1_kernel_gradients(self):
+        layer = Conv2d("c", 4, 2, 1, rng=2)
+        check_gradients(layer, _RNG.standard_normal((2, 4, 5, 5)).astype(np.float32))
+
+    def test_same_padding_shape(self):
+        layer = Conv2d("c", 2, 6, 5, rng=3)
+        y = layer.forward(np.zeros((1, 2, 10, 12), np.float32))
+        assert y.shape == (1, 6, 10, 12)
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", 1, 1, 4)
+
+    def test_wrong_input_shape_rejected(self):
+        layer = Conv2d("c", 3, 5, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 8, 8), np.float32))
+
+    def test_identity_kernel(self):
+        layer = Conv2d("c", 1, 1, 3, rng=0)
+        layer.params["w"][:] = 0
+        layer.params["w"][0, 0, 1, 1] = 1.0
+        x = _RNG.standard_normal((1, 1, 6, 6)).astype(np.float32)
+        assert np.allclose(layer.forward(x, training=False), x, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2d("c", 1, 1, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 4, 4), np.float32))
+
+
+class TestConv3d:
+    def test_gradients(self):
+        layer = Conv3d("c3", 2, 3, 3, rng=4)
+        check_gradients(
+            layer, _RNG.standard_normal((2, 2, 5, 6, 4)).astype(np.float32)
+        )
+
+    def test_same_padding_shape(self):
+        layer = Conv3d("c3", 1, 2, 3)
+        y = layer.forward(np.zeros((1, 1, 8, 8, 8), np.float32))
+        assert y.shape == (1, 2, 8, 8, 8)
+
+
+class TestDense:
+    def test_gradients(self):
+        layer = Dense("d", 11, 7, rng=5)
+        check_gradients(layer, _RNG.standard_normal((4, 11)).astype(np.float32))
+
+    def test_linearity(self):
+        layer = Dense("d", 3, 2, rng=6)
+        x = _RNG.standard_normal((2, 3)).astype(np.float32)
+        y1 = layer.forward(2 * x, training=False)
+        y0 = layer.forward(np.zeros_like(x), training=False)
+        y = layer.forward(x, training=False)
+        assert np.allclose(y1 - y0, 2 * (y - y0), atol=1e-4)
+
+
+class TestActivations:
+    def test_relu_gradients(self):
+        check_gradients(ReLU(), _RNG.standard_normal((3, 8)).astype(np.float32) + 0.05)
+
+    def test_relu_clamps(self):
+        y = ReLU().forward(np.array([-1.0, 0.0, 2.0], dtype=np.float32))
+        assert list(y) == [0.0, 0.0, 2.0]
+
+    def test_leaky_relu_gradients(self):
+        check_gradients(
+            LeakyReLU(slope=0.2),
+            _RNG.standard_normal((3, 8)).astype(np.float32) + 0.05,
+        )
+
+    def test_leaky_relu_negative_slope(self):
+        y = LeakyReLU(slope=0.1).forward(np.array([-10.0], dtype=np.float32))
+        assert y[0] == pytest.approx(-1.0)
+
+
+class TestMaxPool:
+    def test_forward_2d(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = MaxPool("p", 2).forward(x)
+        assert y.shape == (1, 1, 2, 2)
+        assert np.array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradients_2d(self):
+        # add noise so maxima are unique (ties split gradients)
+        x = _RNG.standard_normal((2, 3, 6, 8)).astype(np.float32)
+        check_gradients(MaxPool("p", 2), x)
+
+    def test_gradients_3d(self):
+        x = _RNG.standard_normal((1, 2, 4, 4, 4)).astype(np.float32)
+        check_gradients(MaxPool("p3", 3), x)
+
+    def test_tie_splitting_conserves_gradient(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pool = MaxPool("p", 2)
+        pool.forward(x)
+        dx = pool.backward(np.array([[[[1.0]]]], dtype=np.float32))
+        assert dx.sum() == pytest.approx(1.0)
+        assert np.allclose(dx, 0.25)
+
+    def test_odd_spatial_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool("p", 2).forward(np.zeros((1, 1, 3, 4), np.float32))
+
+
+class TestUpsample:
+    def test_forward_2d(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        y = Upsample("u", 2).forward(x)
+        assert y.shape == (1, 1, 4, 4)
+        assert np.array_equal(y[0, 0, :2, :2], [[1, 1], [1, 1]])
+
+    def test_gradients(self):
+        check_gradients(
+            Upsample("u", 2),
+            _RNG.standard_normal((2, 2, 3, 4)).astype(np.float32),
+        )
+
+    def test_adjoint_of_repeat(self):
+        # backward must sum the 2x2 blocks
+        up = Upsample("u", 2)
+        up.forward(np.zeros((1, 1, 1, 1), np.float32))
+        dy = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        assert up.backward(dy)[0, 0, 0, 0] == 6.0
+
+
+class TestFlattenDropoutConcat:
+    def test_flatten_roundtrip(self):
+        fl = Flatten()
+        x = _RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        y = fl.forward(x)
+        assert y.shape == (2, 12)
+        assert fl.backward(y).shape == x.shape
+
+    def test_dropout_inference_identity(self):
+        drop = Dropout("d", 0.5, seed=1)
+        x = np.ones((4, 4), np.float32)
+        assert np.array_equal(drop.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self):
+        drop = Dropout("d", 0.5, seed=2)
+        x = np.ones((200, 200), np.float32)
+        y = drop.forward(x, training=True)
+        assert abs(y.mean() - 1.0) < 0.05  # inverted dropout
+
+    def test_dropout_mask_applied_to_grads(self):
+        drop = Dropout("d", 0.5, seed=3)
+        x = np.ones((10, 10), np.float32)
+        y = drop.forward(x, training=True)
+        dx = drop.backward(np.ones_like(y))
+        assert np.array_equal(dx == 0, y == 0)
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout("d", 1.0)
+
+    def test_concat_backward_splits(self):
+        a = np.ones((1, 2, 3, 3), np.float32)
+        b = np.ones((1, 5, 3, 3), np.float32)
+        y = Concat.forward([a, b])
+        assert y.shape == (1, 7, 3, 3)
+        da, db = Concat.backward(np.ones_like(y), [2, 5])
+        assert da.shape == a.shape and db.shape == b.shape
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        from repro.ml.layers import BatchNorm
+
+        bn = BatchNorm("bn", 3)
+        x = _RNG.standard_normal((8, 3, 6, 6)).astype(np.float32) * 5 + 2
+        y = bn.forward(x)
+        means = y.mean(axis=(0, 2, 3))
+        stds = y.std(axis=(0, 2, 3))
+        assert np.allclose(means, 0, atol=1e-5)
+        assert np.allclose(stds, 1, atol=1e-4)
+
+    def test_gradients(self):
+        from repro.ml.layers import BatchNorm
+
+        # FD must use training-mode forwards: eval mode normalizes with
+        # *running* stats, a different function than the one backward
+        # differentiates
+        rng = np.random.default_rng(77)
+        layer = BatchNorm("bn", 2)
+        x = rng.standard_normal((4, 2, 5, 5)).astype(np.float32)
+        y = layer.forward(x.copy(), training=True)
+        dy = rng.standard_normal(y.shape).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x, training=True)
+            return float((out.astype(np.float64) * dy).sum())
+
+        dx = layer.backward(dy)
+        eps = 1e-3
+        for pname in ("gamma", "beta"):
+            g = layer.grads[pname]
+            p = layer.params[pname]
+            for i in range(p.size):
+                orig = p[i]
+                p[i] = orig + eps
+                l1 = loss()
+                p[i] = orig - eps
+                l2 = loss()
+                p[i] = orig
+                fd = (l1 - l2) / (2 * eps)
+                assert abs(fd - g[i]) / max(abs(fd), 1e-4) < 1e-2, pname
+        xf = x.reshape(-1)
+        dxf = dx.reshape(-1)
+        for i in rng.choice(xf.size, 6, replace=False):
+            orig = xf[i]
+            xf[i] = orig + eps
+            l1 = loss()
+            xf[i] = orig - eps
+            l2 = loss()
+            xf[i] = orig
+            fd = (l1 - l2) / (2 * eps)
+            assert abs(fd - dxf[i]) / max(abs(fd), abs(dxf[i]), 1e-3) < 5e-2
+
+    def test_running_stats_used_in_eval(self):
+        from repro.ml.layers import BatchNorm
+
+        bn = BatchNorm("bn", 2, momentum=1.0)  # adopt batch stats directly
+        x = _RNG.standard_normal((16, 2, 4, 4)).astype(np.float32) * 3 + 1
+        bn.forward(x, training=True)
+        y_eval = bn.forward(x, training=False)
+        assert np.allclose(y_eval.mean(axis=(0, 2, 3)), 0, atol=1e-4)
+
+    def test_gamma_beta_applied(self):
+        from repro.ml.layers import BatchNorm
+
+        bn = BatchNorm("bn", 1)
+        bn.params["gamma"][:] = 2.0
+        bn.params["beta"][:] = 5.0
+        x = _RNG.standard_normal((8, 1, 4)).astype(np.float32)
+        y = bn.forward(x)
+        assert abs(y.mean() - 5.0) < 1e-4
+        assert abs(y.std() - 2.0) < 1e-3
+
+    def test_validation(self):
+        from repro.ml.layers import BatchNorm
+        import pytest
+
+        with pytest.raises(ValueError):
+            BatchNorm("bn", 0)
+        with pytest.raises(ValueError):
+            BatchNorm("bn", 2, momentum=0.0)
+        bn = BatchNorm("bn", 2)
+        with pytest.raises(ValueError):
+            bn.forward(np.zeros((2, 3, 4), np.float32))
+
+
+class TestDilatedConv:
+    def test_dilated_shape_preserved(self):
+        layer = Conv2d("c", 1, 1, 3, rng=0, dilation=3)
+        y = layer.forward(np.zeros((1, 1, 12, 14), np.float32))
+        assert y.shape == (1, 1, 12, 14)
+
+    def test_dilated_gradients(self):
+        layer = Conv2d("c", 2, 2, 3, rng=5, dilation=2)
+        check_gradients(
+            layer, _RNG.standard_normal((2, 2, 9, 9)).astype(np.float32),
+            tol=1e-2,  # FP32 FD noise; the analytic path is exact
+        )
+
+    def test_dilation_one_matches_default(self):
+        a = Conv2d("a", 1, 1, 3, rng=7)
+        b = Conv2d("b", 1, 1, 3, rng=7, dilation=1)
+        x = _RNG.standard_normal((1, 1, 6, 6)).astype(np.float32)
+        assert np.allclose(a.forward(x, training=False),
+                           b.forward(x, training=False))
+
+    def test_dilated_receptive_field(self):
+        # a dilation-2 3x3 kernel reads taps 2 apart: an impulse at the
+        # centre spreads to offsets {-2, 0, +2}
+        layer = Conv2d("c", 1, 1, 3, rng=0, dilation=2)
+        layer.params["w"][:] = 1.0
+        layer.params["b"][:] = 0.0
+        x = np.zeros((1, 1, 9, 9), np.float32)
+        x[0, 0, 4, 4] = 1.0
+        y = layer.forward(x, training=False)
+        nz = np.argwhere(y[0, 0] != 0)
+        offsets = {tuple(p - 4) for p in nz}
+        assert offsets == {(dy, dx) for dy in (-2, 0, 2) for dx in (-2, 0, 2)}
+
+    def test_dilation_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Conv2d("c", 1, 1, 3, dilation=0)

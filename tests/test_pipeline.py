@@ -1,0 +1,281 @@
+"""Tests for sources, ops, pipeline graph, executor, and loader."""
+
+import numpy as np
+import pytest
+
+from repro.accel.device import V100, SimulatedGpu
+from repro.core.plugins import CosmoflowLutPlugin, DeepcamDeltaPlugin
+from repro.datasets import cosmoflow, deepcam
+from repro.pipeline import (
+    CachedSource,
+    DataLoader,
+    ListSource,
+    TfRecordSource,
+    TierSource,
+)
+from repro.pipeline.executor import PrefetchExecutor
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.ops import (
+    CastOp,
+    DecodeOp,
+    LabelTransformOp,
+    PipelineItem,
+    RandomFlipOp,
+    ReadOp,
+)
+from repro.storage import SampleCache, Tier, TierSpec, tfrecord
+
+
+@pytest.fixture(scope="module")
+def deepcam_blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(5, cfg, seed=1)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+class TestSources:
+    def test_list_source(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        src = ListSource(blobs)
+        assert len(src) == 5
+        assert src.read(2) == blobs[2]
+
+    def test_tier_source(self, tmp_path, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        tier = Tier(TierSpec("t", 1, 1, 0), tmp_path)
+        names = []
+        for i, b in enumerate(blobs):
+            tier.write(f"s{i}", b)
+            names.append(f"s{i}")
+        src = TierSource(tier, names)
+        assert len(src) == 5
+        assert src.read(3) == blobs[3]
+
+    def test_tfrecord_source(self, tmp_path, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        path = tmp_path / "d.tfr"
+        with tfrecord.TfRecordWriter(path) as w:
+            for b in blobs:
+                w.write(b)
+        src = TfRecordSource(path)
+        assert len(src) == 5
+        assert src.read(4) == blobs[4]
+
+    def test_cached_source_hits(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        cache = SampleCache(10**9)
+        src = CachedSource(ListSource(blobs), cache)
+        src.read(0)
+        src.read(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_cached_source_small_cache_evicts(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        cache = SampleCache(len(blobs[0]) + 1)  # one blob fits
+        src = CachedSource(ListSource(blobs), cache)
+        for i in range(5):
+            src.read(i)
+        for i in range(5):
+            src.read(i)
+        assert cache.stats.hit_rate < 0.5
+
+
+class TestOps:
+    def test_read_decode_chain(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        item = pipe.run(1)
+        assert item.tensor is not None and item.tensor.dtype == np.float16
+        assert item.blob is None  # freed after decode
+        assert item.meta["stored_bytes"] == len(blobs[1])
+
+    def test_decode_requires_read(self, deepcam_blobs):
+        plugin, _ = deepcam_blobs
+        with pytest.raises(ValueError):
+            DecodeOp(plugin)(PipelineItem(index=0))
+
+    def test_flip_is_deterministic_per_epoch_and_index(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        op = RandomFlipOp(probability=0.5)
+        outs = []
+        for _ in range(2):
+            item = PipelineItem(index=3, meta={"epoch": 2})
+            item.blob = blobs[3]
+            item = DecodeOp(plugin)(item)
+            outs.append(op(item).tensor.copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_flip_flips_label_with_tensor(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        # probability 1: always flips
+        op = RandomFlipOp(probability=1.0)
+        item = PipelineItem(index=0)
+        item.blob = blobs[0]
+        item = DecodeOp(plugin)(item)
+        t0, l0 = item.tensor.copy(), item.label.copy()
+        item = op(item)
+        assert np.array_equal(item.tensor, t0[..., ::-1])
+        assert np.array_equal(item.label, l0[..., ::-1])
+
+    def test_flip_probability_zero(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        op = RandomFlipOp(probability=0.0)
+        item = PipelineItem(index=0)
+        item.blob = blobs[0]
+        item = DecodeOp(plugin)(item)
+        t0 = item.tensor.copy()
+        assert np.array_equal(op(item).tensor, t0)
+
+    def test_label_transform(self):
+        item = PipelineItem(index=0, label=np.array([2.0]))
+        out = LabelTransformOp(lambda l: l * 3)(item)
+        assert out.label[0] == 6.0
+
+    def test_cast_op(self):
+        item = PipelineItem(index=0, tensor=np.ones(3, np.float16))
+        out = CastOp(np.float32)(item)
+        assert out.tensor.dtype == np.float32
+
+    def test_pipeline_rejects_duplicate_stage_names(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        with pytest.raises(ValueError):
+            Pipeline([ReadOp(ListSource(blobs)), ReadOp(ListSource(blobs))])
+
+    def test_stage_times_recorded(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        pipe.run(0)
+        times = pipe.stage_times()
+        assert set(times) == {"read", "decode"}
+        assert times["decode"] > 0
+
+
+class TestExecutor:
+    def _pipe(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        return Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+
+    def test_sync_and_threaded_agree(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        sync = [i.tensor for i in PrefetchExecutor(pipe, 0).run([0, 1, 2, 3])]
+        thr = [i.tensor for i in PrefetchExecutor(pipe, 3, 2).run([0, 1, 2, 3])]
+        for a, b in zip(sync, thr):
+            assert np.array_equal(a, b)
+
+    def test_order_preserved(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        order = [4, 0, 3, 1, 2]
+        items = list(PrefetchExecutor(pipe, 2, 2).run(order))
+        assert [i.index for i in items] == order
+
+    def test_exception_propagates(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        with pytest.raises(IndexError):
+            list(PrefetchExecutor(pipe, 2, 2).run([0, 99]))
+
+    def test_early_close_does_not_hang(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        gen = PrefetchExecutor(pipe, 2, 1).run([0, 1, 2, 3, 4])
+        next(gen)
+        gen.close()  # must not deadlock
+
+    def test_validation(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        with pytest.raises(ValueError):
+            PrefetchExecutor(pipe, num_workers=-1)
+        with pytest.raises(ValueError):
+            PrefetchExecutor(pipe, prefetch_depth=0)
+
+
+class TestDataLoader:
+    def test_batches_shapes(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=0)
+        batches = list(dl.batches(0))
+        assert len(batches) == 3  # 5 samples -> 2+2+1
+        assert batches[0][0].shape == (2, 4, 16, 24)
+        assert batches[-1][0].shape[0] == 1
+
+    def test_shuffle_differs_by_epoch_but_reproducible(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=1, seed=3)
+        assert not np.array_equal(dl.epoch_order(0), dl.epoch_order(1))
+        dl2 = DataLoader(ListSource(blobs), plugin, batch_size=1, seed=3)
+        assert np.array_equal(dl.epoch_order(0), dl2.epoch_order(0))
+
+    def test_no_shuffle_sequential(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=1, shuffle=False)
+        assert list(dl.epoch_order(0)) == [0, 1, 2, 3, 4]
+
+    def test_len(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        assert len(DataLoader(ListSource(blobs), plugin, batch_size=2)) == 3
+
+    def test_gpu_plugin_with_device(self):
+        cfg = cosmoflow.CosmoflowConfig(grid=8, n_particles=3000)
+        ds = cosmoflow.generate_dataset(3, cfg, seed=2)
+        plugin = CosmoflowLutPlugin("gpu")
+        blobs = [plugin.encode(s.data, s.label) for s in ds]
+        dev = SimulatedGpu(spec=V100)
+        dl = DataLoader(
+            ListSource(blobs), plugin, batch_size=3, device=dev,
+            extra_ops=[LabelTransformOp(cosmoflow.normalize_label)],
+        )
+        (batch, labels), = list(dl.batches(0))
+        assert batch.dtype == np.float16
+        assert labels.shape == (3, 4)
+        assert np.abs(labels).max() <= 1.01  # normalized parameters
+        assert dev.busy_seconds > 0
+
+    def test_batch_size_validation(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        with pytest.raises(ValueError):
+            DataLoader(ListSource(blobs), plugin, batch_size=0)
+
+
+class TestExecutorDeadlockRegression:
+    def test_small_depth_out_of_order_completion(self, deepcam_blobs):
+        """Regression: depth < workers with inverted task durations used to
+        deadlock (slots were acquired after task pickup, so a fast later
+        task could hold the only slot while the consumer waited on an
+        earlier one)."""
+        import time
+
+        from repro.pipeline.graph import Pipeline
+        from repro.pipeline.ops import Op, PipelineItem, ReadOp
+
+        class SlowEarly(Op):
+            name = "slow_early"
+
+            def __call__(self, item: PipelineItem) -> PipelineItem:
+                # earlier indices take longer -> completion inverts order
+                time.sleep(0.05 if item.index == 0 else 0.001)
+                item.tensor = np.zeros(1)
+                item.label = np.zeros(1)
+                return item
+
+        _, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), SlowEarly()])
+        for _ in range(5):  # repeat to give the race a chance
+            ex = PrefetchExecutor(pipe, num_workers=2, prefetch_depth=1)
+            items = list(ex.run([0, 1, 2, 3, 4]))
+            assert [i.index for i in items] == [0, 1, 2, 3, 4]
+
+
+class TestDropLast:
+    def test_drop_last_discards_partial(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs  # 5 samples
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2,
+                        shuffle=False, drop_last=True)
+        batches = list(dl.batches(0))
+        assert len(batches) == 2 == len(dl)
+        assert all(b.shape[0] == 2 for b, _ in batches)
+
+    def test_drop_last_noop_when_divisible(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs[:4]), plugin, batch_size=2,
+                        shuffle=False, drop_last=True)
+        assert sum(b.shape[0] for b, _ in dl.batches(0)) == 4

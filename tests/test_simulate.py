@@ -1,0 +1,418 @@
+"""Tests for the DES engine, machine models, trace, and training simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.plugins.base import SampleCost
+from repro.experiments.config import COSMOFLOW, DEEPCAM, cosmoflow_costs, deepcam_costs
+from repro.simulate import (
+    CORI_A100,
+    CORI_V100,
+    MACHINES,
+    SUMMIT,
+    TrainSimConfig,
+    WorkloadSpec,
+    simulate_node,
+)
+from repro.simulate.events import Barrier, Environment, Resource, Store
+from repro.simulate.trace import Trace
+
+
+class TestEngine:
+    def test_timeout_ordering(self):
+        env = Environment()
+        log = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+
+        env.process(proc(2.0, "b"))
+        env.process(proc(1.0, "a"))
+        env.run()
+        assert log == [(1.0, "a"), (2.0, "b")]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(10.0)
+            fired.append(True)
+
+        env.process(proc())
+        env.run(until=5.0)
+        assert env.now == 5.0 and not fired
+        env.run()
+        assert fired
+
+    def test_resource_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        done = []
+
+        def worker(i):
+            yield from res.acquire(1.0)
+            done.append((env.now, i))
+
+        for i in range(3):
+            env.process(worker(i))
+        env.run()
+        assert [t for t, _ in done] == [1.0, 2.0, 3.0]
+
+    def test_resource_capacity_parallelism(self):
+        env = Environment()
+        res = Resource(env, capacity=3)
+        done = []
+
+        def worker():
+            yield from res.acquire(1.0)
+            done.append(env.now)
+
+        for _ in range(3):
+            env.process(worker())
+        env.run()
+        assert done == [1.0, 1.0, 1.0]
+
+    def test_resource_release_without_acquire(self):
+        env = Environment()
+        res = Resource(env)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_store_bounded_blocking(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                times.append(("put", env.now, i))
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                times.append(("got", env.now, item))
+                yield env.timeout(1.0)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        got = [t for t in times if t[0] == "got"]
+        assert [g[2] for g in got] == [0, 1, 2]  # FIFO order
+
+    def test_barrier_synchronizes(self):
+        env = Environment()
+        bar = Barrier(env, 3)
+        release_times = []
+
+        def party(delay):
+            yield env.timeout(delay)
+            yield bar.wait()
+            release_times.append(env.now)
+
+        for d in (1.0, 5.0, 3.0):
+            env.process(party(d))
+        env.run()
+        assert release_times == [5.0, 5.0, 5.0]
+
+    def test_barrier_reusable(self):
+        env = Environment()
+        bar = Barrier(env, 2)
+        rounds = []
+
+        def party(i):
+            for r in range(2):
+                yield env.timeout(i + 1)
+                yield bar.wait()
+                rounds.append((r, i, env.now))
+
+        env.process(party(0))
+        env.process(party(1))
+        env.run()
+        assert len(rounds) == 4
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+        with pytest.raises(ValueError):
+            Barrier(env, 0)
+
+
+class TestMachines:
+    def test_table1_fields(self):
+        assert SUMMIT.gpus_per_node == 6
+        assert CORI_V100.gpus_per_node == 8
+        assert CORI_A100.gpus_per_node == 8
+        assert SUMMIT.host_mem_gb == 512
+        assert CORI_A100.host_mem_gb == 1056
+        assert SUMMIT.link.name == "NVLink"
+        assert CORI_V100.link.name == "PCIe3"
+        assert CORI_A100.link.name == "PCIe4"
+
+    def test_nvme_from_table1(self):
+        gib = 1024**3
+        assert CORI_V100.nvme.read_bw_gbps == pytest.approx(3.2 * gib / 1e9)
+        assert SUMMIT.nvme.read_bw_gbps == pytest.approx(5.5 * gib / 1e9)
+        assert CORI_A100.nvme.capacity_bytes == pytest.approx(15.4e12)
+
+    def test_registry(self):
+        assert set(MACHINES) == {"Summit", "Cori-V100", "Cori-A100"}
+
+
+class TestTrace:
+    def test_record_and_breakdown(self):
+        tr = Trace()
+        tr.record("gpu_compute", 0, 0.0, 2.0)
+        tr.record("gpu_compute", 1, 0.0, 1.0)
+        tr.record("h2d_copy", 0, 2.0, 2.5)
+        assert tr.total("gpu_compute") == 3.0
+        assert tr.total("gpu_compute", gpu=0) == 2.0
+        shares = tr.breakdown_shares()
+        assert shares["gpu_compute"] == pytest.approx(3.0 / 3.5)
+
+    def test_invalid_records(self):
+        tr = Trace()
+        with pytest.raises(ValueError):
+            tr.record("coffee_break", 0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.record("gpu_compute", 0, 2.0, 1.0)
+
+    def test_empty_shares(self):
+        assert sum(Trace().breakdown_shares().values()) == 0.0
+
+
+def _mini_workload():
+    return WorkloadSpec(
+        name="mini", sample_elems=1000, flops_per_sample=1e9,
+        model_grad_bytes=10**6, cpu_ns_per_elem=100.0,
+    )
+
+
+def _mini_cost(stored=10**6, h2d=10**6, cpu_elems=1000, gpu_s=0.0):
+    return SampleCost(
+        stored_bytes=stored, h2d_bytes=h2d, decoded_bytes=h2d,
+        cpu_preprocess_elems=cpu_elems, gpu_decode_seconds=gpu_s,
+    )
+
+
+class TestTrainSim:
+    def _run(self, **kwargs):
+        defaults = dict(
+            machine=CORI_V100, workload=_mini_workload(), cost=_mini_cost(),
+            plugin_name="t", placement="cpu", samples_per_gpu=16,
+            batch_size=2, staged=True, epochs=2, sim_samples_cap=16,
+        )
+        defaults.update(kwargs)
+        return simulate_node(TrainSimConfig(**defaults))
+
+    def test_deterministic(self):
+        a = self._run()
+        b = self._run()
+        assert a.node_samples_per_s == b.node_samples_per_s
+        assert a.elapsed_s == b.elapsed_s
+
+    def test_throughput_positive(self):
+        r = self._run()
+        assert r.node_samples_per_s > 0
+        assert r.elapsed_s > 0
+
+    def test_cached_small_set_faster_after_first_epoch(self):
+        r = self._run(samples_per_gpu=8, sim_samples_cap=8,
+                      cost=_mini_cost(stored=10**8), epochs=3)
+        assert r.cache_hit_rate == 1.0
+        assert r.node_samples_per_s >= r.first_epoch_samples_per_s
+
+    def test_oversized_dataset_partial_hits(self):
+        huge = int(CORI_V100.cache_bytes)  # per-sample ~ cache size / 8 / 16
+        r = self._run(cost=_mini_cost(stored=huge // 32))
+        assert 0 < r.cache_hit_rate < 1
+
+    def test_more_cpu_work_is_slower(self):
+        fast = self._run(cost=_mini_cost(cpu_elems=10**5))
+        slow = self._run(cost=_mini_cost(cpu_elems=10**7))
+        assert slow.node_samples_per_s < fast.node_samples_per_s
+
+    def test_gzip_decompression_costs(self):
+        plain = self._run(cost=_mini_cost(cpu_elems=10**6))
+        gz = self._run(cost=_mini_cost(cpu_elems=10**6), gzip_level=0.2)
+        assert gz.node_samples_per_s < plain.node_samples_per_s
+
+    def test_gpu_decode_share_accounted(self):
+        r = self._run(placement="gpu",
+                      cost=_mini_cost(cpu_elems=0, gpu_s=1e-3))
+        assert r.decode_share > 0
+        assert r.trace.total("gpu_decode") > 0
+
+    def test_trace_covers_all_gpus(self):
+        r = self._run()
+        gpus = {iv.gpu for iv in r.trace.intervals}
+        assert gpus == set(range(CORI_V100.gpus_per_node))
+
+    def test_utilization_reported_and_bounded(self):
+        r = self._run()
+        assert set(r.utilization) == {"storage", "cpu", "link", "gpu"}
+        for v in r.utilization.values():
+            assert 0.0 <= v <= 1.0 + 1e-9
+
+    def test_base_is_cpu_bound_plugin_is_gpu_bound(self):
+        base = self._run(cost=_mini_cost(cpu_elems=10**7))
+        plug = self._run(placement="gpu",
+                         cost=_mini_cost(cpu_elems=0, gpu_s=1e-3))
+        assert base.utilization["cpu"] > 0.7
+        assert base.utilization["gpu"] < base.utilization["cpu"]
+        assert plug.utilization["cpu"] == 0.0
+        # the mini workload's compute is tiny, so storage shares the load;
+        # the GPU must still carry far more than the (idle) CPU
+        assert plug.utilization["gpu"] > 0.3
+
+    def test_pinned_h2d_not_slower(self):
+        pageable = self._run(cost=_mini_cost(h2d=10**8))
+        pinned = self._run(cost=_mini_cost(h2d=10**8), pinned_h2d=True)
+        assert pinned.node_samples_per_s >= pageable.node_samples_per_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._run(placement="tpu")
+        with pytest.raises(ValueError):
+            self._run(batch_size=0)
+        with pytest.raises(ValueError):
+            self._run(gzip_level=1.5)
+        with pytest.raises(ValueError):
+            self._run(batch_size=32, sim_samples_cap=16)
+
+
+class TestPaperShape:
+    """Coarse assertions that the calibrated model reproduces the paper's
+    qualitative results (the fine-grained numbers live in EXPERIMENTS.md)."""
+
+    def _tp(self, machine, workload, cost, placement, spg, staged=True,
+            bs=4, gz=0.0):
+        cfg = TrainSimConfig(
+            machine=machine, workload=workload, cost=cost, plugin_name="x",
+            placement=placement, samples_per_gpu=spg, batch_size=bs,
+            staged=staged, gzip_level=gz, epochs=3, sim_samples_cap=32,
+        )
+        return simulate_node(cfg).node_samples_per_s
+
+    def test_cosmoflow_small_speedups(self):
+        costs = cosmoflow_costs()
+        for m, lo, hi in ((SUMMIT, 4, 9), (CORI_V100, 3, 6), (CORI_A100, 3, 6)):
+            base = self._tp(m, COSMOFLOW, costs["base"], "cpu", 128)
+            plug = self._tp(m, COSMOFLOW, costs["plugin"], "gpu", 128)
+            assert lo < plug / base < hi, m.name
+
+    def test_cosmoflow_gzip_slower_when_cached(self):
+        costs = cosmoflow_costs()
+        base = self._tp(CORI_V100, COSMOFLOW, costs["base"], "cpu", 128)
+        gz = self._tp(CORI_V100, COSMOFLOW, costs["gzip"], "cpu", 128, gz=0.2)
+        assert 1.1 < base / gz < 1.8  # paper: "up to 1.5x"
+
+    def test_cosmoflow_large_order_of_magnitude(self):
+        costs = cosmoflow_costs()
+        base = self._tp(CORI_V100, COSMOFLOW, costs["base"], "cpu", 2048,
+                        staged=False)
+        plug = self._tp(CORI_V100, COSMOFLOW, costs["plugin"], "gpu", 2048,
+                        staged=False)
+        assert plug / base > 7  # "up to an order of magnitude"
+
+    def test_cosmoflow_staging_helps_cori_large(self):
+        costs = cosmoflow_costs()
+        st = self._tp(CORI_V100, COSMOFLOW, costs["base"], "cpu", 2048, True)
+        un = self._tp(CORI_V100, COSMOFLOW, costs["base"], "cpu", 2048, False)
+        assert 1.2 < st / un < 2.2  # paper: "up to 1.5x"
+
+    def test_cosmoflow_summit_staging_indifferent(self):
+        costs = cosmoflow_costs()
+        st = self._tp(SUMMIT, COSMOFLOW, costs["base"], "cpu", 2048, True)
+        un = self._tp(SUMMIT, COSMOFLOW, costs["base"], "cpu", 2048, False)
+        assert abs(st / un - 1) < 0.12  # paper: "within 10%"
+
+    def test_deepcam_speedups(self):
+        costs = deepcam_costs()
+        for m, lo, hi in ((CORI_V100, 2.0, 3.5), (CORI_A100, 2.0, 3.6)):
+            spg = 1536 // m.gpus_per_node
+            base = self._tp(m, DEEPCAM, costs["base"], "cpu", spg)
+            gpu = self._tp(m, DEEPCAM, costs["gpu"], "gpu", spg)
+            cpu = self._tp(m, DEEPCAM, costs["cpu"], "cpu", spg)
+            assert lo < gpu / base < hi, m.name
+            assert 1.2 < cpu / base < gpu / base + 0.2, m.name
+
+    def test_deepcam_gpu_plugin_leverages_a100(self):
+        # paper: up to 2.2x over the V100 generation with the plugin
+        costs = deepcam_costs()
+        v = self._tp(CORI_V100, DEEPCAM, costs["gpu"], "gpu", 192)
+        a = self._tp(CORI_A100, DEEPCAM, costs["gpu"], "gpu", 192)
+        assert 1.6 < a / v < 2.6
+
+    def test_deepcam_baseline_insensitive_to_gpu_generation(self):
+        # paper: "baseline performance does not improve when migrating from
+        # Cori-V100 to the faster Cori-A100"
+        costs = deepcam_costs()
+        v = self._tp(CORI_V100, DEEPCAM, costs["base"], "cpu", 192)
+        a = self._tp(CORI_A100, DEEPCAM, costs["base"], "cpu", 192)
+        assert a / v < 2.3  # far below the 2.6x compute gap
+
+    def test_deepcam_large_dataset_slowdown(self):
+        costs = deepcam_costs()
+        small = self._tp(CORI_V100, DEEPCAM, costs["base"], "cpu", 192,
+                         staged=False)
+        large = self._tp(CORI_V100, DEEPCAM, costs["base"], "cpu", 1536,
+                         staged=False)
+        assert 1.1 < small / large < 2.6  # paper: 1.2-2.4x
+
+    def test_decode_overheads_match_paper(self):
+        cfg = TrainSimConfig(
+            machine=CORI_V100, workload=DEEPCAM,
+            cost=deepcam_costs()["gpu"], plugin_name="gpu",
+            placement="gpu", samples_per_gpu=192, batch_size=4,
+            staged=True, epochs=3, sim_samples_cap=32,
+        )
+        r = simulate_node(cfg)
+        assert 0.01 < r.decode_share < 0.08  # paper: ~4%
+        cfg2 = TrainSimConfig(
+            machine=CORI_V100, workload=COSMOFLOW,
+            cost=cosmoflow_costs()["plugin"], plugin_name="plugin",
+            placement="gpu", samples_per_gpu=128, batch_size=4,
+            staged=True, epochs=3, sim_samples_cap=32,
+        )
+        r2 = simulate_node(cfg2)
+        assert r2.decode_share < 0.01  # paper: <1%
+
+
+class TestWarmupSeries:
+    def test_epoch_series_shows_cache_warmup(self):
+        from repro.experiments.config import COSMOFLOW, cosmoflow_costs
+
+        cfg = TrainSimConfig(
+            machine=CORI_V100, workload=COSMOFLOW,
+            cost=cosmoflow_costs()["base"], plugin_name="base",
+            placement="cpu", samples_per_gpu=128, batch_size=4,
+            staged=False, epochs=4, sim_samples_cap=32,
+        )
+        r = simulate_node(cfg)
+        series = r.epoch_samples_per_s
+        assert len(series) == 4
+        # cold first epoch (PFS streaming), cache-warmed afterwards
+        assert series[0] < series[1]
+        assert abs(series[-1] - series[-2]) / series[-1] < 0.15
+
+    def test_single_epoch_series(self):
+        r = simulate_node(TrainSimConfig(
+            machine=CORI_V100, workload=_mini_workload(), cost=_mini_cost(),
+            plugin_name="t", placement="cpu", samples_per_gpu=8,
+            batch_size=2, staged=True, epochs=1, sim_samples_cap=8,
+        ))
+        assert len(r.epoch_samples_per_s) == 1
+        assert r.epoch_samples_per_s[0] == pytest.approx(
+            r.first_epoch_samples_per_s
+        )

@@ -1,0 +1,62 @@
+"""Tests for trace export/import round-trips."""
+
+import csv
+
+import pytest
+
+from repro.simulate.trace import Trace
+
+
+@pytest.fixture()
+def trace():
+    t = Trace()
+    t.record("gpu_compute", 0, 0.0, 1.5)
+    t.record("cpu_preprocess", 1, 0.25, 0.75)
+    t.record("h2d_copy", 0, 1.5, 1.6)
+    return t
+
+
+class TestExport:
+    def test_json_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        assert trace.to_json(path) == 3
+        back = Trace.from_json(path)
+        assert back.breakdown() == trace.breakdown()
+        assert len(back.intervals) == 3
+        assert back.intervals[0].activity == "gpu_compute"
+
+    def test_csv_export(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert trace.to_csv(path) == 3
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["activity", "gpu", "start", "end"]
+        assert len(rows) == 4
+        assert rows[1][0] == "gpu_compute"
+
+    def test_empty_trace(self, tmp_path):
+        t = Trace()
+        assert t.to_json(tmp_path / "e.json") == 0
+        assert len(Trace.from_json(tmp_path / "e.json").intervals) == 0
+
+    def test_from_json_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"activity": "nap", "gpu": 0, "start": 0, "end": 1}]')
+        with pytest.raises(ValueError):
+            Trace.from_json(path)
+
+    def test_simulation_trace_exports(self, tmp_path):
+        from repro.core.plugins.base import SampleCost
+        from repro.simulate import CORI_V100, TrainSimConfig, WorkloadSpec, simulate_node
+
+        wl = WorkloadSpec(name="t", sample_elems=1000,
+                          flops_per_sample=1e9, model_grad_bytes=10**6)
+        cost = SampleCost(stored_bytes=10**6, h2d_bytes=10**6,
+                          decoded_bytes=10**6, cpu_preprocess_elems=1000)
+        r = simulate_node(TrainSimConfig(
+            machine=CORI_V100, workload=wl, cost=cost, plugin_name="t",
+            placement="cpu", samples_per_gpu=8, batch_size=2, staged=True,
+            epochs=1, sim_samples_cap=8,
+        ))
+        n = r.trace.to_json(tmp_path / "sim.json")
+        assert n == len(r.trace.intervals) > 0
