@@ -10,6 +10,11 @@ for the common dataset chores:
 * ``bench``     — time decode throughput of a record file on this machine.
 * ``stats``     — codec-level statistics of encoded samples (line modes,
   table sizes, compression).
+* ``verify``    — integrity-check every container in a record file
+  (container-v2 CRC32s); non-zero exit when corruption is found.
+* ``chaos``     — run epochs over a record file under seeded fault
+  injection with retries and a bad-sample policy; prints the retry and
+  quarantine report.
 """
 
 from __future__ import annotations
@@ -164,6 +169,123 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    rows = []
+    bad = 0
+    samples = enumerate(_iter_samples(args.input, args.gzip))
+    while True:
+        try:
+            i, blob = next(samples)
+        except StopIteration:
+            break
+        except ValueError as exc:
+            # the record framing itself is damaged; nothing after this
+            # point in the file can be trusted, so report and stop
+            bad += 1
+            rows.append([len(rows), "?", "CORRUPT (record framing)"])
+            if args.verbose:
+                print(f"record framing: {exc}", file=sys.stderr)
+            break
+        try:
+            version = container.verify_sample(blob, sample_id=i)
+        except ValueError as exc:  # includes CorruptSampleError
+            bad += 1
+            section = getattr(exc, "section", "structure") or "structure"
+            rows.append([i, "?", f"CORRUPT ({section})"])
+            if args.verbose:
+                print(f"sample {i}: {exc}", file=sys.stderr)
+        else:
+            rows.append([i, f"v{version}",
+                         "ok" if version >= 2 else "ok (no checksums)"])
+    print_table(["sample", "format", "integrity"], rows)
+    print(f"{len(rows)} samples, {bad} corrupt")
+    return 1 if bad else 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.pipeline import DataLoader, ListSource
+    from repro.robust import (
+        FaultInjector,
+        FaultPlan,
+        RetryingSource,
+        RetryPolicy,
+    )
+
+    plugin = _make_plugin(args.workload, args.representation)
+    blobs = list(_iter_samples(args.input, args.gzip))
+    if not blobs:
+        raise SystemExit("no records in input")
+    try:
+        corrupt_ids = frozenset(
+            int(t) for t in args.corrupt.split(",") if t.strip() != ""
+        )
+    except ValueError:
+        raise SystemExit(
+            f"--corrupt expects a comma-separated list of sample ids, "
+            f"got {args.corrupt!r}"
+        )
+    try:
+        plan = FaultPlan(
+            io_error_rate=args.io_error_rate,
+            truncate_rate=args.truncate_rate,
+            bitflip_rate=args.bitflip_rate,
+            latency_rate=args.latency_rate,
+            latency_s=args.latency_s,
+            corrupt_ids=corrupt_ids,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault plan: {exc}")
+    injector = FaultInjector(ListSource(blobs), plan)
+    source = RetryingSource(
+        injector,
+        RetryPolicy(
+            max_attempts=args.retries,
+            base_delay_s=args.backoff_s,
+            timeout_s=args.read_timeout_s,
+        ),
+        verify=True,
+        seed=args.seed,
+    )
+    loader = DataLoader(
+        source,
+        plugin,
+        batch_size=args.batch_size,
+        shuffle=True,
+        seed=args.seed,
+        num_workers=args.workers,
+        bad_sample_policy=args.policy,
+        verify_reads=True,
+    )
+    n_batches = n_samples = 0
+    try:
+        for epoch in range(args.epochs):
+            for batch, _ in loader.batches(epoch):
+                n_batches += 1
+                n_samples += batch.shape[0]
+    except Exception as exc:
+        idx = getattr(exc, "sample_index", "?")
+        print(f"epoch aborted at sample {idx}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        rs, fs = source.stats, injector.stats
+        print(
+            f"chaos: {n_samples} samples / {n_batches} batches over "
+            f"{args.epochs} epoch(s) [policy={args.policy}]"
+        )
+        print(
+            f"faults injected: {dict(fs.injected) or 'none'} "
+            f"over {fs.reads} reads"
+        )
+        print(
+            f"retries: {rs.retries}, aborts: {rs.aborts}, "
+            f"verify failures: {rs.verify_failures}, "
+            f"backoff {rs.backoff_seconds * 1e3:.1f} ms"
+        )
+        print(loader.quarantine.report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -204,6 +326,48 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--input", required=True)
     st.add_argument("--gzip", action="store_true")
     st.set_defaults(func=cmd_stats)
+
+    v = sub.add_parser("verify", help="integrity-check a record file")
+    v.add_argument("--input", required=True)
+    v.add_argument("--gzip", action="store_true")
+    v.add_argument("--verbose", action="store_true",
+                   help="print each corruption detail to stderr")
+    v.set_defaults(func=cmd_verify)
+
+    c = sub.add_parser(
+        "chaos", help="run epochs under fault injection with retries"
+    )
+    c.add_argument("--workload", choices=("cosmoflow", "deepcam"),
+                   required=True)
+    c.add_argument("--representation", choices=("base", "plugin"),
+                   default="plugin")
+    c.add_argument("--input", required=True)
+    c.add_argument("--gzip", action="store_true")
+    c.add_argument("--epochs", type=int, default=1)
+    c.add_argument("--batch-size", type=int, default=2)
+    c.add_argument("--workers", type=int, default=2)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--io-error-rate", type=float, default=0.0,
+                   help="probability of a transient IOError per read")
+    c.add_argument("--truncate-rate", type=float, default=0.0,
+                   help="probability of a truncated blob per read")
+    c.add_argument("--bitflip-rate", type=float, default=0.0,
+                   help="probability of a flipped bit per read")
+    c.add_argument("--latency-rate", type=float, default=0.0,
+                   help="probability of a latency spike per read")
+    c.add_argument("--latency-s", type=float, default=0.01,
+                   help="duration of one injected latency spike")
+    c.add_argument("--corrupt", default="",
+                   help="comma-separated sample ids corrupted at rest")
+    c.add_argument("--retries", type=int, default=3,
+                   help="max read attempts (RetryingSource)")
+    c.add_argument("--backoff-s", type=float, default=0.001,
+                   help="base exponential-backoff delay")
+    c.add_argument("--read-timeout-s", type=float, default=None,
+                   help="per-read wall-clock budget incl. retries")
+    c.add_argument("--policy", choices=("raise", "skip", "substitute"),
+                   default="raise", help="bad-sample policy")
+    c.set_defaults(func=cmd_chaos)
     return p
 
 

@@ -7,14 +7,23 @@ reconstruct the codec state without out-of-band information.  Labels are
 carried losslessly (paper §VIII-A: "for both applications, we use lossless
 compression of the labels"), via zlib.
 
-Layout::
+Layout (version 2)::
 
-    b"RPRS" | u8 version | u8 codec | u16 pad | u32 header_len
-    header (UTF-8 JSON)   — shapes, dtypes, section offsets
+    b"RPRS" | u8 version | u8 codec | u16 flags | u32 header_len | u32 header_crc
+    header (UTF-8 JSON)   — shapes, dtypes, section offsets, section CRC32s
     payload sections      — raw bytes, back-to-back
 
-The JSON header costs a few hundred bytes per sample, negligible against
-multi-megabyte payloads, and keeps the format debuggable.
+``header_crc`` is the CRC32 of the JSON header bytes; the header's
+``"crcs"`` list carries one CRC32 per payload section, so every byte after
+the fixed prefix is integrity-checked.  A mismatch raises
+:class:`CorruptSampleError` naming the failing section — blobs migrate
+PFS → NVMe → host cache → device, and each hop is a chance for silent
+corruption that must never decode to garbage tensors.
+
+Version-1 blobs (no checksums, ``<4sBBHI`` prefix) are still read; their
+verification is a no-op.  The JSON header costs a few hundred bytes per
+sample, negligible against multi-megabyte payloads, and keeps the format
+debuggable.
 """
 
 from __future__ import annotations
@@ -32,17 +41,22 @@ __all__ = [
     "CODEC_RAW",
     "CODEC_DELTA",
     "CODEC_LUT",
+    "CorruptSampleError",
     "pack_raw_sample",
     "pack_delta_sample",
     "pack_lut_sample",
     "unpack_sample",
+    "verify_sample",
     "peek_codec",
+    "peek_version",
 ]
 
 _MAGIC = b"RPRS"
-_VERSION = 1
-_HEADER_FMT = "<4sBBHI"
-_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_VERSION = 2
+_V1_HEADER_FMT = "<4sBBHI"
+_V1_HEADER_SIZE = struct.calcsize(_V1_HEADER_FMT)
+_V2_HEADER_FMT = "<4sBBHII"
+_V2_HEADER_SIZE = struct.calcsize(_V2_HEADER_FMT)
 
 CODEC_RAW = 0
 CODEC_DELTA = 1
@@ -51,7 +65,35 @@ CODEC_LUT = 2
 _CODEC_NAMES = {CODEC_RAW: "raw", CODEC_DELTA: "delta", CODEC_LUT: "lut"}
 
 
-def _assemble(codec: int, header: dict, sections: list[bytes]) -> bytes:
+class CorruptSampleError(ValueError):
+    """A container failed integrity verification.
+
+    Subclasses :class:`ValueError` so pre-checksum error handling keeps
+    working; carries enough context for quarantine reports.
+
+    Attributes
+    ----------
+    sample_id:
+        The dataset-level identity of the sample (index or name) when the
+        caller supplied one, else ``None``.
+    section:
+        Which part of the container mismatched: ``"header"``, ``"payload"``
+        (truncation), or ``"section <i>"`` for one payload section.
+    """
+
+    def __init__(self, detail: str, *, sample_id=None, section: str | None = None):
+        self.sample_id = sample_id
+        self.section = section
+        where = f" in {section}" if section else ""
+        ident = f" (sample {sample_id!r})" if sample_id is not None else ""
+        super().__init__(f"corrupt container{where}{ident}: {detail}")
+
+
+def _assemble(
+    codec: int, header: dict, sections: list[bytes], version: int = _VERSION
+) -> bytes:
+    if version not in (1, _VERSION):
+        raise ValueError(f"cannot write container version {version}")
     offsets = []
     pos = 0
     for blob in sections:
@@ -59,28 +101,107 @@ def _assemble(codec: int, header: dict, sections: list[bytes]) -> bytes:
         pos += len(blob)
     header = dict(header)
     header["sections"] = offsets
+    if version >= 2:
+        header["crcs"] = [zlib.crc32(blob) for blob in sections]
     hdr_json = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    prefix = struct.pack(_HEADER_FMT, _MAGIC, _VERSION, codec, 0, len(hdr_json))
+    if version == 1:
+        prefix = struct.pack(_V1_HEADER_FMT, _MAGIC, 1, codec, 0, len(hdr_json))
+    else:
+        prefix = struct.pack(
+            _V2_HEADER_FMT, _MAGIC, version, codec, 0, len(hdr_json),
+            zlib.crc32(hdr_json),
+        )
     return b"".join([prefix, hdr_json] + sections)
 
 
-def _parse(data: bytes) -> tuple[int, dict, memoryview]:
-    if len(data) < _HEADER_SIZE:
+def _parse(
+    data: bytes, *, verify: bool = True, sample_id=None
+) -> tuple[int, int, dict, memoryview]:
+    """Split a container into ``(version, codec, header, body)``.
+
+    With ``verify`` (the default) the v2 header CRC is checked here and the
+    per-section CRCs are checked against the body; v1 blobs carry no
+    checksums, so for them verification is a no-op.
+    """
+    if len(data) < _V1_HEADER_SIZE:
         raise ValueError("container truncated")
-    magic, version, codec, _, hdr_len = struct.unpack_from(_HEADER_FMT, data)
+    magic, version, codec, _, hdr_len = struct.unpack_from(_V1_HEADER_FMT, data)
     if magic != _MAGIC:
         raise ValueError("bad container magic")
-    if version != _VERSION:
+    if version == 1:
+        prefix_size = _V1_HEADER_SIZE
+        hdr_crc = None
+    elif version == _VERSION:
+        if len(data) < _V2_HEADER_SIZE:
+            raise ValueError("container truncated")
+        _, _, _, _, hdr_len, hdr_crc = struct.unpack_from(_V2_HEADER_FMT, data)
+        prefix_size = _V2_HEADER_SIZE
+    else:
         raise ValueError(f"unsupported container version {version}")
-    hdr_end = _HEADER_SIZE + hdr_len
-    header = json.loads(bytes(data[_HEADER_SIZE:hdr_end]).decode("utf-8"))
-    return codec, header, memoryview(data)[hdr_end:]
+    hdr_end = prefix_size + hdr_len
+    if len(data) < hdr_end:
+        raise ValueError("container truncated")
+    hdr_json = bytes(data[prefix_size:hdr_end])
+    if verify and hdr_crc is not None and zlib.crc32(hdr_json) != hdr_crc:
+        raise CorruptSampleError(
+            "header checksum mismatch", sample_id=sample_id, section="header"
+        )
+    header = json.loads(hdr_json.decode("utf-8"))
+    body = memoryview(data)[hdr_end:]
+    if verify:
+        _verify_sections(header, body, sample_id)
+    return version, codec, header, body
+
+
+def _verify_sections(header: dict, body: memoryview, sample_id) -> None:
+    crcs = header.get("crcs")
+    if crcs is None:  # version-1 blob: nothing to check
+        return
+    sections = header["sections"]
+    if len(crcs) != len(sections):
+        raise CorruptSampleError(
+            "section/CRC count mismatch", sample_id=sample_id, section="header"
+        )
+    end = sections[-1][0] + sections[-1][1] if sections else 0
+    if len(body) < end:
+        raise CorruptSampleError(
+            f"payload truncated ({len(body)} < {end} bytes)",
+            sample_id=sample_id,
+            section="payload",
+        )
+    for i, ((off, size), crc) in enumerate(zip(sections, crcs)):
+        if zlib.crc32(body[off : off + size]) != crc:
+            raise CorruptSampleError(
+                "payload checksum mismatch",
+                sample_id=sample_id,
+                section=f"section {i}",
+            )
+
+
+def verify_sample(data: bytes, sample_id=None) -> int:
+    """Integrity-check a container without decoding its payload.
+
+    Returns the container version.  Raises :class:`CorruptSampleError` on
+    any checksum mismatch or payload truncation, and plain ``ValueError``
+    on structural damage (bad magic, unknown version).  Version-1 blobs
+    carry no checksums, so only their structure is checked.
+    """
+    version, codec, _, _ = _parse(data, verify=True, sample_id=sample_id)
+    if codec not in _CODEC_NAMES:
+        raise ValueError(f"unknown codec id {codec}")
+    return version
 
 
 def peek_codec(data: bytes) -> str:
     """Return the codec name of a container without full parsing."""
-    codec, _, _ = _parse(data)
+    _, codec, _, _ = _parse(data, verify=False)
     return _CODEC_NAMES[codec]
+
+
+def peek_version(data: bytes) -> int:
+    """Return the container format version of a blob."""
+    version, _, _, _ = _parse(data, verify=False)
+    return version
 
 
 def _label_header(label: np.ndarray) -> dict:
@@ -98,7 +219,10 @@ def _unpack_label(meta: dict, blob: bytes) -> np.ndarray:
 
 
 def pack_raw_sample(
-    sample: np.ndarray, label: np.ndarray, extra: dict | None = None
+    sample: np.ndarray,
+    label: np.ndarray,
+    extra: dict | None = None,
+    version: int = _VERSION,
 ) -> bytes:
     """Container for an unencoded (baseline) sample."""
     sample = np.ascontiguousarray(sample)
@@ -108,13 +232,16 @@ def pack_raw_sample(
         "label": _label_header(label),
         "extra": extra or {},
     }
-    return _assemble(CODEC_RAW, header, [sample.tobytes(), _pack_label(label)])
+    return _assemble(
+        CODEC_RAW, header, [sample.tobytes(), _pack_label(label)], version
+    )
 
 
 def pack_delta_sample(
     channels: list[DeltaEncodedImage],
     label: np.ndarray,
     extra: dict | None = None,
+    version: int = _VERSION,
 ) -> bytes:
     """Container for a DeepCAM sample: one delta-encoded image per channel."""
     if not channels:
@@ -143,11 +270,14 @@ def pack_delta_sample(
         sections.append(enc.line_offsets.astype("<u8").tobytes())
         sections.append(enc.payload)
     sections.append(_pack_label(label))
-    return _assemble(CODEC_DELTA, header, sections)
+    return _assemble(CODEC_DELTA, header, sections, version)
 
 
 def pack_lut_sample(
-    enc: LutEncodedSample, label: np.ndarray, extra: dict | None = None
+    enc: LutEncodedSample,
+    label: np.ndarray,
+    extra: dict | None = None,
+    version: int = _VERSION,
 ) -> bytes:
     """Container for a CosmoFlow sample: keys + lookup tables."""
     header = {
@@ -170,10 +300,10 @@ def pack_lut_sample(
         sections.append(np.ascontiguousarray(t.keys).tobytes())
         sections.append(np.ascontiguousarray(t.values).tobytes())
     sections.append(_pack_label(label))
-    return _assemble(CODEC_LUT, header, sections)
+    return _assemble(CODEC_LUT, header, sections, version)
 
 
-def unpack_sample(data: bytes):
+def unpack_sample(data: bytes, *, verify: bool = True, sample_id=None):
     """Parse any container.
 
     Returns ``(codec_name, payload, label, extra)`` where ``payload`` is
@@ -183,8 +313,12 @@ def unpack_sample(data: bytes):
     * ``lut``   — a :class:`LutEncodedSample`,
 
     and ``extra`` is the plugin metadata dict passed at pack time.
+
+    With ``verify`` (the default) version-2 checksums are validated first
+    and a mismatch raises :class:`CorruptSampleError` tagged with
+    ``sample_id``; version-1 blobs parse as before, unchecked.
     """
-    codec, header, body = _parse(data)
+    _, codec, header, body = _parse(data, verify=verify, sample_id=sample_id)
     sections = header["sections"]
 
     def section(i: int) -> memoryview:

@@ -6,6 +6,7 @@ returning an :class:`repro.experiments.harness.ExperimentResult`.
 """
 
 from repro.experiments import (
+    chaos,
     claims,
     config,
     fig5,
@@ -22,6 +23,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "chaos",
     "claims",
     "config",
     "fig5",

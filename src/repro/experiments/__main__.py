@@ -12,8 +12,8 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import (
-    claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, tables,
-    time_to_accuracy,
+    chaos, claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+    tables, time_to_accuracy,
 )
 
 _RUNNERS = {
@@ -29,6 +29,7 @@ _RUNNERS = {
     "fig12": lambda: fig12.run(),
     "claims": lambda: claims.run(),
     "tta": lambda: time_to_accuracy.run(),
+    "chaos": lambda: chaos.run(),
 }
 
 

@@ -1,0 +1,140 @@
+"""Chaos experiment: the fault-tolerant data path under injected failures.
+
+Not a paper exhibit — a robustness exhibit for the reproduction itself.
+Three scenarios over one small DeepCAM-style dataset:
+
+* **clean** — the reference epoch, no faults;
+* **transient** — 5% injected transient ``IOError`` per read, recovered by
+  :class:`~repro.robust.retry.RetryingSource`; the batch stream must be
+  *bit-identical* to the clean epoch (retries change timing, never data);
+* **permanent** — a fixed subset of samples corrupted at rest, detected by
+  container-v2 checksums and survived with ``bad_sample_policy="skip"``;
+  the quarantine must list exactly the corrupted sample ids.
+
+Scriptable knobs mirror the CLI's ``chaos`` subcommand, so the same
+scenario matrix can run from ``python -m repro.experiments chaos`` or a
+shell one-liner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.experiments.harness import ExperimentResult
+from repro.pipeline import DataLoader, ListSource
+from repro.robust import FaultInjector, FaultPlan, RetryingSource, RetryPolicy
+
+__all__ = ["run"]
+
+
+def _epoch(loader: DataLoader, epoch: int = 0):
+    return list(loader.batches(epoch))
+
+
+def _identical(a, b) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x[0], y[0]) and np.array_equal(x[1], y[1])
+        for x, y in zip(a, b)
+    )
+
+
+def run(
+    n_samples: int = 16,
+    io_error_rate: float = 0.05,
+    n_corrupt: int = 2,
+    retries: int = 5,
+    batch_size: int = 4,
+    num_workers: int = 2,
+    seed: int = 0,
+    quiet: bool = False,
+) -> ExperimentResult:
+    """Run the three chaos scenarios and assert their invariants."""
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(n_samples, cfg, seed=seed)
+    blobs = [plugin.encode(s.data, s.label) for s in ds]
+
+    def make_loader(source, policy="raise"):
+        return DataLoader(
+            source,
+            plugin,
+            batch_size=batch_size,
+            shuffle=True,
+            seed=seed,
+            num_workers=num_workers,
+            bad_sample_policy=policy,
+            verify_reads=True,
+        )
+
+    result = ExperimentResult(
+        exhibit="Chaos",
+        title="fault-tolerant data path under injected failures",
+        headers=[
+            "scenario", "batches", "retries", "aborts", "quarantined",
+            "identical to clean",
+        ],
+    )
+
+    # -- clean reference ---------------------------------------------------
+    clean_loader = make_loader(ListSource(blobs))
+    clean = _epoch(clean_loader)
+    result.add("clean", len(clean), 0, 0, 0, "—")
+
+    # -- transient I/O faults + retry -------------------------------------
+    injector = FaultInjector(
+        ListSource(blobs), FaultPlan(io_error_rate=io_error_rate, seed=seed)
+    )
+    retrying = RetryingSource(
+        injector,
+        RetryPolicy(max_attempts=retries, base_delay_s=0.0),
+        verify=True,
+        seed=seed,
+    )
+    transient_loader = make_loader(retrying)
+    transient = _epoch(transient_loader)
+    transient_ok = _identical(clean, transient)
+    result.add(
+        f"transient {io_error_rate:.0%} IOError",
+        len(transient),
+        retrying.stats.retries,
+        retrying.stats.aborts,
+        0,
+        "yes" if transient_ok else "NO",
+    )
+    result.findings["transient_identical"] = float(transient_ok)
+    result.findings["transient_retries"] = float(retrying.stats.retries)
+
+    # -- permanent corruption + skip policy -------------------------------
+    corrupt_ids = frozenset(
+        int(i)
+        for i in np.random.default_rng(seed).choice(
+            n_samples, size=min(n_corrupt, n_samples), replace=False
+        )
+    )
+    corrupted = FaultInjector(
+        ListSource(blobs), FaultPlan(corrupt_ids=corrupt_ids, seed=seed)
+    )
+    skip_loader = make_loader(corrupted, policy="skip")
+    survived = _epoch(skip_loader)
+    quarantined = set(skip_loader.quarantine.ids())
+    exact = quarantined == set(corrupt_ids)
+    result.add(
+        f"permanent corrupt x{len(corrupt_ids)} + skip",
+        len(survived),
+        0,
+        0,
+        len(quarantined),
+        "n/a (skips)",
+    )
+    result.findings["quarantine_exact"] = float(exact)
+    result.findings["samples_survived"] = float(
+        sum(b.shape[0] for b, _ in survived)
+    )
+
+    if not quiet:
+        print(result.render())
+        if skip_loader.quarantine:
+            print(skip_loader.quarantine.report())
+    return result

@@ -7,6 +7,7 @@ augmentation), ``graph.Pipeline`` chains ops with per-stage timing,
 """
 
 from repro.pipeline import executor, graph, loader, ops, sources
+from repro.pipeline.executor import FailedItem, PrefetchExecutor
 from repro.pipeline.loader import DataLoader
 from repro.pipeline.sources import (
     CachedSource,
@@ -23,6 +24,8 @@ __all__ = [
     "ops",
     "sources",
     "DataLoader",
+    "FailedItem",
+    "PrefetchExecutor",
     "CachedSource",
     "ListSource",
     "SampleSource",

@@ -6,20 +6,38 @@ queue and a bounded, *order-preserving* output buffer (determinism matters:
 the convergence experiments must be replayable bit-for-bit).  NumPy releases
 the GIL inside the heavy decode kernels, so threads genuinely overlap even
 on CPython.
+
+Failure isolation: a worker exception never wedges the output buffer — it
+is recorded at the failing item's position and surfaces to the consumer
+exactly when that position is reached, tagged with the failing sample
+index (``exc.sample_index``).  With ``on_error="yield"`` the failure is
+handed over as a :class:`FailedItem` instead of raised, which is how the
+loader implements skip/substitute policies without losing its place in the
+epoch; the remaining workers keep running either way and shut down cleanly
+when the generator closes.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.ops import PipelineItem
 
-__all__ = ["PrefetchExecutor"]
+__all__ = ["PrefetchExecutor", "FailedItem"]
 
 _SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class FailedItem:
+    """A pipeline failure delivered in-band (``on_error="yield"``)."""
+
+    index: int
+    error: Exception
 
 
 class PrefetchExecutor:
@@ -54,17 +72,36 @@ class PrefetchExecutor:
         self.num_workers = num_workers
         self.prefetch_depth = prefetch_depth
 
-    def run(self, indices: Sequence[int], epoch: int = 0) -> Iterator[PipelineItem]:
-        """Yield processed items in the order of ``indices``."""
+    def run(
+        self, indices: Sequence[int], epoch: int = 0, on_error: str = "raise"
+    ) -> Iterator[PipelineItem | FailedItem]:
+        """Yield processed items in the order of ``indices``.
+
+        ``on_error="raise"`` (default) re-raises a worker exception at the
+        failing item's position with ``sample_index`` attached;
+        ``on_error="yield"`` delivers it as a :class:`FailedItem` and
+        continues with the next index.
+        """
+        if on_error not in ("raise", "yield"):
+            raise ValueError(f"on_error must be 'raise' or 'yield', got {on_error!r}")
         if self.num_workers == 0:
             for idx in indices:
-                yield self.pipeline.run(idx, epoch)
+                try:
+                    yield self.pipeline.run(idx, epoch)
+                except Exception as exc:
+                    if on_error == "yield":
+                        yield FailedItem(index=idx, error=exc)
+                    else:
+                        exc.sample_index = idx  # type: ignore[attr-defined]
+                        raise
             return
-        yield from self._run_threaded(list(indices), epoch)
+        yield from self._run_threaded(list(indices), epoch, on_error)
 
-    def _run_threaded(self, indices: list[int], epoch: int) -> Iterator[PipelineItem]:
+    def _run_threaded(
+        self, indices: list[int], epoch: int, on_error: str
+    ) -> Iterator[PipelineItem | FailedItem]:
         work: queue.Queue = queue.Queue()
-        done: dict[int, PipelineItem | Exception] = {}
+        done: dict[int, PipelineItem | FailedItem] = {}
         done_lock = threading.Condition()
         # Admission window: workers may run at most prefetch_depth ahead of
         # the consumer, bounding memory.
@@ -88,9 +125,11 @@ class PrefetchExecutor:
                     return
                 pos, idx = task
                 try:
-                    result: PipelineItem | Exception = self.pipeline.run(idx, epoch)
+                    result: PipelineItem | FailedItem = self.pipeline.run(
+                        idx, epoch
+                    )
                 except Exception as exc:  # propagate to the consumer
-                    result = exc
+                    result = FailedItem(index=idx, error=exc)
                 with done_lock:
                     done[pos] = result
                     done_lock.notify_all()
@@ -108,8 +147,10 @@ class PrefetchExecutor:
                         done_lock.wait()
                     result = done.pop(pos)
                 window.release()
-                if isinstance(result, Exception):
-                    raise result
+                if isinstance(result, FailedItem) and on_error == "raise":
+                    exc = result.error
+                    exc.sample_index = result.index  # type: ignore[attr-defined]
+                    raise exc
                 yield result
         finally:
             # Early close: drain pending tasks, then unblock every worker —

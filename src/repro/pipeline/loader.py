@@ -5,6 +5,14 @@ both applications needs to be modified, while the model and its interface
 to the data feeder is maintained."  The loader yields ``(batch, labels)``
 NumPy arrays ready for the training loop regardless of which plugin
 (baseline or optimized, CPU- or GPU-placed) prepared the samples.
+
+Fault handling: ``bad_sample_policy`` decides what a failed read/decode
+does to the epoch — ``"raise"`` stops training (the exception carries the
+failing sample index), ``"skip"`` drops the sample, ``"substitute"``
+replaces it with the most recent good sample so batch geometry is
+preserved.  Either way the failure is quarantined
+(:class:`~repro.robust.quarantine.QuarantineLog`) with its error and
+epoch, so a completed run still reports exactly which samples were bad.
 """
 
 from __future__ import annotations
@@ -15,13 +23,16 @@ import numpy as np
 
 from repro.accel.device import SimulatedGpu
 from repro.core.plugins.base import SamplePlugin
-from repro.pipeline.executor import PrefetchExecutor
+from repro.pipeline.executor import FailedItem, PrefetchExecutor
 from repro.pipeline.graph import Pipeline
-from repro.pipeline.ops import DecodeOp, Op, ReadOp
+from repro.pipeline.ops import DecodeOp, Op, PipelineItem, ReadOp
 from repro.pipeline.sources import SampleSource
+from repro.robust.quarantine import QuarantineLog
 from repro.util.rng import make_rng
 
-__all__ = ["DataLoader"]
+__all__ = ["DataLoader", "BAD_SAMPLE_POLICIES"]
+
+BAD_SAMPLE_POLICIES = ("raise", "skip", "substitute")
 
 
 class DataLoader:
@@ -49,6 +60,15 @@ class DataLoader:
     drop_last:
         Discard a trailing partial batch (data-parallel training needs
         every step's global batch divisible by the rank count).
+    bad_sample_policy:
+        ``"raise"`` (default) propagates the first failure with its sample
+        index attached; ``"skip"`` drops failed samples from the epoch;
+        ``"substitute"`` repeats the most recent good sample in their
+        place (falling back to a skip before the first good one).
+        Non-raise policies quarantine every failure.
+    verify_reads:
+        Checksum-verify each blob right after the read stage (container v2
+        integrity; v1 blobs pass unchecked).
     """
 
     def __init__(
@@ -63,16 +83,25 @@ class DataLoader:
         num_workers: int = 0,
         prefetch_depth: int = 4,
         drop_last: bool = False,
+        bad_sample_policy: str = "raise",
+        verify_reads: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if bad_sample_policy not in BAD_SAMPLE_POLICIES:
+            raise ValueError(
+                f"bad_sample_policy must be one of {BAD_SAMPLE_POLICIES}, "
+                f"got {bad_sample_policy!r}"
+            )
         self.source = source
         self.plugin = plugin
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.seed = seed
         self.drop_last = drop_last
-        ops: list[Op] = [ReadOp(source), DecodeOp(plugin, device)]
+        self.bad_sample_policy = bad_sample_policy
+        self.quarantine = QuarantineLog()
+        ops: list[Op] = [ReadOp(source, verify=verify_reads), DecodeOp(plugin, device)]
         ops.extend(extra_ops or [])
         self.pipeline = Pipeline(ops)
         self.executor = PrefetchExecutor(
@@ -80,7 +109,7 @@ class DataLoader:
         )
 
     def __len__(self) -> int:
-        """Number of batches per epoch."""
+        """Number of batches per epoch (ignoring quarantined samples)."""
         n = len(self.source)
         if self.drop_last:
             return n // self.batch_size
@@ -96,11 +125,25 @@ class DataLoader:
     def batches(self, epoch: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(stacked_tensors, stacked_labels)`` for one epoch."""
         order = self.epoch_order(epoch)
+        on_error = "raise" if self.bad_sample_policy == "raise" else "yield"
+        last_good: PipelineItem | None = None
         pending_t: list[np.ndarray] = []
         pending_l: list[np.ndarray] = []
-        for item in self.executor.run(order.tolist(), epoch=epoch):
-            pending_t.append(item.tensor)
-            pending_l.append(item.label)
+        for item in self.executor.run(order.tolist(), epoch=epoch, on_error=on_error):
+            if isinstance(item, FailedItem):
+                if self.bad_sample_policy == "substitute" and last_good is not None:
+                    self.quarantine.record(
+                        item.index, epoch, item.error, "substituted"
+                    )
+                    pending_t.append(last_good.tensor)
+                    pending_l.append(last_good.label)
+                else:
+                    self.quarantine.record(item.index, epoch, item.error, "skipped")
+                    continue
+            else:
+                last_good = item
+                pending_t.append(item.tensor)
+                pending_l.append(item.label)
             if len(pending_t) == self.batch_size:
                 yield np.stack(pending_t), np.stack(pending_l)
                 pending_t, pending_l = [], []
@@ -110,3 +153,26 @@ class DataLoader:
     def stage_times(self) -> dict[str, float]:
         """Accumulated per-stage wall-clock seconds (Fig 9/12 analogue)."""
         return self.pipeline.stage_times()
+
+    def robust_stats(self) -> dict[str, object]:
+        """Fault-handling counters for run reports.
+
+        Includes quarantine totals and, when the source chain exposes them
+        (``RetryingSource``/``FaultInjector`` decorators), retry and
+        injection statistics.
+        """
+        stats: dict[str, object] = {
+            "quarantined": len(self.quarantine),
+            "quarantined_ids": self.quarantine.ids(),
+            **{
+                f"quarantine_{k}": v
+                for k, v in self.quarantine.counts_by_action().items()
+            },
+        }
+        src = self.source
+        while src is not None:
+            own = getattr(src, "stats", None)
+            if own is not None:
+                stats.setdefault(type(src).__name__, own)
+            src = getattr(src, "inner", None)
+        return stats

@@ -16,6 +16,7 @@ from typing import Callable
 import numpy as np
 
 from repro.accel.device import SimulatedGpu
+from repro.core.encoding.container import verify_sample
 from repro.core.plugins.base import SamplePlugin
 from repro.pipeline.sources import SampleSource
 
@@ -52,15 +53,24 @@ class Op(abc.ABC):
 
 
 class ReadOp(Op):
-    """Fetch the container bytes for the item's index from a source."""
+    """Fetch the container bytes for the item's index from a source.
+
+    With ``verify=True`` the blob's container checksums are validated
+    right after the read, so corruption surfaces as a
+    :class:`~repro.core.encoding.container.CorruptSampleError` carrying
+    the sample index — before the decoder can turn it into garbage.
+    """
 
     name = "read"
 
-    def __init__(self, source: SampleSource) -> None:
+    def __init__(self, source: SampleSource, verify: bool = False) -> None:
         self.source = source
+        self.verify = verify
 
     def __call__(self, item: PipelineItem) -> PipelineItem:
         item.blob = self.source.read(item.index)
+        if self.verify:
+            verify_sample(item.blob, sample_id=item.index)
         item.meta["stored_bytes"] = len(item.blob)
         return item
 

@@ -5,12 +5,21 @@ in-memory lists (tests), storage tiers (staged/unstaged experiments),
 record files (CosmoFlow's TFRecord-style storage), and an LRU-caching
 decorator that realizes Figure 1's "cache the training set in the nearest
 memory level that fits" behaviour.
+
+All sources validate the index: out-of-range *and negative* indices raise
+``IndexError`` instead of silently wrapping around Python-style — a
+shuffled epoch order must never alias sample ``-1`` onto the last sample.
+
+Fault-tolerance decorators (fault injection, retrying reads) live in
+:mod:`repro.robust`; they implement the same ``SampleSource`` protocol and
+compose freely with the sources here.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from repro.core.encoding.container import verify_sample
 from repro.storage.cache import SampleCache
 from repro.storage.filesystem import Tier
 from repro.storage.tfrecord import build_index, read_record_at
@@ -33,6 +42,12 @@ class SampleSource(Protocol):
     def read(self, index: int) -> bytes: ...
 
 
+def _check_index(index: int, n: int, what: str) -> int:
+    if not 0 <= index < n:
+        raise IndexError(f"{what} index {index} out of range [0, {n})")
+    return index
+
+
 class ListSource:
     """In-memory blobs — the simplest source, used throughout the tests."""
 
@@ -43,7 +58,7 @@ class ListSource:
         return len(self._blobs)
 
     def read(self, index: int) -> bytes:
-        return self._blobs[index]
+        return self._blobs[_check_index(index, len(self._blobs), "sample")]
 
 
 class TierSource:
@@ -57,7 +72,9 @@ class TierSource:
         return len(self.names)
 
     def read(self, index: int) -> bytes:
-        return self.tier.read(self.names[index])
+        return self.tier.read(
+            self.names[_check_index(index, len(self.names), "sample")]
+        )
 
 
 class TfRecordSource:
@@ -71,7 +88,9 @@ class TfRecordSource:
         return len(self._index)
 
     def read(self, index: int) -> bytes:
-        offset, length = self._index[index]
+        offset, length = self._index[
+            _check_index(index, len(self._index), "record")
+        ]
         return read_record_at(self.path, offset, length)
 
 
@@ -80,11 +99,19 @@ class CachedSource:
 
     Smaller encoded samples ⇒ more of them fit ⇒ higher hit rate — the
     compression-enables-caching effect the paper's optimization relies on.
+
+    With ``verify=True`` every blob coming from the inner source is
+    checksum-verified *before* it is cached: a corrupt blob raises and is
+    never stored, so one bad read can't poison every later epoch from the
+    cache.  (Failed inner reads never reach ``put`` either way.)
     """
 
-    def __init__(self, inner: SampleSource, cache: SampleCache) -> None:
+    def __init__(
+        self, inner: SampleSource, cache: SampleCache, verify: bool = False
+    ) -> None:
         self.inner = inner
         self.cache = cache
+        self.verify = verify
 
     def __len__(self) -> int:
         return len(self.inner)
@@ -93,5 +120,7 @@ class CachedSource:
         blob = self.cache.get(index)
         if blob is None:
             blob = self.inner.read(index)
+            if self.verify:
+                verify_sample(blob, sample_id=index)
             self.cache.put(index, blob)
         return blob

@@ -1,0 +1,37 @@
+"""Fault tolerance for the data path: chaos injection, retries, quarantine.
+
+The paper's pipeline assumes every ``read()`` succeeds and every blob is
+intact; production loaders cannot.  This package supplies the three layers
+of the fault-tolerant data path:
+
+* :mod:`~repro.robust.faults` — seeded, reproducible fault injection
+  (:class:`FaultInjector` for sources, :class:`FaultyTier` for storage
+  tiers) to chaos-test the rest;
+* :mod:`~repro.robust.retry` — :class:`RetryingSource`, bounded retries
+  with exponential backoff + jitter, per-read timeout, and optional
+  checksum verification;
+* :mod:`~repro.robust.quarantine` — :class:`QuarantineLog`, the record of
+  samples the loader skipped or substituted under ``bad_sample_policy``.
+
+Integrity checking itself lives in the container format
+(:func:`repro.core.encoding.container.verify_sample`); this package builds
+the recovery behaviour on top of it.
+"""
+
+from repro.core.encoding.container import CorruptSampleError
+from repro.robust.faults import FaultInjector, FaultPlan, FaultStats, FaultyTier
+from repro.robust.quarantine import QuarantineEntry, QuarantineLog
+from repro.robust.retry import RetryingSource, RetryPolicy, RetryStats
+
+__all__ = [
+    "CorruptSampleError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyTier",
+    "QuarantineEntry",
+    "QuarantineLog",
+    "RetryingSource",
+    "RetryPolicy",
+    "RetryStats",
+]

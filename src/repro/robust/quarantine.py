@@ -1,0 +1,91 @@
+"""Quarantine bookkeeping for samples the pipeline gave up on.
+
+When the loader's ``bad_sample_policy`` skips or substitutes a failing
+sample, the failure must not vanish: the quarantine log records *which*
+sample failed, in *which* epoch, with *what* error, and what the loader
+did about it — so an operator can distinguish "one bad blob on disk" from
+"the NVMe is dying" after the run completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QuarantineEntry", "QuarantineLog"]
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined sample occurrence."""
+
+    sample_id: object
+    epoch: int
+    error_type: str
+    message: str
+    action: str  # "skipped" | "substituted" | "raised"
+
+
+@dataclass
+class QuarantineLog:
+    """Append-only record of bad-sample events."""
+
+    entries: list[QuarantineEntry] = field(default_factory=list)
+
+    def record(
+        self, sample_id: object, epoch: int, error: Exception, action: str
+    ) -> QuarantineEntry:
+        entry = QuarantineEntry(
+            sample_id=sample_id,
+            epoch=epoch,
+            error_type=type(error).__name__,
+            message=str(error),
+            action=action,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def ids(self, epoch: int | None = None) -> list:
+        """Distinct quarantined sample ids (optionally for one epoch), in
+        first-seen order."""
+        seen: dict = {}
+        for e in self.entries:
+            if epoch is None or e.epoch == epoch:
+                seen.setdefault(e.sample_id, None)
+        return list(seen)
+
+    def counts_by_action(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.entries:
+            out[e.action] = out.get(e.action, 0) + 1
+        return out
+
+    def report(self) -> str:
+        """Plain-text table of every quarantine event.
+
+        Rendered locally (not via the experiments harness) so the robust
+        package stays import-light and free of cycles.
+        """
+        if not self.entries:
+            return "quarantine: empty"
+        headers = ["sample", "epoch", "error", "action", "detail"]
+        rows = [
+            [str(e.sample_id), str(e.epoch), e.error_type, e.action, e.message]
+            for e in self.entries
+        ]
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows))
+            for i, h in enumerate(headers)
+        ]
+
+        def line(vals):
+            return "  ".join(v.ljust(w) for v, w in zip(vals, widths))
+
+        out = [line(headers), line(["-" * w for w in widths])]
+        out.extend(line(r) for r in rows)
+        return "\n".join(out)

@@ -1,0 +1,154 @@
+"""Bounded retries with exponential backoff for transient read faults.
+
+``tf.data`` and production loaders treat input-pipeline failure isolation
+as table stakes: a transient PFS hiccup must not kill a multi-hour run.
+:class:`RetryingSource` wraps any ``SampleSource`` with bounded retries,
+exponential backoff with seeded jitter (so replays stay deterministic), a
+per-read wall-clock budget, and retry/abort accounting.  With
+``verify=True`` it also checksums every blob it returns — a bit-flip in
+flight becomes a retryable :class:`CorruptSampleError` instead of garbage
+handed to the decoder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.encoding.container import CorruptSampleError, verify_sample
+
+__all__ = ["RetryPolicy", "RetryStats", "RetryingSource"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for one source.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay_s * 2**k`` before retrying,
+    capped at ``max_delay_s``, with a uniform jitter of ±``jitter`` of the
+    delay.  ``timeout_s`` bounds the whole read — attempts plus backoff —
+    in wall-clock seconds; when the budget cannot fit another delay the
+    read aborts with the last error instead of sleeping past it.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    max_delay_s: float = 0.1
+    jitter: float = 0.5
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        base = min(self.base_delay_s * (2.0 ** attempt), self.max_delay_s)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * rng.random())
+
+
+@dataclass
+class RetryStats:
+    """Accounting across a :class:`RetryingSource`'s lifetime."""
+
+    reads: int = 0  # successful reads
+    retries: int = 0  # individual failed attempts that were retried
+    aborts: int = 0  # reads abandoned after exhausting attempts/budget
+    verify_failures: int = 0  # attempts rejected by checksum verification
+    backoff_seconds: float = 0.0  # total time spent sleeping
+    errors: dict = field(default_factory=dict)  # exception type name → count
+
+    def _count_error(self, exc: Exception) -> None:
+        name = type(exc).__name__
+        self.errors[name] = self.errors.get(name, 0) + 1
+
+
+class RetryingSource:
+    """Retry decorator for any ``SampleSource``.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped source.
+    policy:
+        Backoff/attempt/timeout configuration.
+    verify:
+        Checksum every blob (container v2) before returning it; a mismatch
+        counts as a retryable failure.  v1 blobs pass unchecked.
+    retryable:
+        Exception types worth retrying.  Defaults to transient I/O errors
+        plus :class:`CorruptSampleError` (in-flight corruption re-reads
+        cleanly; at-rest corruption exhausts the budget and surfaces).
+    seed:
+        Seeds the jitter RNG so chaos replays are bit-identical.
+    sleep / clock:
+        Injection points for tests.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        *,
+        verify: bool = False,
+        retryable: tuple = (OSError, TimeoutError, CorruptSampleError),
+        seed: int = 0,
+        sleep=time.sleep,
+        clock=time.monotonic,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.verify = verify
+        self.retryable = retryable
+        self.stats = RetryStats()
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+        self._clock = clock
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def read(self, index: int) -> bytes:
+        policy = self.policy
+        deadline = (
+            self._clock() + policy.timeout_s
+            if policy.timeout_s is not None
+            else None
+        )
+        last_exc: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                blob = self.inner.read(index)
+                if self.verify:
+                    try:
+                        verify_sample(blob, sample_id=index)
+                    except CorruptSampleError:
+                        self.stats.verify_failures += 1
+                        raise
+                self.stats.reads += 1
+                return blob
+            except self.retryable as exc:
+                last_exc = exc
+                self.stats._count_error(exc)
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                delay = policy.delay(attempt, self._rng)
+                if deadline is not None and self._clock() + delay > deadline:
+                    break  # budget exhausted: abort rather than overshoot
+                self.stats.retries += 1
+                if delay > 0:
+                    self._sleep(delay)
+                self.stats.backoff_seconds += delay
+        self.stats.aborts += 1
+        assert last_exc is not None
+        last_exc.retry_attempts = policy.max_attempts  # type: ignore[attr-defined]
+        raise last_exc

@@ -23,6 +23,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    rejected: int = 0  # puts refused because the blob alone exceeds capacity
 
     @property
     def hit_rate(self) -> float:
@@ -62,10 +63,15 @@ class SampleCache:
 
         Returns False (and caches nothing) when the blob alone exceeds
         capacity — oversized samples simply stream every epoch, as they do
-        on the real systems.
+        on the real systems.  A rejected put also invalidates any stale
+        entry under the same key (the caller clearly has a newer value we
+        cannot hold), without disturbing the hit/miss/eviction counters:
+        dropping our own stale copy is neither an eviction nor a miss.
         """
         size = len(blob)
         if size > self.capacity_bytes:
+            self.stats.rejected += 1
+            self.invalidate(key)
             return False
         old = self._entries.pop(key, None)
         if old is not None:
@@ -76,6 +82,18 @@ class SampleCache:
             self.stats.evictions += 1
         self._entries[key] = blob
         self.used_bytes += size
+        return True
+
+    def invalidate(self, key: object) -> bool:
+        """Drop one entry (e.g. its blob failed verification downstream).
+
+        Returns True when something was removed.  Does not touch the
+        hit/miss/eviction statistics.
+        """
+        old = self._entries.pop(key, None)
+        if old is None:
+            return False
+        self.used_bytes -= len(old)
         return True
 
     def clear(self) -> None:

@@ -134,3 +134,137 @@ class TestCorruption:
         blob[4] = 99
         with pytest.raises(ValueError, match="version"):
             container.unpack_sample(bytes(blob))
+
+
+def _lut_blob(seed=2):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 40, size=(4, 6, 6, 6)).astype(np.int16)
+    label = rng.normal(size=4).astype(np.float32)
+    return container.pack_lut_sample(encode_sample(data), label), data, label
+
+
+class TestVerifySample:
+    def test_all_codecs_verify_clean(self):
+        _, channels = _delta_channels()
+        blobs = [
+            container.pack_raw_sample(np.zeros(3, np.float32), np.zeros(1)),
+            container.pack_delta_sample(channels, np.zeros(1)),
+            _lut_blob()[0],
+        ]
+        for blob in blobs:
+            assert container.verify_sample(blob) == 2
+
+    def test_corrupt_raises_with_sample_id_and_section(self):
+        blob = bytearray(
+            container.pack_raw_sample(np.ones(8, np.float32), np.zeros(1))
+        )
+        blob[-1] ^= 0x01  # damage the label section
+        with pytest.raises(container.CorruptSampleError) as ei:
+            container.verify_sample(bytes(blob), sample_id="s42")
+        assert ei.value.sample_id == "s42"
+        assert ei.value.section is not None
+        assert "s42" in str(ei.value)
+
+    def test_corrupt_is_a_value_error(self):
+        # pre-checksum error handling (except ValueError) keeps working
+        assert issubclass(container.CorruptSampleError, ValueError)
+
+    def test_junk_raises_structural_error(self):
+        with pytest.raises(ValueError):
+            container.verify_sample(b"RPRSjunkjunkjunkjunk")
+
+
+class TestCorruptionDetectionAllCodecs:
+    """Truncated and bit-flipped blobs are detected for RAW/DELTA/LUT —
+    never decoded to garbage (satellite task)."""
+
+    def _blobs(self):
+        _, channels = _delta_channels()
+        raw = container.pack_raw_sample(
+            np.arange(24, dtype=np.float32), np.arange(3, dtype=np.int64)
+        )
+        delta = container.pack_delta_sample(channels, np.zeros(2, np.int8))
+        lut = _lut_blob()[0]
+        return {"raw": raw, "delta": delta, "lut": lut}
+
+    def test_bitflip_every_codec(self):
+        for name, blob in self._blobs().items():
+            for frac in (0.3, 0.6, 0.95):
+                buf = bytearray(blob)
+                pos = 16 + int((len(buf) - 17) * frac)
+                buf[pos] ^= 0x10
+                with pytest.raises(container.CorruptSampleError):
+                    container.unpack_sample(bytes(buf), sample_id=name)
+
+    def test_truncation_every_codec(self):
+        for name, blob in self._blobs().items():
+            for cut in (len(blob) - 1, len(blob) - 8, len(blob) * 3 // 4):
+                with pytest.raises(ValueError):
+                    container.unpack_sample(blob[:cut], sample_id=name)
+
+    def test_truncated_payload_names_the_damage(self):
+        blob = self._blobs()["delta"]
+        with pytest.raises(container.CorruptSampleError) as ei:
+            container.verify_sample(blob[: len(blob) - 4], sample_id=9)
+        assert ei.value.section == "payload" or ei.value.section.startswith(
+            "section"
+        )
+
+
+class TestV1BackwardCompatibility:
+    """Containers written before the checksum change must still unpack."""
+
+    def test_raw_v1_roundtrip(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        label = np.array([5, 6], dtype=np.int64)
+        blob = container.pack_raw_sample(data, label, version=1)
+        assert container.peek_version(blob) == 1
+        codec, out, lab, _ = container.unpack_sample(blob)
+        assert codec == "raw"
+        assert np.array_equal(out, data)
+        assert np.array_equal(lab, label)
+
+    def test_delta_v1_roundtrip(self):
+        img, channels = _delta_channels()
+        blob = container.pack_delta_sample(channels, np.zeros(1), version=1)
+        _, out_channels, _, _ = container.unpack_sample(blob)
+        for a, b in zip(channels, out_channels):
+            assert np.array_equal(decode_image(a), decode_image(b))
+
+    def test_lut_v1_roundtrip(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 40, size=(4, 6, 6, 6)).astype(np.int16)
+        blob = container.pack_lut_sample(
+            encode_sample(data), np.zeros(4, np.float32), version=1
+        )
+        _, enc, _, _ = container.unpack_sample(blob)
+        assert np.array_equal(decode_sample(enc), data)
+
+    def test_v1_has_no_checksums_and_verifies_structurally(self):
+        blob = container.pack_raw_sample(
+            np.zeros(4, np.float32), np.zeros(1), version=1
+        )
+        assert container.verify_sample(blob) == 1  # no CRCs → structural only
+
+    def test_v1_prefix_is_the_legacy_12_bytes(self):
+        import struct as _struct
+
+        blob = container.pack_raw_sample(
+            np.zeros(4, np.float32), np.zeros(1), version=1
+        )
+        magic, version, codec, pad, hdr_len = _struct.unpack_from(
+            "<4sBBHI", blob
+        )
+        assert magic == b"RPRS" and version == 1 and pad == 0
+        header = bytes(blob[12 : 12 + hdr_len]).decode()
+        assert '"crcs"' not in header
+
+    def test_v2_is_the_default(self):
+        blob = container.pack_raw_sample(np.zeros(4, np.float32), np.zeros(1))
+        assert container.peek_version(blob) == 2
+
+    def test_unknown_write_version_rejected(self):
+        with pytest.raises(ValueError):
+            container.pack_raw_sample(
+                np.zeros(4, np.float32), np.zeros(1), version=3
+            )

@@ -19,6 +19,7 @@ from repro.pipeline.ops import (
     CastOp,
     DecodeOp,
     LabelTransformOp,
+    Op,
     PipelineItem,
     RandomFlipOp,
     ReadOp,
@@ -279,3 +280,164 @@ class TestDropLast:
         dl = DataLoader(ListSource(blobs[:4]), plugin, batch_size=2,
                         shuffle=False, drop_last=True)
         assert sum(b.shape[0] for b, _ in dl.batches(0)) == 4
+
+
+class TestSourceIndexValidation:
+    """Satellite: negative indices must not wrap around Python-style."""
+
+    def test_list_source_bounds(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        src = ListSource(blobs)
+        for bad in (-1, -5, len(blobs), len(blobs) + 3):
+            with pytest.raises(IndexError):
+                src.read(bad)
+
+    def test_tier_source_bounds(self, tmp_path, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        tier = Tier(TierSpec("t", 1, 1, 0), tmp_path)
+        tier.write("s0", blobs[0])
+        src = TierSource(tier, ["s0"])
+        with pytest.raises(IndexError):
+            src.read(-1)
+        with pytest.raises(IndexError):
+            src.read(1)
+        assert src.read(0) == blobs[0]
+
+    def test_tfrecord_source_bounds(self, tmp_path, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        path = tmp_path / "b.tfr"
+        with tfrecord.TfRecordWriter(path) as w:
+            for b in blobs[:2]:
+                w.write(b)
+        src = TfRecordSource(path)
+        with pytest.raises(IndexError):
+            src.read(-1)
+        with pytest.raises(IndexError):
+            src.read(2)
+
+
+class TestCachedSourceVerification:
+    def test_corrupt_blob_never_cached(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        damaged = bytearray(blobs[0])
+        damaged[-1] ^= 0xFF
+        cache = SampleCache(10**9)
+        src = CachedSource(ListSource([bytes(damaged)]), cache, verify=True)
+        from repro.core.encoding.container import CorruptSampleError
+
+        for _ in range(3):
+            with pytest.raises(CorruptSampleError):
+                src.read(0)
+        assert len(cache) == 0  # the bad blob was never stored
+
+    def test_clean_blob_cached_when_verifying(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        cache = SampleCache(10**9)
+        src = CachedSource(ListSource(blobs), cache, verify=True)
+        assert src.read(1) == blobs[1]
+        assert src.read(1) == blobs[1]
+        assert cache.stats.hits == 1
+
+    def test_failed_inner_read_not_cached(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+
+        class Exploding:
+            def __len__(self):
+                return 1
+
+            def read(self, index):
+                raise IOError("disk on fire")
+
+        cache = SampleCache(10**9)
+        src = CachedSource(Exploding(), cache)
+        with pytest.raises(IOError):
+            src.read(0)
+        assert len(cache) == 0
+
+
+class TestExecutorFailureIsolation:
+    """Satellite regression: one failing sample with num_workers>=2 must
+    surface its exception with the failing index, not hang, and shut the
+    remaining workers down cleanly."""
+
+    class _BoomOnIndex(Op):
+        name = "boom"
+
+        def __init__(self, bad_index):
+            self.bad_index = bad_index
+
+        def __call__(self, item: PipelineItem) -> PipelineItem:
+            if item.index == self.bad_index:
+                raise RuntimeError(f"decode failed for {item.index}")
+            item.tensor = np.full(2, item.index, dtype=np.float32)
+            item.label = np.zeros(1)
+            return item
+
+    def _pipe(self, blobs, bad_index):
+        return Pipeline(
+            [ReadOp(ListSource(blobs)), self._BoomOnIndex(bad_index)]
+        )
+
+    def test_exception_surfaces_with_failing_index_no_hang(
+        self, deepcam_blobs
+    ):
+        import threading
+        import time
+
+        _, blobs = deepcam_blobs
+        before = threading.active_count()
+        ex = PrefetchExecutor(
+            self._pipe(blobs, bad_index=2), num_workers=2, prefetch_depth=2
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError) as ei:
+            list(ex.run([0, 1, 2, 3, 4]))
+        assert time.monotonic() - t0 < 5.0  # no wedged output buffer
+        assert ei.value.sample_index == 2
+        # remaining workers exit: thread count returns to the baseline
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before:
+            assert time.monotonic() < deadline, "workers did not shut down"
+            time.sleep(0.01)
+
+    def test_items_before_failure_are_delivered(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        ex = PrefetchExecutor(
+            self._pipe(blobs, bad_index=3), num_workers=2, prefetch_depth=2
+        )
+        got = []
+        with pytest.raises(RuntimeError):
+            for item in ex.run([0, 1, 2, 3, 4]):
+                got.append(item.index)
+        assert got == [0, 1, 2]  # order preserved right up to the failure
+
+    def test_yield_mode_delivers_failure_in_band(self, deepcam_blobs):
+        from repro.pipeline.executor import FailedItem
+
+        _, blobs = deepcam_blobs
+        for workers in (0, 2):
+            ex = PrefetchExecutor(
+                self._pipe(blobs, bad_index=1), num_workers=workers,
+                prefetch_depth=2,
+            )
+            out = list(ex.run([0, 1, 2], on_error="yield"))
+            assert [type(o).__name__ for o in out] == [
+                "PipelineItem", "FailedItem", "PipelineItem",
+            ]
+            failed = out[1]
+            assert isinstance(failed, FailedItem)
+            assert failed.index == 1
+            assert isinstance(failed.error, RuntimeError)
+
+    def test_sync_mode_attaches_index_too(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        ex = PrefetchExecutor(self._pipe(blobs, bad_index=0), num_workers=0)
+        with pytest.raises(RuntimeError) as ei:
+            list(ex.run([0]))
+        assert ei.value.sample_index == 0
+
+    def test_invalid_on_error_rejected(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        ex = PrefetchExecutor(self._pipe(blobs, 0), num_workers=0)
+        with pytest.raises(ValueError):
+            list(ex.run([0], on_error="explode"))

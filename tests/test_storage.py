@@ -346,3 +346,130 @@ class TestSharding:
         self._write(tmp_path, n_shards=2)
         with pytest.raises(ValueError):
             ShardedSource(tmp_path / "data", 2, worker=2, num_workers=2)
+
+class TestSampleCacheHardening:
+    def test_oversized_put_keeps_stats_clean(self):
+        cache = SampleCache(10)
+        cache.put("a", b"1234")
+        cache.get("a")
+        hits, misses, evictions = (
+            cache.stats.hits, cache.stats.misses, cache.stats.evictions,
+        )
+        assert not cache.put("big", b"x" * 11)
+        assert cache.stats.rejected == 1
+        # rejection is neither a hit, a miss, nor an eviction
+        assert (cache.stats.hits, cache.stats.misses,
+                cache.stats.evictions) == (hits, misses, evictions)
+        assert cache.used_bytes == 4 and len(cache) == 1
+
+    def test_oversized_put_invalidates_stale_entry(self):
+        cache = SampleCache(10)
+        cache.put("a", b"old-value")
+        # the caller holds a newer value too big to store: the stale copy
+        # must not keep serving
+        assert not cache.put("a", b"x" * 11)
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+
+    def test_invalidate(self):
+        cache = SampleCache(100)
+        cache.put("a", b"1234")
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")  # already gone
+        assert "a" not in cache and cache.used_bytes == 0
+
+    def test_eviction_still_consistent_after_rejections(self):
+        cache = SampleCache(10)
+        for i in range(5):
+            cache.put(i, b"xxxxx")  # two fit
+            cache.put("big", b"y" * 11)  # always rejected
+        assert cache.used_bytes <= 10
+        assert cache.used_bytes == sum(
+            len(cache._entries[k]) for k in cache._entries
+        )
+
+
+class TestStagingVerification:
+    def _tiers(self, tmp_path):
+        pfs = Tier(TierSpec("pfs", 1.0, 1.0, 0.0), tmp_path / "pfs")
+        nvme = Tier(TierSpec("nvme", 5.0, 2.0, 0.0), tmp_path / "nvme")
+        return pfs, nvme
+
+    def _blob(self, seed=0):
+        import numpy as np
+
+        from repro.core.encoding import container
+
+        rng = np.random.default_rng(seed)
+        return container.pack_raw_sample(
+            rng.normal(size=(4, 4)).astype(np.float32),
+            np.arange(3, dtype=np.int64),
+        )
+
+    def test_verify_clean_copy(self, tmp_path):
+        pfs, nvme = self._tiers(tmp_path)
+        names = [f"s{i}" for i in range(3)]
+        for i, n in enumerate(names):
+            pfs.write(n, self._blob(i))
+        report = stage_dataset(pfs, nvme, names, verify=True)
+        assert report.n_verified == 3
+        assert report.n_restaged == 0
+
+    def test_restages_only_failed_files(self, tmp_path):
+        from repro.storage.filesystem import Tier as _Tier
+
+        pfs, nvme = self._tiers(tmp_path)
+        names = [f"s{i}" for i in range(4)]
+        for i, n in enumerate(names):
+            pfs.write(n, self._blob(i))
+
+        class FlakyFirstWrite:
+            """Corrupts the FIRST write of selected names, clean after."""
+
+            def __init__(self, inner: _Tier, bad_names):
+                self.inner = inner
+                self.bad = set(bad_names)
+                self.writes = {}
+
+            def __getattr__(self, attr):
+                return getattr(self.inner, attr)
+
+            def read(self, name):
+                return self.inner.read(name)
+
+            def write(self, name, data):
+                first = name not in self.writes
+                self.writes[name] = self.writes.get(name, 0) + 1
+                if first and name in self.bad:
+                    buf = bytearray(data)
+                    buf[-1] ^= 0xFF  # damage the (checksummed) label tail
+                    data = bytes(buf)
+                return self.inner.write(name, data)
+
+        flaky = FlakyFirstWrite(nvme, {"s1", "s3"})
+        report = stage_dataset(pfs, flaky, names, verify=True)
+        assert report.n_restaged == 2  # exactly the two damaged landings
+        assert flaky.writes == {"s0": 1, "s1": 2, "s2": 1, "s3": 2}
+        for i, n in enumerate(names):
+            assert nvme.read(n) == self._blob(i)
+
+    def test_permanent_failure_raises_after_attempts(self, tmp_path):
+        from repro.core.encoding.container import CorruptSampleError
+        from repro.robust import FaultPlan, FaultyTier
+
+        pfs, nvme = self._tiers(tmp_path)
+        pfs.write("s0", self._blob())
+        always_bad = FaultyTier(
+            nvme, FaultPlan(corrupt_ids=frozenset({"s0"})), on="write"
+        )
+        with pytest.raises(CorruptSampleError):
+            stage_dataset(pfs, always_bad, ["s0"], verify=True,
+                          max_attempts=3)
+
+    def test_verify_charges_extra_modeled_time(self, tmp_path):
+        pfs = Tier(TierSpec("pfs", 1.0, 1.0, 0.01), tmp_path / "pfs")
+        nvme = Tier(TierSpec("nvme", 5.0, 2.0, 0.0001), tmp_path / "nvme")
+        pfs.write("s0", self._blob())
+        plain = stage_dataset(pfs, nvme, ["s0"])
+        checked = stage_dataset(pfs, nvme, ["s0"], verify=True)
+        assert checked.modeled_seconds > plain.modeled_seconds
