@@ -15,11 +15,18 @@ for the common dataset chores:
 * ``chaos``     — run epochs over a record file under seeded fault
   injection with retries and a bad-sample policy; prints the retry and
   quarantine report.
+* ``tune``      — cost-model-driven search for the fastest pipeline
+  configuration on a simulated machine (``repro.tune``); prints the
+  winner, the paper's hand-chosen baseline, and the ranked trial log.
+
+``bench``, ``stats`` and ``tune`` accept ``--json`` for machine-readable
+output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -130,6 +137,17 @@ def cmd_bench(args) -> int:
         tensor, _ = plugin.decode_cpu(blob)
         decoded_bytes += tensor.nbytes
     dt = time.perf_counter() - t0
+    if args.json:
+        print(json.dumps({
+            "workload": args.workload,
+            "representation": args.representation,
+            "samples": len(blobs),
+            "elapsed_s": dt,
+            "samples_per_s": len(blobs) / dt,
+            "decoded_bytes": decoded_bytes,
+            "decoded_mb_per_s": decoded_bytes / dt / 1e6,
+        }, indent=2))
+        return 0
     print(
         f"decoded {len(blobs)} samples in {dt:.3f}s — "
         f"{len(blobs) / dt:.1f} samples/s, "
@@ -142,6 +160,7 @@ def cmd_stats(args) -> int:
     from repro.core.encoding.delta import LINE_CONST, LINE_DELTA, LINE_RAW
 
     rows = []
+    records = []
     for i, blob in enumerate(_iter_samples(args.input, args.gzip)):
         codec, payload, _, _ = container.unpack_sample(blob)
         if codec == "delta":
@@ -154,6 +173,13 @@ def cmd_stats(args) -> int:
                 f"R:{hist[LINE_RAW]}",
                 f"{decoded / len(blob):.2f}x vs fp16",
             ])
+            records.append({
+                "sample": i, "codec": "delta", "bytes": len(blob),
+                "lines_const": int(hist[LINE_CONST]),
+                "lines_delta": int(hist[LINE_DELTA]),
+                "lines_raw": int(hist[LINE_RAW]),
+                "compression_vs_fp16": decoded / len(blob),
+            })
         elif codec == "lut":
             keys = sum(t.keys.nbytes for t in payload.tables)
             tables = sum(t.values.nbytes for t in payload.tables)
@@ -163,8 +189,18 @@ def cmd_stats(args) -> int:
                 f"{len(payload.tables)} table(s)",
                 f"keys {keys}B + tables {tables}B",
             ])
+            records.append({
+                "sample": i, "codec": "lut", "bytes": len(blob),
+                "groups": int(payload.n_groups_total),
+                "tables": len(payload.tables),
+                "key_bytes": int(keys), "table_bytes": int(tables),
+            })
         else:
             rows.append([i, "raw", "-", f"{len(blob)}B"])
+            records.append({"sample": i, "codec": "raw", "bytes": len(blob)})
+    if args.json:
+        print(json.dumps({"input": args.input, "samples": records}, indent=2))
+        return 0
     print_table(["sample", "codec", "structure", "size detail"], rows)
     return 0
 
@@ -286,6 +322,65 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    from repro.tune import (
+        paper_config,
+        resolve_machine,
+        simulate_config,
+        tune,
+        workload_space,
+    )
+
+    try:
+        machine = resolve_machine(args.machine)
+        space = workload_space(args.workload)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    result = tune(
+        machine,
+        space,
+        samples_per_gpu=args.samples_per_gpu,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        validate=not args.no_validate,
+    )
+    paper = paper_config(machine, space, batch_size=args.batch_size)
+    paper_sim = simulate_config(
+        machine, space, paper, args.samples_per_gpu
+    ).node_samples_per_s
+
+    if args.json:
+        out = result.to_json()
+        out["paper_config"] = vars(paper).copy()
+        out["paper_simulated_samples_per_s"] = paper_sim
+        out["trials"] = out["trials"][: args.top]
+        print(json.dumps(out, indent=2))
+        return 0
+
+    best = result.best
+    print(
+        f"tune {result.machine}/{result.workload}: "
+        f"{result.evaluations} configurations in {result.rounds} round(s)"
+        f"{' (converged)' if result.converged else ''}"
+    )
+    print(f"  best:  {best.config.describe()}  "
+          f"predicted {best.predicted:.1f} samples/s "
+          f"(bottleneck: {best.prediction.bottleneck})")
+    if best.simulated_samples_per_s:
+        print(f"         simulated {best.simulated_samples_per_s:.1f} samples/s "
+              f"(prediction error {best.prediction_error:.1%})")
+    print(f"  paper: {paper.describe()}  "
+          f"simulated {paper_sim:.1f} samples/s")
+    rows = [
+        [i, t.config.describe(), f"{t.predicted:.1f}",
+         t.prediction.bottleneck, f"{t.prediction.hit_rate:.0%}"]
+        for i, t in enumerate(result.trials[: args.top])
+    ]
+    print_table(["rank", "config", "pred samples/s", "bottleneck", "hit"], rows)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -320,11 +415,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="plugin")
     b.add_argument("--input", required=True)
     b.add_argument("--gzip", action="store_true")
+    b.add_argument("--json", action="store_true",
+                   help="machine-readable output")
     b.set_defaults(func=cmd_bench)
 
     st = sub.add_parser("stats", help="codec statistics of encoded samples")
     st.add_argument("--input", required=True)
     st.add_argument("--gzip", action="store_true")
+    st.add_argument("--json", action="store_true",
+                    help="machine-readable output")
     st.set_defaults(func=cmd_stats)
 
     v = sub.add_parser("verify", help="integrity-check a record file")
@@ -368,6 +467,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--policy", choices=("raise", "skip", "substitute"),
                    default="raise", help="bad-sample policy")
     c.set_defaults(func=cmd_chaos)
+
+    t = sub.add_parser(
+        "tune", help="search for the fastest pipeline configuration"
+    )
+    t.add_argument("--machine", required=True,
+                   help="simulated machine (summit, cori-v100, cori-a100)")
+    t.add_argument("--workload", choices=("cosmoflow", "deepcam"),
+                   required=True)
+    t.add_argument("--samples-per-gpu", type=int, default=2048,
+                   help="nominal dataset size per GPU (drives cache fit)")
+    t.add_argument("--batch-size", type=int, default=4)
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--max-rounds", type=int, default=8,
+                   help="coordinate-descent round budget")
+    t.add_argument("--no-validate", action="store_true",
+                   help="skip the discrete-event what-if of the winner")
+    t.add_argument("--top", type=int, default=10,
+                   help="ranked trials to show")
+    t.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    t.set_defaults(func=cmd_tune)
     return p
 
 

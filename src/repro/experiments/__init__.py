@@ -20,6 +20,7 @@ from repro.experiments import (
     harness,
     tables,
     time_to_accuracy,
+    tuning,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "harness",
     "tables",
     "time_to_accuracy",
+    "tuning",
 ]

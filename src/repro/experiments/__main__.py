@@ -13,7 +13,7 @@ import sys
 
 from repro.experiments import (
     chaos, claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-    tables, time_to_accuracy,
+    tables, time_to_accuracy, tuning,
 )
 
 _RUNNERS = {
@@ -30,6 +30,7 @@ _RUNNERS = {
     "claims": lambda: claims.run(),
     "tta": lambda: time_to_accuracy.run(),
     "chaos": lambda: chaos.run(),
+    "tuning": lambda: tuning.run(),
 }
 
 

@@ -22,10 +22,12 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.ops import PipelineItem
+from repro.tune.stats import StatsRegistry
 
 __all__ = ["PrefetchExecutor", "FailedItem"]
 
@@ -56,6 +58,13 @@ class PrefetchExecutor:
     prefetch_depth:
         Bound on completed-but-unconsumed items, limiting memory exactly
         like DALI's queue depth.
+    stats:
+        Optional :class:`~repro.tune.stats.StatsRegistry` receiving
+        ``executor.items`` (count + per-item preparation seconds),
+        ``executor.failed`` and ``executor.wait`` (seconds the consumer
+        was blocked on the next in-order item — the starvation signal
+        the adaptive tuner acts on).  All updates happen on the consumer
+        thread, so the counters are exact with any worker count.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class PrefetchExecutor:
         pipeline: Pipeline,
         num_workers: int = 2,
         prefetch_depth: int = 4,
+        stats: StatsRegistry | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -71,6 +81,7 @@ class PrefetchExecutor:
         self.pipeline = pipeline
         self.num_workers = num_workers
         self.prefetch_depth = prefetch_depth
+        self.stats = stats
 
     def run(
         self, indices: Sequence[int], epoch: int = 0, on_error: str = "raise"
@@ -84,16 +95,32 @@ class PrefetchExecutor:
         """
         if on_error not in ("raise", "yield"):
             raise ValueError(f"on_error must be 'raise' or 'yield', got {on_error!r}")
+        st = self.stats
         if self.num_workers == 0:
+            # synchronous: the consumer *is* the producer, so the whole
+            # preparation time counts as consumer wait (starvation 1.0 —
+            # which is what tells the adaptive controller to add workers)
+            s_items = st.stat("executor.items") if st is not None else None
+            s_wait = st.stat("executor.wait") if st is not None else None
+            s_failed = st.stat("executor.failed") if st is not None else None
             for idx in indices:
+                t0 = perf_counter()
                 try:
-                    yield self.pipeline.run(idx, epoch)
+                    item = self.pipeline.run(idx, epoch)
                 except Exception as exc:
+                    if s_failed is not None:
+                        s_failed.add()
+                        s_wait.add(perf_counter() - t0)
                     if on_error == "yield":
                         yield FailedItem(index=idx, error=exc)
-                    else:
-                        exc.sample_index = idx  # type: ignore[attr-defined]
-                        raise
+                        continue
+                    exc.sample_index = idx  # type: ignore[attr-defined]
+                    raise
+                if s_items is not None:
+                    dt = perf_counter() - t0
+                    s_items.add(dt)
+                    s_wait.add(dt)
+                yield item
             return
         yield from self._run_threaded(list(indices), epoch, on_error)
 
@@ -124,14 +151,16 @@ class PrefetchExecutor:
                     window.release()
                     return
                 pos, idx = task
+                t0 = perf_counter()
                 try:
                     result: PipelineItem | FailedItem = self.pipeline.run(
                         idx, epoch
                     )
                 except Exception as exc:  # propagate to the consumer
                     result = FailedItem(index=idx, error=exc)
+                busy = perf_counter() - t0
                 with done_lock:
-                    done[pos] = result
+                    done[pos] = (result, busy)
                     done_lock.notify_all()
 
         threads = [
@@ -140,17 +169,30 @@ class PrefetchExecutor:
         ]
         for t in threads:
             t.start()
+        st = self.stats
+        s_items = st.stat("executor.items") if st is not None else None
+        s_wait = st.stat("executor.wait") if st is not None else None
+        s_failed = st.stat("executor.failed") if st is not None else None
         try:
             for pos in range(len(indices)):
                 with done_lock:
-                    while pos not in done:
-                        done_lock.wait()
-                    result = done.pop(pos)
+                    if pos not in done:
+                        t0 = perf_counter()
+                        while pos not in done:
+                            done_lock.wait()
+                        if s_wait is not None:
+                            s_wait.add(perf_counter() - t0)
+                    result, busy = done.pop(pos)
                 window.release()
-                if isinstance(result, FailedItem) and on_error == "raise":
-                    exc = result.error
-                    exc.sample_index = result.index  # type: ignore[attr-defined]
-                    raise exc
+                if isinstance(result, FailedItem):
+                    if s_failed is not None:
+                        s_failed.add()
+                    if on_error == "raise":
+                        exc = result.error
+                        exc.sample_index = result.index  # type: ignore[attr-defined]
+                        raise exc
+                elif s_items is not None:
+                    s_items.add(busy)
                 yield result
         finally:
             # Early close: drain pending tasks, then unblock every worker —

@@ -17,6 +17,7 @@ epoch, so a completed run still reports exactly which samples were bad.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterator
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro.pipeline.graph import Pipeline
 from repro.pipeline.ops import DecodeOp, Op, PipelineItem, ReadOp
 from repro.pipeline.sources import SampleSource
 from repro.robust.quarantine import QuarantineLog
+from repro.tune.stats import StatsRegistry
 from repro.util.rng import make_rng
 
 __all__ = ["DataLoader", "BAD_SAMPLE_POLICIES"]
@@ -85,6 +87,7 @@ class DataLoader:
         drop_last: bool = False,
         bad_sample_policy: str = "raise",
         verify_reads: bool = False,
+        stats: StatsRegistry | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -100,12 +103,40 @@ class DataLoader:
         self.seed = seed
         self.drop_last = drop_last
         self.bad_sample_policy = bad_sample_policy
+        self.device = device
+        self.stats = stats if stats is not None else StatsRegistry()
         self.quarantine = QuarantineLog()
         ops: list[Op] = [ReadOp(source, verify=verify_reads), DecodeOp(plugin, device)]
         ops.extend(extra_ops or [])
         self.pipeline = Pipeline(ops)
         self.executor = PrefetchExecutor(
-            self.pipeline, num_workers=num_workers, prefetch_depth=prefetch_depth
+            self.pipeline,
+            num_workers=num_workers,
+            prefetch_depth=prefetch_depth,
+            stats=self.stats,
+        )
+
+    def reconfigure(
+        self, num_workers: int | None = None, prefetch_depth: int | None = None
+    ) -> None:
+        """Swap in a new executor with different worker/queue settings.
+
+        The pipeline, stats registry and quarantine log are kept, so an
+        online tuner (:class:`repro.tune.AdaptiveController`) can change
+        these knobs between epochs without losing accumulated state.
+        Takes effect from the next :meth:`batches` call.
+        """
+        self.executor = PrefetchExecutor(
+            self.pipeline,
+            num_workers=(
+                self.executor.num_workers if num_workers is None else num_workers
+            ),
+            prefetch_depth=(
+                self.executor.prefetch_depth
+                if prefetch_depth is None
+                else prefetch_depth
+            ),
+            stats=self.stats,
         )
 
     def __len__(self) -> int:
@@ -123,7 +154,20 @@ class DataLoader:
         return order
 
     def batches(self, epoch: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield ``(stacked_tensors, stacked_labels)`` for one epoch."""
+        """Yield ``(stacked_tensors, stacked_labels)`` for one epoch.
+
+        The epoch's wall-clock is recorded as ``loader.epoch`` (and each
+        yielded batch as ``loader.batches``) in :attr:`stats` — together
+        with the executor's counters this is what the adaptive controller
+        reads between epochs.
+        """
+        t_start = perf_counter()
+        try:
+            yield from self._batches(epoch)
+        finally:
+            self.stats.add("loader.epoch", perf_counter() - t_start)
+
+    def _batches(self, epoch: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         order = self.epoch_order(epoch)
         on_error = "raise" if self.bad_sample_policy == "raise" else "yield"
         last_good: PipelineItem | None = None
@@ -145,9 +189,11 @@ class DataLoader:
                 pending_t.append(item.tensor)
                 pending_l.append(item.label)
             if len(pending_t) == self.batch_size:
+                self.stats.add("loader.batches")
                 yield np.stack(pending_t), np.stack(pending_l)
                 pending_t, pending_l = [], []
         if pending_t and not self.drop_last:
+            self.stats.add("loader.batches")
             yield np.stack(pending_t), np.stack(pending_l)
 
     def stage_times(self) -> dict[str, float]:

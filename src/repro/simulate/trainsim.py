@@ -100,6 +100,14 @@ class TrainSimConfig:
     #: footnote 3 explains frameworks avoid ("to avoid running
     #: out-of-memory with pinned memory")
     pinned_h2d: bool = False
+    #: loader workers per GPU; None keeps the machine's default
+    #: (``cpu.loader_cores_per_gpu``).  The worker-core pool shrinks with
+    #: the worker count but never exceeds the physical cores — these are
+    #: the what-if knobs the autotuner (:mod:`repro.tune`) sweeps.
+    num_workers: int | None = None
+    #: host-memory share given to the sample cache; None keeps the
+    #: machine's default (``cache_fraction``)
+    cache_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.placement not in ("cpu", "gpu"):
@@ -112,6 +120,10 @@ class TrainSimConfig:
             raise ValueError("gzip_level is an on-disk size fraction in [0,1)")
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1 when set")
+        if self.cache_fraction is not None and not 0 < self.cache_fraction <= 1:
+            raise ValueError("cache_fraction must be in (0, 1] when set")
 
 
 @dataclass
@@ -153,12 +165,20 @@ def simulate_node(cfg: TrainSimConfig) -> TrainSimResult:
     stored = cfg.cost.stored_bytes
     disk_bytes = int(stored * cfg.gzip_level) if cfg.gzip_level else stored
     dataset_bytes = float(cfg.samples_per_gpu) * P * stored
-    fits = dataset_bytes <= m.cache_bytes
-    hit_rate = 1.0 if fits else m.cache_bytes / dataset_bytes
+    cache_bytes = (
+        m.cache_bytes
+        if cfg.cache_fraction is None
+        else m.host_mem_gb * 1e9 * cfg.cache_fraction
+    )
+    fits = dataset_bytes <= cache_bytes
+    hit_rate = 1.0 if fits else cache_bytes / dataset_bytes
 
+    workers_per_gpu = (
+        m.cpu.loader_cores_per_gpu if cfg.num_workers is None else cfg.num_workers
+    )
     storage_spec = m.nvme if cfg.staged else m.pfs
     storage = Resource(env, capacity=1)
-    cpu_pool = Resource(env, capacity=m.cpu.loader_cores_per_gpu * P)
+    cpu_pool = Resource(env, capacity=max(1, min(workers_per_gpu * P, m.cpu.cores)))
     links = [Resource(env, capacity=1) for _ in range(P)]
     gpus = [Resource(env, capacity=1) for _ in range(P)]
     queues = [Store(env, capacity=max(cfg.prefetch_depth, cfg.batch_size))
@@ -205,7 +225,7 @@ def simulate_node(cfg: TrainSimConfig) -> TrainSimResult:
     epoch_end_times: list[float] = []
     done = {"count": 0}
 
-    n_workers = max(1, m.cpu.loader_cores_per_gpu)
+    n_workers = max(1, workers_per_gpu)
 
     def loader(gpu: int, worker: int):
         # framework data workers: each prepares an interleaved slice of the

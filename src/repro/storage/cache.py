@@ -23,6 +23,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    evicted_bytes: int = 0  # payload bytes displaced by LRU eviction
     rejected: int = 0  # puts refused because the blob alone exceeds capacity
 
     @property
@@ -80,6 +81,7 @@ class SampleCache:
             _, evicted = self._entries.popitem(last=False)
             self.used_bytes -= len(evicted)
             self.stats.evictions += 1
+            self.stats.evicted_bytes += len(evicted)
         self._entries[key] = blob
         self.used_bytes += size
         return True

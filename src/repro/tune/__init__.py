@@ -1,0 +1,62 @@
+"""Cost-model-driven autotuning for the data pipeline's knobs.
+
+The paper picks its winning configurations (codec, placement, staging
+tier, parallelism) by hand-measuring each system.  This package chooses
+them automatically, the way tf.data's autotuner chooses pipeline
+parallelism from observed stage timings:
+
+``stats``
+    :class:`StatsRegistry` — near-zero-overhead per-stage counters
+    collected from the executor, the loader, the sample cache and the
+    simulated device, feeding both the offline tuner and the online
+    controller.
+``costmodel``
+    :class:`TuneConfig` (the knob vector) and
+    :func:`predict_throughput` — an analytical bottleneck model that
+    combines per-sample costs with :class:`~repro.simulate.machine.
+    MachineSpec` link/tier bandwidths to predict epoch throughput.
+``search``
+    :func:`tune` — seeded coordinate-descent over the knob space with
+    optional what-if validation through :mod:`repro.simulate.trainsim`.
+``controller``
+    :class:`AdaptiveController` — re-tunes worker count and prefetch
+    depth between epochs from live stats, with hysteresis so it
+    converges instead of oscillating.
+
+Layering: nothing here imports :mod:`repro.pipeline` or
+:mod:`repro.experiments` at module import time (the pipeline itself
+imports the stats layer).
+"""
+
+from repro.tune.controller import AdaptiveController, EpochObservation
+from repro.tune.costmodel import Prediction, TuneConfig, predict_throughput
+from repro.tune.search import (
+    Trial,
+    TuneResult,
+    TuneSpace,
+    paper_config,
+    resolve_machine,
+    simulate_config,
+    tune,
+    workload_space,
+)
+from repro.tune.stats import Stat, StatsRegistry, collect_loader_stats
+
+__all__ = [
+    "AdaptiveController",
+    "EpochObservation",
+    "Prediction",
+    "TuneConfig",
+    "predict_throughput",
+    "Trial",
+    "TuneResult",
+    "TuneSpace",
+    "paper_config",
+    "resolve_machine",
+    "simulate_config",
+    "tune",
+    "workload_space",
+    "Stat",
+    "StatsRegistry",
+    "collect_loader_stats",
+]

@@ -1,0 +1,212 @@
+"""Online adaptive controller: re-tune workers/depth between epochs.
+
+The offline tuner picks a configuration from a model; the controller
+(MinatoLoader's idea) corrects it *while training runs* from two live
+signals the instrumented executor provides:
+
+* **starvation** — the fraction of the epoch the consumer spent blocked
+  waiting for the next item.  High starvation means the preparation side
+  is the bottleneck: add workers (or queue depth, once workers are
+  maxed/locked).
+* **occupancy** — mean busy fraction per worker.  Low occupancy with no
+  starvation means threads are idle: give cores back.
+
+Every adjustment is an experiment: the controller remembers the epoch
+time before the change and, one epoch later, keeps the change only if
+it helped (grow moves must *improve* epoch time by the hysteresis
+margin; shrink moves must merely not hurt by more than it).  A reverted
+move locks that (knob, direction) pair for the rest of the run, so the
+controller cannot oscillate — knob values are bounded monotone between
+locks, which is what makes it converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdaptiveController", "EpochObservation"]
+
+
+@dataclass(frozen=True)
+class EpochObservation:
+    """Live signals from one completed epoch."""
+
+    epoch_s: float  # wall-clock of the epoch
+    starvation: float  # fraction of epoch_s the consumer was blocked
+    occupancy: float  # mean busy fraction per worker (0..1)
+    num_workers: int
+    prefetch_depth: int
+
+
+@dataclass
+class _Pending:
+    knob: str  # "num_workers" | "prefetch_depth"
+    direction: int  # +1 grow, -1 shrink
+    old_value: int
+    epoch_s_before: float
+
+
+class AdaptiveController:
+    """Hysteresis-guarded hill climber over ``(num_workers, prefetch_depth)``.
+
+    Parameters
+    ----------
+    loader:
+        Anything exposing ``stats`` (a :class:`~repro.tune.stats.
+        StatsRegistry`), an ``executor`` with ``num_workers`` /
+        ``prefetch_depth``, and ``reconfigure(num_workers=, prefetch_depth=)``
+        — i.e. :class:`repro.pipeline.loader.DataLoader`.
+    starvation_threshold:
+        Consumer-blocked fraction above which the pipeline counts as
+        starved and the controller grows capacity.
+    idle_occupancy:
+        Per-worker busy fraction below which (absent starvation) the
+        controller shrinks the worker pool.
+    hysteresis:
+        Relative epoch-time margin a grow must beat / a shrink must not
+        exceed to be kept.
+    settle_epochs:
+        Consecutive no-action epochs after which :attr:`converged` is True.
+    """
+
+    def __init__(
+        self,
+        loader,
+        min_workers: int = 0,
+        max_workers: int = 16,
+        min_depth: int = 1,
+        max_depth: int = 32,
+        starvation_threshold: float = 0.10,
+        idle_occupancy: float = 0.35,
+        hysteresis: float = 0.05,
+        settle_epochs: int = 2,
+    ) -> None:
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError("need 0 <= min_workers <= max_workers")
+        if not 1 <= min_depth <= max_depth:
+            raise ValueError("need 1 <= min_depth <= max_depth")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.loader = loader
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.min_depth = min_depth
+        self.max_depth = max_depth
+        self.starvation_threshold = starvation_threshold
+        self.idle_occupancy = idle_occupancy
+        self.hysteresis = hysteresis
+        self.settle_epochs = settle_epochs
+        self.history: list[tuple[EpochObservation, str]] = []
+        self._pending: _Pending | None = None
+        self._locked: set[tuple[str, int]] = set()
+        self._stable = 0
+        self._last_snapshot = loader.stats.snapshot()
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """True once ``settle_epochs`` epochs have passed with no action."""
+        return self._stable >= self.settle_epochs
+
+    @property
+    def num_workers(self) -> int:
+        return self.loader.executor.num_workers
+
+    @property
+    def prefetch_depth(self) -> int:
+        return self.loader.executor.prefetch_depth
+
+    # -- observation ------------------------------------------------------
+
+    def read_observation(self) -> EpochObservation:
+        """Diff the loader's stats registry since the previous call."""
+        snap = self.loader.stats.snapshot()
+        prev = self._last_snapshot
+        self._last_snapshot = snap
+
+        def delta(name: str) -> tuple[int, float]:
+            n1, t1 = snap.get(name, (0, 0.0))
+            n0, t0 = prev.get(name, (0, 0.0))
+            return n1 - n0, t1 - t0
+
+        _, epoch_s = delta("loader.epoch")
+        _, wait_s = delta("executor.wait")
+        _, busy_s = delta("executor.items")
+        workers = max(1, self.num_workers)
+        starvation = wait_s / epoch_s if epoch_s > 0 else 0.0
+        occupancy = busy_s / (epoch_s * workers) if epoch_s > 0 else 0.0
+        return EpochObservation(
+            epoch_s=epoch_s,
+            starvation=min(starvation, 1.0),
+            occupancy=min(occupancy, 1.0),
+            num_workers=self.num_workers,
+            prefetch_depth=self.prefetch_depth,
+        )
+
+    def after_epoch(self) -> str:
+        """Observe the finished epoch and possibly reconfigure the loader.
+
+        Returns a short description of the action taken (also appended to
+        :attr:`history`).  Call once per completed epoch.
+        """
+        return self.observe(self.read_observation())
+
+    # -- decision ---------------------------------------------------------
+
+    def observe(self, obs: EpochObservation) -> str:
+        """Decision core (pure in ``obs`` + controller state; exposed
+        separately so tests can drive it with synthetic observations)."""
+        action = self._decide(obs)
+        self.history.append((obs, action))
+        return action
+
+    def _apply(self, knob: str, value: int) -> None:
+        if knob == "num_workers":
+            self.loader.reconfigure(num_workers=value)
+        else:
+            self.loader.reconfigure(prefetch_depth=value)
+
+    def _decide(self, obs: EpochObservation) -> str:
+        # 1) judge the previous adjustment, if one is awaiting its epoch
+        if self._pending is not None:
+            p, self._pending = self._pending, None
+            before = p.epoch_s_before
+            if p.direction > 0:
+                keep = obs.epoch_s < before * (1.0 - self.hysteresis)
+            else:
+                keep = obs.epoch_s <= before * (1.0 + self.hysteresis)
+            if not keep:
+                self._apply(p.knob, p.old_value)
+                self._locked.add((p.knob, p.direction))
+                self._stable = 0
+                return f"revert {p.knob} -> {p.old_value} (locked {p.direction:+d})"
+
+        # 2) pick the next adjustment from the live signals
+        w, d = obs.num_workers, obs.prefetch_depth
+        if obs.starvation > self.starvation_threshold:
+            if w < self.max_workers and ("num_workers", +1) not in self._locked:
+                new = min(self.max_workers, max(1, w * 2))
+                self._pending = _Pending("num_workers", +1, w, obs.epoch_s)
+                self._apply("num_workers", new)
+                self._stable = 0
+                return f"grow num_workers {w} -> {new}"
+            if d < self.max_depth and ("prefetch_depth", +1) not in self._locked:
+                new = min(self.max_depth, d * 2)
+                self._pending = _Pending("prefetch_depth", +1, d, obs.epoch_s)
+                self._apply("prefetch_depth", new)
+                self._stable = 0
+                return f"grow prefetch_depth {d} -> {new}"
+        elif (
+            obs.occupancy < self.idle_occupancy
+            and w > self.min_workers
+            and ("num_workers", -1) not in self._locked
+        ):
+            new = max(self.min_workers, w // 2)
+            self._pending = _Pending("num_workers", -1, w, obs.epoch_s)
+            self._apply("num_workers", new)
+            self._stable = 0
+            return f"shrink num_workers {w} -> {new}"
+
+        self._stable += 1
+        return "hold"

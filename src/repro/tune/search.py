@@ -1,0 +1,323 @@
+"""Gradient-free search over the pipeline knob space.
+
+A seeded coordinate-descent/hill-climb: start from a random knob vector,
+sweep one knob at a time over its candidate values (scoring each with
+the analytical cost model), keep improvements, and repeat until a full
+pass changes nothing.  The space is small enough (hundreds of points)
+that exhaustive per-knob sweeps beat gradient estimation, and the memo
+table means a run costs a few hundred cost-model evaluations.
+
+The score is lexicographic: steady-state throughput first, cold
+(epoch-0) throughput second — which is what makes the tuner *stage* the
+dataset even when the steady state is compute-bound — and smallest host
+footprint last, which pins prefetch depth and worker count at the
+smallest values that sustain the throughput.
+
+Optionally, the best configuration (and the paper's hand-chosen one) is
+validated through the discrete-event simulator — the what-if evaluation
+the cost model's ``min`` approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plugins.base import SampleCost
+from repro.simulate.machine import MACHINES, MachineSpec
+from repro.simulate.trainsim import (
+    TrainSimConfig,
+    TrainSimResult,
+    WorkloadSpec,
+    simulate_node,
+)
+from repro.tune.costmodel import Prediction, TuneConfig, predict_throughput
+from repro.util.rng import make_rng
+
+__all__ = [
+    "TuneSpace",
+    "Trial",
+    "TuneResult",
+    "workload_space",
+    "paper_config",
+    "simulate_config",
+    "tune",
+    "resolve_machine",
+]
+
+
+@dataclass(frozen=True)
+class TuneSpace:
+    """The tunable representation axis of one workload.
+
+    ``costs`` maps representation keys to per-sample costs;
+    ``placements``/``gzip_levels`` carry the facts the knob vector must
+    stay consistent with (a representation implies where it decodes and
+    whether it pays gunzip).
+    """
+
+    workload: WorkloadSpec
+    costs: dict[str, SampleCost]
+    placements: dict[str, str]
+    gzip_levels: dict[str, float] = field(default_factory=dict)
+
+    def config(self, plugin: str, **knobs) -> TuneConfig:
+        """Build a consistent :class:`TuneConfig` for a representation."""
+        if plugin not in self.costs:
+            raise ValueError(
+                f"unknown representation {plugin!r}; "
+                f"choose from {sorted(self.costs)}"
+            )
+        return TuneConfig(
+            plugin=plugin,
+            placement=self.placements[plugin],
+            gzip_level=self.gzip_levels.get(plugin, 0.0),
+            **knobs,
+        )
+
+
+def workload_space(name: str) -> TuneSpace:
+    """The tuning space of a named workload (``cosmoflow``/``deepcam``)."""
+    # local import: repro.experiments imports the pipeline, which imports
+    # repro.tune.stats — importing it at module scope would be circular
+    from repro.experiments.config import (
+        COSMOFLOW,
+        DEEPCAM,
+        GZIP_DISK_FACTOR,
+        cosmoflow_costs,
+        deepcam_costs,
+    )
+
+    if name == "cosmoflow":
+        return TuneSpace(
+            workload=COSMOFLOW,
+            costs=cosmoflow_costs(),
+            placements={"base": "cpu", "gzip": "cpu", "plugin": "gpu"},
+            gzip_levels={"gzip": GZIP_DISK_FACTOR},
+        )
+    if name == "deepcam":
+        return TuneSpace(
+            workload=DEEPCAM,
+            costs=deepcam_costs(),
+            placements={"base": "cpu", "cpu": "cpu", "gpu": "gpu"},
+        )
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def resolve_machine(name: str) -> MachineSpec:
+    """Case/punctuation-insensitive lookup into :data:`MACHINES`."""
+    norm = name.lower().replace("_", "-").replace(" ", "-")
+    for key, spec in MACHINES.items():
+        if key.lower() == norm:
+            return spec
+    raise ValueError(
+        f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+    )
+
+
+def paper_config(
+    machine: MachineSpec, space: TuneSpace, batch_size: int = 4
+) -> TuneConfig:
+    """The paper's hand-chosen configuration: GPU-placed codec, staged
+    NVMe, the framework's default worker/queue settings."""
+    gpu_keys = [k for k, p in space.placements.items() if p == "gpu"]
+    return space.config(
+        gpu_keys[0],
+        staged=True,
+        num_workers=machine.cpu.loader_cores_per_gpu,
+        prefetch_depth=4,
+        cache_fraction=machine.cache_fraction,
+        batch_size=batch_size,
+    )
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration (every trial is kept and ranked)."""
+
+    config: TuneConfig
+    prediction: Prediction
+    simulated_samples_per_s: float | None = None
+
+    @property
+    def predicted(self) -> float:
+        return self.prediction.steady_samples_per_s
+
+    @property
+    def prediction_error(self) -> float | None:
+        """``|predicted - simulated| / simulated``, None before validation."""
+        if not self.simulated_samples_per_s:
+            return None
+        return (
+            abs(self.predicted - self.simulated_samples_per_s)
+            / self.simulated_samples_per_s
+        )
+
+
+@dataclass
+class TuneResult:
+    """Search outcome: best trial plus the full ranked trial log."""
+
+    machine: str
+    workload: str
+    best: Trial
+    trials: list[Trial]  # ranked, best first
+    rounds: int
+    evaluations: int
+    converged: bool
+    samples_per_gpu: int
+    seed: int
+
+    def to_json(self) -> dict:
+        def trial_dict(t: Trial) -> dict:
+            return {
+                "config": vars(t.config).copy(),
+                "predicted_samples_per_s": t.predicted,
+                "cold_samples_per_s": t.prediction.cold_samples_per_s,
+                "bottleneck": t.prediction.bottleneck,
+                "hit_rate": t.prediction.hit_rate,
+                "simulated_samples_per_s": t.simulated_samples_per_s,
+                "prediction_error": t.prediction_error,
+            }
+
+        return {
+            "machine": self.machine,
+            "workload": self.workload,
+            "samples_per_gpu": self.samples_per_gpu,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "evaluations": self.evaluations,
+            "converged": self.converged,
+            "best": trial_dict(self.best),
+            "trials": [trial_dict(t) for t in self.trials],
+        }
+
+
+def _axes(machine: MachineSpec, space: TuneSpace) -> dict[str, tuple]:
+    fractions = sorted({0.1, 0.2, 0.3, machine.cache_fraction})
+    return {
+        "plugin": tuple(space.costs),
+        "staged": (True, False),
+        "num_workers": (1, 2, 4, 8, 16),
+        "prefetch_depth": (1, 2, 4, 8, 16),
+        "cache_fraction": tuple(f for f in fractions if f <= machine.cache_fraction),
+    }
+
+
+def _score(trial: Trial) -> tuple:
+    # round throughputs to 6 significant digits so float noise cannot
+    # flip the lexicographic comparison against the footprint tie-break
+    def sig(x: float) -> float:
+        return float(f"{x:.6g}")
+
+    p = trial.prediction
+    return (
+        sig(p.steady_samples_per_s),
+        sig(p.cold_samples_per_s),
+        -p.footprint_bytes,
+    )
+
+
+def simulate_config(
+    machine: MachineSpec,
+    space: TuneSpace,
+    config: TuneConfig,
+    samples_per_gpu: int,
+    epochs: int = 3,
+    sim_samples_cap: int = 96,
+) -> TrainSimResult:
+    """What-if: run one knob vector through the discrete-event simulator."""
+    cfg = TrainSimConfig(
+        machine=machine,
+        workload=space.workload,
+        cost=space.costs[config.plugin],
+        plugin_name=config.plugin,
+        placement=config.placement,
+        samples_per_gpu=samples_per_gpu,
+        batch_size=config.batch_size,
+        staged=config.staged,
+        gzip_level=config.gzip_level,
+        epochs=epochs,
+        prefetch_depth=config.prefetch_depth,
+        sim_samples_cap=sim_samples_cap,
+        num_workers=config.num_workers,
+        cache_fraction=config.cache_fraction,
+    )
+    return simulate_node(cfg)
+
+
+def tune(
+    machine: MachineSpec,
+    space: TuneSpace,
+    samples_per_gpu: int = 2048,
+    batch_size: int = 4,
+    seed: int = 0,
+    max_rounds: int = 8,
+    validate: bool = True,
+    epochs: int = 3,
+    sim_samples_cap: int = 96,
+) -> TuneResult:
+    """Coordinate-descent search for the fastest pipeline configuration.
+
+    Deterministic for a given ``seed`` (start point and knob sweep order
+    both derive from it).  With ``validate=True`` the winning trial also
+    gets a simulated throughput, so callers can check the cost model's
+    prediction against the what-if evaluation.
+    """
+    rng = make_rng(seed)
+    axes = _axes(machine, space)
+    wl = space.workload
+
+    memo: dict[tuple, Trial] = {}
+
+    def evaluate(knobs: dict) -> Trial:
+        key = tuple(sorted(knobs.items()))
+        trial = memo.get(key)
+        if trial is None:
+            config = space.config(batch_size=batch_size, **knobs)
+            pred = predict_throughput(
+                machine, wl, space.costs[config.plugin], config, samples_per_gpu
+            )
+            trial = memo[key] = Trial(config=config, prediction=pred)
+        return trial
+
+    knobs = {
+        name: values[rng.integers(len(values))] for name, values in axes.items()
+    }
+    best = evaluate(knobs)
+    rounds = 0
+    converged = False
+    for rounds in range(1, max_rounds + 1):
+        improved = False
+        order = list(axes)
+        rng.shuffle(order)
+        for name in order:
+            for value in axes[name]:
+                if value == knobs[name]:
+                    continue
+                cand = evaluate({**knobs, name: value})
+                if _score(cand) > _score(best):
+                    best = cand
+                    knobs[name] = value
+                    improved = True
+        if not improved:
+            converged = True
+            break
+
+    if validate:
+        best.simulated_samples_per_s = simulate_config(
+            machine, space, best.config, samples_per_gpu,
+            epochs=epochs, sim_samples_cap=sim_samples_cap,
+        ).node_samples_per_s
+
+    ranked = sorted(memo.values(), key=_score, reverse=True)
+    return TuneResult(
+        machine=machine.name,
+        workload=wl.name,
+        best=best,
+        trials=ranked,
+        rounds=rounds,
+        evaluations=len(memo),
+        converged=converged,
+        samples_per_gpu=samples_per_gpu,
+        seed=seed,
+    )

@@ -1,0 +1,129 @@
+"""Stage-timing instrumentation: named counters behind a tiny registry.
+
+The tuner and the online controller both need to know where epoch time
+goes — read, decode, H2D transfer, cache hit/miss, worker occupancy,
+consumer starvation.  Those signals already exist in scattered places
+(the pipeline stopwatch, :class:`~repro.storage.cache.CacheStats`, the
+simulated device's ``busy_seconds``); this module adds the missing
+executor/loader counters and one place to read them all.
+
+Overhead discipline (enforced by ``benchmarks/bench_tuner_overhead.py``):
+an instrumented site holds its :class:`Stat` object directly — the name
+lookup happens once per epoch, not per sample — and recording an event
+is two attribute additions plus at most two ``perf_counter`` calls.
+All per-sample updates happen on the *consumer* thread (workers attach
+their elapsed time to the item they hand over), so counters need no
+locks and are exact even with many workers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Stat", "StatsRegistry", "collect_loader_stats"]
+
+
+class Stat:
+    """One counter: event count plus an accumulated value (seconds/bytes)."""
+
+    __slots__ = ("n", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+
+    def add(self, value: float = 0.0, n: int = 1) -> None:
+        self.n += n
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean value per event, 0.0 before the first event."""
+        return self.total / self.n if self.n else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stat(n={self.n}, total={self.total:.6g})"
+
+
+class StatsRegistry:
+    """Create-on-demand named :class:`Stat` counters.
+
+    Instrument sites call :meth:`stat` once to obtain the counter object
+    and then update it directly in their hot loop.  ``snapshot()`` returns
+    plain ``{name: (n, total)}`` tuples so consumers (the adaptive
+    controller) can diff two snapshots to get per-epoch deltas.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, Stat] = {}
+
+    def stat(self, name: str) -> Stat:
+        """The counter registered under ``name``, created if absent."""
+        s = self._stats.get(name)
+        if s is None:
+            s = self._stats[name] = Stat()
+        return s
+
+    def add(self, name: str, value: float = 0.0, n: int = 1) -> None:
+        """Convenience one-shot update (cold paths only)."""
+        self.stat(name).add(value, n)
+
+    def snapshot(self) -> dict[str, tuple[int, float]]:
+        """Immutable view: ``{name: (n, total)}``."""
+        return {k: (s.n, s.total) for k, s in self._stats.items()}
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+
+def _cache_stats(source) -> dict[str, float] | None:
+    """Walk a source decorator chain for an attached ``SampleCache``."""
+    seen = 0
+    while source is not None and seen < 32:  # defensive cycle bound
+        cache = getattr(source, "cache", None)
+        stats = getattr(cache, "stats", None)
+        if stats is not None and hasattr(stats, "hits"):
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hit_rate,
+                "evictions": stats.evictions,
+                "evicted_bytes": stats.evicted_bytes,
+                "rejected": stats.rejected,
+                "used_bytes": getattr(cache, "used_bytes", 0),
+                "capacity_bytes": getattr(cache, "capacity_bytes", 0),
+            }
+        source = getattr(source, "inner", None)
+        seen += 1
+    return None
+
+
+def collect_loader_stats(loader) -> dict[str, object]:
+    """One structured view of everything a live loader can report.
+
+    Merges the per-stage wall-clock attribution (read/decode/… from the
+    pipeline stopwatch), the executor/loader counters, the sample-cache
+    statistics found on the source chain (if any), and the simulated
+    device's accumulated kernel time (H2D + decode) when the loader owns
+    a device.  Everything is duck-typed so the function never imports
+    the pipeline package.
+    """
+    out: dict[str, object] = {
+        "stages_s": dict(loader.stage_times()),
+        "counters": {
+            name: {"n": n, "total": total}
+            for name, (n, total) in loader.stats.snapshot().items()
+        },
+    }
+    cache = _cache_stats(getattr(loader, "source", None))
+    if cache is not None:
+        out["cache"] = cache
+    device = getattr(loader, "device", None)
+    if device is not None:
+        out["gpu"] = {"busy_s": device.busy_seconds,
+                      "launches": len(device.launches)}
+    return out

@@ -75,6 +75,17 @@ class TestInspectAnalyzeBench:
                      str(record_file)]) == 0
         assert "samples/s" in capsys.readouterr().out
 
+    def test_bench_json(self, record_file, capsys):
+        import json
+
+        assert main(["bench", "--workload", "cosmoflow",
+                     "--representation", "base", "--input",
+                     str(record_file), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["samples"] == 2
+        assert data["samples_per_s"] > 0
+        assert data["decoded_mb_per_s"] > 0
+
     def test_unknown_representation(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--workload", "cosmoflow", "--representation",
@@ -106,3 +117,46 @@ class TestStats:
               "--size", "8", "--output", str(out)])
         assert main(["stats", "--input", str(out)]) == 0
         assert "raw" in capsys.readouterr().out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "d.tfr"
+        main(["generate", "--workload", "deepcam", "--representation",
+              "plugin", "--count", "2", "--size", "16", "--output",
+              str(out)])
+        capsys.readouterr()  # drop the generate banner
+        assert main(["stats", "--input", str(out), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["samples"]) == 2
+        rec = data["samples"][0]
+        assert rec["codec"] == "delta"
+        assert rec["compression_vs_fp16"] > 0.0
+        assert rec["lines_const"] + rec["lines_delta"] + rec["lines_raw"] > 0
+
+
+class TestTune:
+    def test_tune_human_output(self, capsys):
+        assert main(["tune", "--machine", "summit", "--workload",
+                     "cosmoflow"]) == 0
+        text = capsys.readouterr().out
+        assert "converged" in text
+        assert "best:" in text and "paper:" in text
+        assert "bottleneck" in text
+
+    def test_tune_json(self, capsys):
+        import json
+
+        assert main(["tune", "--machine", "cori-a100", "--workload",
+                     "deepcam", "--json", "--top", "3", "--seed", "1"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["machine"] == "Cori-A100"
+        assert data["converged"] is True
+        assert len(data["trials"]) == 3
+        assert data["best"]["prediction_error"] < 0.15
+        assert data["paper_simulated_samples_per_s"] > 0
+
+    def test_tune_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--machine", "frontier", "--workload",
+                  "cosmoflow"])

@@ -151,6 +151,20 @@ class TestClaims:
         assert f["cosmoflow decode share"] < 0.01
 
 
+class TestTuning:
+    def test_search_matches_paper_everywhere(self):
+        from repro.experiments import tuning
+
+        res = tuning.run(quiet=True)
+        assert len(res.rows) == 6  # 3 machines x 2 workloads
+        f = res.findings
+        assert f["all_converged"] == 1.0
+        # acceptance: searched config matches/beats the paper's on every
+        # cell, and the cost model agrees with the what-if within 15%
+        assert f["min_ratio_vs_paper"] >= 0.999
+        assert f["max_prediction_error"] < 0.15
+
+
 class TestMainDriver:
     def test_runs_named_exhibit(self, capsys):
         from repro.experiments.__main__ import main
@@ -158,6 +172,13 @@ class TestMainDriver:
         assert main(["tables"]) == 0
         out = capsys.readouterr().out
         assert "Table I" in out and "Table II" in out
+
+    def test_runs_tuning_exhibit(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tuning"]) == 0
+        out = capsys.readouterr().out
+        assert "min_ratio_vs_paper" in out
 
     def test_rejects_unknown(self, capsys):
         from repro.experiments.__main__ import main

@@ -441,3 +441,125 @@ class TestExecutorFailureIsolation:
         ex = PrefetchExecutor(self._pipe(blobs, 0), num_workers=0)
         with pytest.raises(ValueError):
             list(ex.run([0], on_error="explode"))
+
+
+class TestExecutorStats:
+    """Satellite: instrumented executor keeps ordering and exact counters
+    across worker counts and prefetch depths."""
+
+    def _pipe(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        return Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    @pytest.mark.parametrize("prefetch_depth", [1, 2, 8])
+    def test_ordering_and_counts(
+        self, deepcam_blobs, num_workers, prefetch_depth
+    ):
+        from repro.tune.stats import StatsRegistry
+
+        pipe = self._pipe(deepcam_blobs)
+        stats = StatsRegistry()
+        ex = PrefetchExecutor(
+            pipe, num_workers=num_workers, prefetch_depth=prefetch_depth,
+            stats=stats,
+        )
+        order = [4, 0, 3, 1, 2, 0, 4]
+        items = list(ex.run(order))
+        assert [i.index for i in items] == order
+        snap = stats.snapshot()
+        n, busy = snap["executor.items"]
+        assert n == len(order)
+        assert busy > 0.0
+        assert snap.get("executor.failed", (0, 0.0))[0] == 0
+
+    @pytest.mark.parametrize("num_workers", [0, 2, 3])
+    def test_failed_items_counted_in_band(self, deepcam_blobs, num_workers):
+        from repro.pipeline.executor import FailedItem
+        from repro.tune.stats import StatsRegistry
+
+        class Boom(Op):
+            name = "boom"
+
+            def __call__(self, item: PipelineItem) -> PipelineItem:
+                if item.index % 2 == 1:
+                    raise RuntimeError("odd index")
+                item.tensor = np.zeros(1)
+                item.label = np.zeros(1)
+                return item
+
+        _, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), Boom()])
+        stats = StatsRegistry()
+        ex = PrefetchExecutor(
+            pipe, num_workers=num_workers, prefetch_depth=2, stats=stats
+        )
+        out = list(ex.run([0, 1, 2, 3, 4], on_error="yield"))
+        assert [isinstance(o, FailedItem) for o in out] == [
+            False, True, False, True, False,
+        ]
+        snap = stats.snapshot()
+        assert snap["executor.failed"][0] == 2
+        assert snap["executor.items"][0] == 3  # successes only
+
+    def test_sync_path_counts_wait_as_starvation(self, deepcam_blobs):
+        from repro.tune.stats import StatsRegistry
+
+        pipe = self._pipe(deepcam_blobs)
+        stats = StatsRegistry()
+        ex = PrefetchExecutor(pipe, num_workers=0, stats=stats)
+        list(ex.run([0, 1, 2]))
+        snap = stats.snapshot()
+        # the consumer is the producer: every busy second is a wait second
+        assert snap["executor.wait"][1] == pytest.approx(
+            snap["executor.items"][1]
+        )
+
+    def test_uninstrumented_executor_still_works(self, deepcam_blobs):
+        pipe = self._pipe(deepcam_blobs)
+        items = list(PrefetchExecutor(pipe, 2, 2).run([0, 1, 2]))
+        assert [i.index for i in items] == [0, 1, 2]
+
+
+class TestLoaderStatsAndReconfigure:
+    def test_loader_records_epoch_and_batches(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=0)
+        list(dl.batches(0))
+        snap = dl.stats.snapshot()
+        assert snap["loader.epoch"][0] == 1
+        assert snap["loader.epoch"][1] > 0.0
+        assert snap["loader.batches"][0] == 3  # 5 samples -> 2+2+1
+        assert snap["executor.items"][0] == 5
+
+    def test_reconfigure_keeps_determinism_and_state(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        ref = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=7,
+                         num_workers=2)
+        want = [b for b, _ in ref.batches(1)]
+
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=7,
+                        num_workers=0)
+        list(dl.batches(0))
+        stats_before = dl.stats
+        pipeline_before = dl.pipeline
+        dl.reconfigure(num_workers=2, prefetch_depth=8)
+        assert dl.executor.num_workers == 2
+        assert dl.executor.prefetch_depth == 8
+        assert dl.stats is stats_before  # counters survive the swap
+        assert dl.pipeline is pipeline_before
+        got = [b for b, _ in dl.batches(1)]
+        for a, b in zip(want, got):
+            assert np.array_equal(a, b)
+        assert dl.stats.snapshot()["loader.epoch"][0] == 2
+
+    def test_reconfigure_partial_keeps_other_knob(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, num_workers=3,
+                        prefetch_depth=5)
+        dl.reconfigure(prefetch_depth=2)
+        assert dl.executor.num_workers == 3
+        assert dl.executor.prefetch_depth == 2
+        dl.reconfigure(num_workers=1)
+        assert dl.executor.num_workers == 1
+        assert dl.executor.prefetch_depth == 2

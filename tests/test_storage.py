@@ -228,6 +228,17 @@ class TestSampleCache:
         cache.put("c", b"1234")  # evicts b (LRU)
         assert "a" in cache and "c" in cache and "b" not in cache
         assert cache.stats.evictions == 1
+        assert cache.stats.evicted_bytes == 4
+
+    def test_evicted_bytes_accumulates(self):
+        cache = SampleCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.put("c", b"1234567890")  # displaces both
+        assert cache.stats.evictions == 2
+        assert cache.stats.evicted_bytes == 10
+        cache.invalidate("c")  # invalidation is not an eviction
+        assert cache.stats.evicted_bytes == 10
 
     def test_oversized_blob_not_cached(self):
         cache = SampleCache(10)

@@ -1,0 +1,445 @@
+"""Tests for the autotuner: stats, cost model, search, controller."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.pipeline import DataLoader, ListSource
+from repro.pipeline.graph import Pipeline
+from repro.pipeline.ops import Op, PipelineItem, ReadOp
+from repro.simulate.machine import MACHINES
+from repro.tune import (
+    AdaptiveController,
+    EpochObservation,
+    StatsRegistry,
+    TuneConfig,
+    collect_loader_stats,
+    paper_config,
+    predict_throughput,
+    resolve_machine,
+    simulate_config,
+    tune,
+    workload_space,
+)
+
+SUMMIT = MACHINES["Summit"]
+
+
+@pytest.fixture(scope="module")
+def deepcam_blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(6, cfg, seed=1)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+class TestStatsRegistry:
+    def test_stat_identity_and_accumulation(self):
+        reg = StatsRegistry()
+        s = reg.stat("x")
+        assert reg.stat("x") is s
+        s.add(0.5)
+        s.add(1.5, n=2)
+        assert s.n == 3
+        assert s.total == pytest.approx(2.0)
+        assert s.mean == pytest.approx(2.0 / 3)
+
+    def test_snapshot_diffable_and_clear(self):
+        reg = StatsRegistry()
+        reg.add("a", 1.0)
+        before = reg.snapshot()
+        reg.add("a", 2.0)
+        after = reg.snapshot()
+        assert after["a"][0] - before["a"][0] == 1
+        assert after["a"][1] - before["a"][1] == pytest.approx(2.0)
+        assert "a" in reg and len(reg) == 1
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_mean_empty_is_zero(self):
+        assert StatsRegistry().stat("y").mean == 0.0
+
+
+class TestCollectLoaderStats:
+    def test_merges_all_layers(self, deepcam_blobs):
+        from repro.pipeline import CachedSource
+        from repro.storage import SampleCache
+
+        plugin, blobs = deepcam_blobs
+        cache = SampleCache(len(blobs[0]) * 2 + 1)
+        dl = DataLoader(
+            CachedSource(ListSource(blobs), cache), plugin, batch_size=2,
+        )
+        list(dl.batches(0))
+        list(dl.batches(1))
+        out = collect_loader_stats(dl)
+        assert out["stages_s"]["decode"] > 0
+        assert out["counters"]["executor.items"]["n"] == 12
+        assert out["counters"]["loader.epoch"]["n"] == 2
+        c = out["cache"]
+        assert c["misses"] > 0 and c["evictions"] > 0
+        assert c["evicted_bytes"] > 0
+        assert c["used_bytes"] <= c["capacity_bytes"]
+
+
+class TestTuneConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuneConfig(plugin="x", placement="tpu")
+        with pytest.raises(ValueError):
+            TuneConfig(plugin="x", num_workers=0)
+        with pytest.raises(ValueError):
+            TuneConfig(plugin="x", prefetch_depth=0)
+        with pytest.raises(ValueError):
+            TuneConfig(plugin="x", cache_fraction=0.0)
+        with pytest.raises(ValueError):
+            TuneConfig(plugin="x", gzip_level=1.0)
+
+    def test_describe_mentions_every_knob(self):
+        cfg = TuneConfig(plugin="lut", placement="gpu", staged=False,
+                         num_workers=2, prefetch_depth=8, cache_fraction=0.2)
+        d = cfg.describe()
+        assert "lut/gpu" in d and "unstaged" in d
+        assert "w2" in d and "d8" in d and "c20%" in d
+
+
+class TestCostModel:
+    def _space(self):
+        return workload_space("cosmoflow")
+
+    def test_optimized_config_is_gpu_bound_and_fast(self):
+        space = self._space()
+        cfg = space.config("plugin", staged=True, num_workers=4)
+        pred = predict_throughput(
+            SUMMIT, space.workload, space.costs["plugin"], cfg, 2048
+        )
+        assert pred.bottleneck == "gpu"
+        base = space.config("base", staged=True, num_workers=4)
+        pred_base = predict_throughput(
+            SUMMIT, space.workload, space.costs["base"], base, 2048
+        )
+        assert pred.steady_samples_per_s > pred_base.steady_samples_per_s
+
+    def test_unstaged_pfs_hurts_cold_throughput(self):
+        space = self._space()
+        staged = space.config("plugin", staged=True)
+        unstaged = space.config("plugin", staged=False)
+        cost = space.costs["plugin"]
+        p_staged = predict_throughput(SUMMIT, space.workload, cost, staged, 2048)
+        p_unstaged = predict_throughput(
+            SUMMIT, space.workload, cost, unstaged, 2048
+        )
+        assert p_unstaged.cold_samples_per_s < p_staged.cold_samples_per_s
+
+    def test_small_samples_cache_better(self):
+        space = self._space()
+        cost_small = space.costs["plugin"]  # encoded: ~4x smaller
+        cost_big = space.costs["base"]
+        cfg_small = space.config("plugin", cache_fraction=0.1)
+        cfg_big = space.config("base", cache_fraction=0.1)
+        p_small = predict_throughput(
+            SUMMIT, space.workload, cost_small, cfg_small, 2048
+        )
+        p_big = predict_throughput(
+            SUMMIT, space.workload, cost_big, cfg_big, 2048
+        )
+        assert p_small.hit_rate > p_big.hit_rate
+
+    def test_footprint_grows_with_depth_and_workers(self):
+        space = self._space()
+        cost = space.costs["plugin"]
+        small = space.config("plugin", num_workers=1, prefetch_depth=4)
+        big = space.config("plugin", num_workers=8, prefetch_depth=32)
+        f_small = predict_throughput(
+            SUMMIT, space.workload, cost, small, 2048
+        ).footprint_bytes
+        f_big = predict_throughput(
+            SUMMIT, space.workload, cost, big, 2048
+        ).footprint_bytes
+        assert f_big > f_small
+
+    def test_few_workers_bind_the_loader(self):
+        space = self._space()
+        cost = space.costs["base"]  # CPU-heavy representation
+        cfg = space.config("base", num_workers=1, cache_fraction=0.1)
+        pred = predict_throughput(SUMMIT, space.workload, cost, cfg, 2048)
+        assert pred.bottleneck in ("loader", "cpu", "storage")
+        more = space.config("base", num_workers=16, cache_fraction=0.1)
+        pred_more = predict_throughput(SUMMIT, space.workload, cost, more, 2048)
+        assert (
+            pred_more.steady_samples_per_s >= pred.steady_samples_per_s
+        )
+
+    def test_rejects_empty_dataset(self):
+        space = self._space()
+        with pytest.raises(ValueError):
+            predict_throughput(
+                SUMMIT, space.workload, space.costs["plugin"],
+                space.config("plugin"), 0,
+            )
+
+
+class TestSearch:
+    def test_resolve_machine_case_insensitive(self):
+        assert resolve_machine("summit").name == "Summit"
+        assert resolve_machine("CORI_V100").name == "Cori-V100"
+        with pytest.raises(ValueError):
+            resolve_machine("frontier")
+
+    def test_unknown_workload_and_plugin(self):
+        with pytest.raises(ValueError):
+            workload_space("resnet")
+        with pytest.raises(ValueError):
+            workload_space("cosmoflow").config("nope")
+
+    def test_deterministic_for_seed(self):
+        space = workload_space("cosmoflow")
+        a = tune(SUMMIT, space, seed=3, validate=False)
+        b = tune(SUMMIT, space, seed=3, validate=False)
+        assert a.best.config == b.best.config
+        assert [t.config for t in a.trials] == [t.config for t in b.trials]
+        assert a.evaluations == b.evaluations
+
+    def test_converges_and_ranks_trials(self):
+        space = workload_space("cosmoflow")
+        res = tune(SUMMIT, space, seed=0, validate=False)
+        assert res.converged
+        assert res.trials[0] is res.best
+        scores = [t.prediction.steady_samples_per_s for t in res.trials]
+        assert scores == sorted(scores, reverse=True) or len(set(scores)) > 1
+        assert res.evaluations == len(res.trials)
+
+    def test_acceptance_summit_cosmoflow_within_15pct(self):
+        """Acceptance: converged search, prediction vs what-if within 15%."""
+        space = workload_space("cosmoflow")
+        res = tune(SUMMIT, space, seed=0, validate=True)
+        assert res.converged
+        best = res.best
+        assert best.simulated_samples_per_s is not None
+        assert best.prediction_error < 0.15
+
+    @pytest.mark.parametrize("machine_name", list(MACHINES))
+    @pytest.mark.parametrize("workload", ["cosmoflow", "deepcam"])
+    def test_search_matches_or_beats_paper(self, machine_name, workload):
+        machine = MACHINES[machine_name]
+        space = workload_space(workload)
+        res = tune(machine, space, seed=0, validate=True)
+        paper = paper_config(machine, space)
+        # the searched representation/placement reproduce the paper's choice
+        assert res.best.config.plugin == paper.plugin
+        assert res.best.config.placement == paper.placement
+        assert res.best.config.staged == paper.staged
+        paper_sim = simulate_config(
+            machine, space, paper, res.samples_per_gpu
+        ).node_samples_per_s
+        assert res.best.simulated_samples_per_s >= paper_sim * 0.999
+
+    def test_to_json_round_trips(self):
+        import json
+
+        space = workload_space("deepcam")
+        res = tune(SUMMIT, space, seed=1, validate=False, max_rounds=2)
+        blob = json.dumps(res.to_json())
+        data = json.loads(blob)
+        assert data["machine"] == "Summit"
+        assert data["best"]["config"]["plugin"] in space.costs
+
+
+class TestTrainSimOverrides:
+    def test_validation(self):
+        from repro.simulate.trainsim import TrainSimConfig
+
+        space = workload_space("cosmoflow")
+        base = dict(
+            machine=SUMMIT, workload=space.workload,
+            cost=space.costs["plugin"], plugin_name="plugin",
+            placement="gpu", samples_per_gpu=64, batch_size=4, staged=True,
+        )
+        with pytest.raises(ValueError):
+            TrainSimConfig(**base, num_workers=0)
+        with pytest.raises(ValueError):
+            TrainSimConfig(**base, cache_fraction=0.0)
+        with pytest.raises(ValueError):
+            TrainSimConfig(**base, cache_fraction=1.5)
+
+    def test_worker_override_changes_cpu_bound_throughput(self):
+        space = workload_space("cosmoflow")
+        starved = simulate_config(
+            SUMMIT, space,
+            space.config("base", num_workers=1, cache_fraction=0.3), 256,
+            epochs=2, sim_samples_cap=32,
+        )
+        fed = simulate_config(
+            SUMMIT, space,
+            space.config("base", num_workers=8, cache_fraction=0.3), 256,
+            epochs=2, sim_samples_cap=32,
+        )
+        assert fed.node_samples_per_s > starved.node_samples_per_s
+
+    def test_cache_override_changes_hit_rate(self):
+        space = workload_space("cosmoflow")
+        small = simulate_config(
+            SUMMIT, space,
+            space.config("base", cache_fraction=0.1), 4096,
+            epochs=2, sim_samples_cap=32,
+        )
+        big = simulate_config(
+            SUMMIT, space,
+            space.config("base", cache_fraction=0.45), 4096,
+            epochs=2, sim_samples_cap=32,
+        )
+        assert big.cache_hit_rate > small.cache_hit_rate
+
+
+class _FakeExecutor:
+    def __init__(self, num_workers, prefetch_depth):
+        self.num_workers = num_workers
+        self.prefetch_depth = prefetch_depth
+
+
+class _FakeLoader:
+    """Duck-typed stand-in so controller decisions can be unit-tested."""
+
+    def __init__(self, num_workers=1, prefetch_depth=2):
+        self.stats = StatsRegistry()
+        self.executor = _FakeExecutor(num_workers, prefetch_depth)
+        self.calls = []
+
+    def reconfigure(self, num_workers=None, prefetch_depth=None):
+        self.calls.append((num_workers, prefetch_depth))
+        if num_workers is not None:
+            self.executor.num_workers = num_workers
+        if prefetch_depth is not None:
+            self.executor.prefetch_depth = prefetch_depth
+
+
+def _obs(loader, epoch_s, starvation, occupancy):
+    return EpochObservation(
+        epoch_s=epoch_s, starvation=starvation, occupancy=occupancy,
+        num_workers=loader.executor.num_workers,
+        prefetch_depth=loader.executor.prefetch_depth,
+    )
+
+
+class TestAdaptiveController:
+    def test_starved_grows_workers_and_keeps_improvement(self):
+        loader = _FakeLoader(num_workers=1)
+        ctl = AdaptiveController(loader)
+        action = ctl.observe(_obs(loader, 10.0, starvation=0.8, occupancy=0.9))
+        assert action == "grow num_workers 1 -> 2"
+        assert loader.executor.num_workers == 2
+        # the grow halved the epoch: kept, and starvation continues growth
+        action = ctl.observe(_obs(loader, 5.0, starvation=0.6, occupancy=0.9))
+        assert action == "grow num_workers 2 -> 4"
+
+    def test_useless_grow_reverts_and_locks(self):
+        loader = _FakeLoader(num_workers=1)
+        ctl = AdaptiveController(loader)
+        ctl.observe(_obs(loader, 10.0, starvation=0.8, occupancy=0.9))
+        # no improvement: revert and lock the (workers, +1) direction
+        action = ctl.observe(_obs(loader, 10.0, starvation=0.8, occupancy=0.9))
+        assert action.startswith("revert num_workers -> 1")
+        assert loader.executor.num_workers == 1
+        # still starved: workers locked, so depth grows instead
+        action = ctl.observe(_obs(loader, 10.0, starvation=0.8, occupancy=0.9))
+        assert action == "grow prefetch_depth 2 -> 4"
+
+    def test_idle_shrinks_and_keeps_when_not_worse(self):
+        loader = _FakeLoader(num_workers=8)
+        ctl = AdaptiveController(loader)
+        action = ctl.observe(_obs(loader, 10.0, starvation=0.0, occupancy=0.1))
+        assert action == "shrink num_workers 8 -> 4"
+        # not worse (and now busy enough): shrink sticks, nothing new
+        action = ctl.observe(_obs(loader, 10.1, starvation=0.0, occupancy=0.6))
+        assert action == "hold"
+        assert loader.executor.num_workers == 4
+
+    def test_harmful_shrink_reverts(self):
+        loader = _FakeLoader(num_workers=8)
+        ctl = AdaptiveController(loader)
+        ctl.observe(_obs(loader, 10.0, starvation=0.0, occupancy=0.1))
+        action = ctl.observe(_obs(loader, 15.0, starvation=0.3, occupancy=0.9))
+        assert action.startswith("revert num_workers -> 8")
+        assert loader.executor.num_workers == 8
+
+    def test_converges_after_settle_epochs(self):
+        loader = _FakeLoader(num_workers=2)
+        ctl = AdaptiveController(loader, settle_epochs=2)
+        assert not ctl.converged
+        ctl.observe(_obs(loader, 10.0, starvation=0.01, occupancy=0.8))
+        assert not ctl.converged
+        ctl.observe(_obs(loader, 10.0, starvation=0.01, occupancy=0.8))
+        assert ctl.converged
+        assert loader.calls == []  # never touched the loader
+
+    def test_validation(self):
+        loader = _FakeLoader()
+        with pytest.raises(ValueError):
+            AdaptiveController(loader, min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            AdaptiveController(loader, min_depth=0)
+        with pytest.raises(ValueError):
+            AdaptiveController(loader, hysteresis=-0.1)
+
+    def test_read_observation_diffs_epochs(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2,
+                        num_workers=2)
+        ctl = AdaptiveController(dl)
+        list(dl.batches(0))
+        obs = ctl.read_observation()
+        assert obs.epoch_s > 0
+        assert 0.0 <= obs.starvation <= 1.0
+        assert 0.0 <= obs.occupancy <= 1.0
+        assert obs.num_workers == 2
+        # second epoch diffs against the first snapshot, not the total
+        list(dl.batches(1))
+        obs2 = ctl.read_observation()
+        total_epoch_s = dl.stats.snapshot()["loader.epoch"][1]
+        assert obs2.epoch_s < total_epoch_s
+
+
+class _SleepOp(Op):
+    """Preparation dominated by a GIL-releasing stall (I/O-like)."""
+
+    name = "sleepy"
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def __call__(self, item: PipelineItem) -> PipelineItem:
+        time.sleep(self.seconds)
+        item.tensor = np.zeros(2, dtype=np.float32)
+        item.label = np.zeros(1, dtype=np.float32)
+        return item
+
+
+class TestControllerIntegration:
+    def test_controller_beats_static_default(self, deepcam_blobs):
+        """Acceptance: on a skewed-cost (stall-dominated) pipeline the
+        controller's final epochs are measurably faster than the static
+        initial configuration."""
+        plugin, blobs = deepcam_blobs
+        n, delay = 12, 0.004
+        source = ListSource(blobs[:1] * n)
+        loader = DataLoader(source, plugin, batch_size=4, shuffle=False,
+                            num_workers=1, prefetch_depth=2,
+                            extra_ops=[_SleepOp(delay)])
+        ctl = AdaptiveController(loader, hysteresis=0.05, max_workers=8)
+
+        epoch_times = []
+        for epoch in range(8):
+            t0 = time.perf_counter()
+            for _ in loader.batches(epoch):
+                pass
+            epoch_times.append(time.perf_counter() - t0)
+            ctl.after_epoch()
+
+        assert loader.executor.num_workers > 1  # it actually scaled up
+        # final config beats the static default by a clear margin
+        assert min(epoch_times[-2:]) < epoch_times[0] * 0.7
+        grew = [a for _, a in ctl.history if a.startswith("grow")]
+        assert grew  # the improvement came from controller actions
