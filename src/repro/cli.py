@@ -18,9 +18,14 @@ for the common dataset chores:
 * ``tune``      — cost-model-driven search for the fastest pipeline
   configuration on a simulated machine (``repro.tune``); prints the
   winner, the paper's hand-chosen baseline, and the ranked trial log.
+* ``vectors``   — generate (once) or verify (always) the golden-vector
+  conformance corpus (``repro.conformance.vectors``).
+* ``fuzz``      — differential fuzzing of every codec implementation,
+  count- or time-budgeted, with crash-corpus save/replay
+  (``repro.conformance.fuzzer``); non-zero exit on any disagreement.
 
-``bench``, ``stats`` and ``tune`` accept ``--json`` for machine-readable
-output.
+``bench``, ``stats``, ``tune``, ``vectors verify`` and ``fuzz`` accept
+``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -381,6 +386,81 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_vectors(args) -> int:
+    from repro.conformance import generate_vectors, verify_vectors
+    from repro.conformance.vectors import DEFAULT_SEED
+
+    if args.action == "generate":
+        try:
+            manifest = generate_vectors(
+                args.dir,
+                seed=DEFAULT_SEED if args.seed is None else args.seed,
+                force=args.force,
+            )
+        except FileExistsError as exc:
+            raise SystemExit(str(exc))
+        print(
+            f"wrote {len(manifest['cases'])} golden vectors to {args.dir} "
+            f"(seed {manifest['seed']})"
+        )
+        return 0
+    report = verify_vectors(args.dir)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0 if report.ok else 1
+    rows = [
+        [r.name, r.codec, "ok" if r.ok else "FAIL",
+         "; ".join(r.errors) or "-"]
+        for r in report.results
+    ]
+    print_table(["case", "codec", "status", "detail"], rows)
+    n_bad = len(report.failed)
+    print(f"{len(report.results)} cases, {n_bad} failing")
+    return 1 if n_bad or not report.results else 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.conformance import fuzz, replay_crashes
+    from repro.conformance.fuzzer import FuzzReport
+
+    if args.replay:
+        report = replay_crashes(args.replay)
+    else:
+        if args.samples is None and args.budget_s is None:
+            raise SystemExit("one of --samples / --budget-s is required")
+        codecs = ("delta", "lut") if args.codec == "all" else (args.codec,)
+        budget = (
+            None if args.budget_s is None else args.budget_s / len(codecs)
+        )
+        report = FuzzReport(codec=args.codec, seed=args.seed)
+        for codec in codecs:
+            report.merge(fuzz(
+                codec,
+                samples=args.samples,
+                budget_s=budget,
+                seed=args.seed,
+                crash_dir=args.crash_dir,
+            ))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+        return 0 if report.ok else 1
+    what = "replayed" if args.replay else "fuzzed"
+    print(
+        f"{what} {report.cases} cases in {report.elapsed_s:.1f}s "
+        f"({', '.join(f'{k}:{v}' for k, v in sorted(report.by_kind.items()))})"
+    )
+    for m in report.mismatches:
+        print(f"MISMATCH {m}", file=sys.stderr)
+    for c in report.crashes:
+        print(f"CRASH {c['kind']}: {c['error']}", file=sys.stderr)
+    if report.saved:
+        print(f"saved {len(report.saved)} reproducer(s):")
+        for p in report.saved:
+            print(f"  {p}")
+    print("conformance: " + ("OK" if report.ok else "FAILED"))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -488,6 +568,39 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--json", action="store_true",
                    help="machine-readable output")
     t.set_defaults(func=cmd_tune)
+
+    vec = sub.add_parser(
+        "vectors", help="golden-vector conformance corpus"
+    )
+    vec.add_argument("action", choices=("generate", "verify"))
+    vec.add_argument("--dir", default="tests/vectors",
+                     help="corpus directory (default: tests/vectors)")
+    vec.add_argument("--seed", type=int, default=None,
+                     help="generation seed (generate only)")
+    vec.add_argument("--force", action="store_true",
+                     help="overwrite an existing corpus (deliberate "
+                          "format changes only)")
+    vec.add_argument("--json", action="store_true",
+                     help="machine-readable output (verify only)")
+    vec.set_defaults(func=cmd_vectors)
+
+    f = sub.add_parser(
+        "fuzz", help="differential fuzzing across codec implementations"
+    )
+    f.add_argument("--codec", choices=("delta", "lut", "all"),
+                   default="all")
+    f.add_argument("--samples", type=int, default=None,
+                   help="cases per codec")
+    f.add_argument("--budget-s", type=float, default=None,
+                   help="total wall-clock budget, split across codecs")
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--crash-dir", default=None,
+                   help="save failing inputs here as .npz reproducers")
+    f.add_argument("--replay", default=None, metavar="DIR",
+                   help="replay a crash-corpus directory instead of fuzzing")
+    f.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    f.set_defaults(func=cmd_fuzz)
     return p
 
 

@@ -1,0 +1,347 @@
+"""Differential decode harness: every implementation, bit-for-bit.
+
+One encoded sample is pushed through every decode path the repo ships —
+the independent loop reference (:mod:`repro.conformance.reference`), the
+production loop decoder, the vectorized decoder, the simulated accelerator
+kernels, and the container round-trip — and the outputs are compared as
+raw bits (``tobytes()``), so NaN payloads and signed zeros count too.  The
+encoder side is differential as well: the loop and vectorized encoders
+must produce byte-identical streams.
+
+A disagreement anywhere is a :class:`Mismatch` inside a
+:class:`CaseReport`; :meth:`CaseReport.raise_if_failed` turns it into a
+:class:`ConformanceError` whose message pinpoints the first differing
+element.  The golden-vector verifier and the fuzzer are both built on
+these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.accel.device import SimulatedGpu, V100
+from repro.accel.kernels import k_delta_decode, k_lut_decode
+from repro.conformance.reference import (
+    decode_delta_reference,
+    decode_lut_reference,
+)
+from repro.core.encoding import container
+from repro.core.encoding.delta import (
+    DeltaCodecConfig,
+    DeltaEncodedImage,
+    decode_image,
+    encode_image,
+)
+from repro.core.encoding.delta_decode_fast import decode_image_fast
+from repro.core.encoding.delta_fast import encode_image_fast
+from repro.core.encoding.lut import (
+    LutCodecConfig,
+    LutEncodedSample,
+    apply_to_tables,
+    decode_sample,
+    encode_sample,
+)
+
+__all__ = [
+    "ConformanceError",
+    "Mismatch",
+    "CaseReport",
+    "delta_decode_outputs",
+    "lut_decode_outputs",
+    "check_delta_case",
+    "check_lut_case",
+    "compare_against",
+    "delta_config_to_dict",
+    "delta_config_from_dict",
+    "lut_config_to_dict",
+    "lut_config_from_dict",
+]
+
+#: reference implementation name every other output is compared against
+REFERENCE = "reference"
+
+
+class ConformanceError(AssertionError):
+    """Two implementations of the same codec disagreed bit-for-bit."""
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One bit-level disagreement between two implementations."""
+
+    impl: str
+    against: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.impl} vs {self.against}: {self.detail}"
+
+
+@dataclass
+class CaseReport:
+    """Outcome of one differential case (one sample, all implementations)."""
+
+    codec: str
+    impls: list[str] = field(default_factory=list)
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            lines = "; ".join(str(m) for m in self.mismatches)
+            raise ConformanceError(
+                f"{self.codec} conformance failure across "
+                f"{self.impls}: {lines}"
+            )
+
+
+def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
+    """Describe the first differing element of two same-shape arrays."""
+    av = np.ascontiguousarray(a).view(np.uint8).reshape(a.shape + (-1,))
+    bv = np.ascontiguousarray(b).view(np.uint8).reshape(b.shape + (-1,))
+    diff = (av != bv).any(axis=-1)
+    n = int(np.count_nonzero(diff))
+    idx = tuple(int(x) for x in np.argwhere(diff)[0])
+    return (
+        f"{n}/{a.size} elements differ, first at {idx}: "
+        f"{a[idx]!r} != {b[idx]!r}"
+    )
+
+
+def compare_against(
+    outputs: dict[str, np.ndarray], against: str = REFERENCE
+) -> list[Mismatch]:
+    """Bitwise-compare every output to ``outputs[against]``."""
+    ref = outputs[against]
+    mismatches: list[Mismatch] = []
+    for name, arr in outputs.items():
+        if name == against:
+            continue
+        if arr.shape != ref.shape or arr.dtype != ref.dtype:
+            mismatches.append(Mismatch(
+                name, against,
+                f"shape/dtype {arr.shape}/{arr.dtype} != "
+                f"{ref.shape}/{ref.dtype}",
+            ))
+        elif np.ascontiguousarray(arr).tobytes() != (
+            np.ascontiguousarray(ref).tobytes()
+        ):
+            mismatches.append(Mismatch(name, against, _first_diff(arr, ref)))
+    return mismatches
+
+
+def _default_device() -> SimulatedGpu:
+    return SimulatedGpu(spec=V100)
+
+
+# --------------------------------------------------------------------------
+# delta codec
+# --------------------------------------------------------------------------
+
+def delta_decode_outputs(
+    enc: DeltaEncodedImage, device: SimulatedGpu | None = None
+) -> dict[str, np.ndarray]:
+    """FP16 output of every delta decode path for one encoded channel.
+
+    Keys: ``reference`` (loop reference from the format doc), ``loop``
+    (:func:`~repro.core.encoding.delta.decode_image`), ``vectorized``
+    (:func:`~repro.core.encoding.delta_decode_fast.decode_image_fast`),
+    ``accel`` (:func:`~repro.accel.kernels.k_delta_decode`).
+    """
+    device = device or _default_device()
+    return {
+        REFERENCE: decode_delta_reference(enc),
+        "loop": decode_image(enc),
+        "vectorized": decode_image_fast(enc),
+        "accel": k_delta_decode(device, [enc])[0],
+    }
+
+
+def _delta_enc_equal(a: DeltaEncodedImage, b: DeltaEncodedImage) -> str | None:
+    """``None`` when two encoded images are byte-identical, else a reason."""
+    if a.shape != b.shape:
+        return f"shape {a.shape} != {b.shape}"
+    if a.line_modes.tobytes() != b.line_modes.tobytes():
+        return "line_modes differ"
+    if a.line_offsets.tobytes() != b.line_offsets.tobytes():
+        return "line_offsets differ"
+    if a.payload != b.payload:
+        lo = next(
+            i for i, (x, y) in enumerate(zip(a.payload, b.payload)) if x != y
+        ) if len(a.payload) == len(b.payload) else -1
+        return (
+            f"payload differs (lengths {len(a.payload)}/{len(b.payload)}, "
+            f"first byte {lo})"
+        )
+    return None
+
+
+def check_delta_case(
+    image: np.ndarray,
+    config: DeltaCodecConfig | None = None,
+    device: SimulatedGpu | None = None,
+) -> CaseReport:
+    """Encode one channel with both encoders, decode with every path.
+
+    Checks (1) loop and vectorized encoders emit byte-identical streams,
+    (2) the container round-trip preserves the stream exactly, and
+    (3) all four decode paths agree bit-for-bit on the FP16 output.
+    """
+    cfg = config or DeltaCodecConfig()
+    report = CaseReport(codec="delta")
+    enc = encode_image(image, cfg)
+    report.impls = ["encoder-loop", "encoder-vectorized", "container",
+                    REFERENCE, "loop", "vectorized", "accel"]
+
+    reason = _delta_enc_equal(enc, encode_image_fast(image, cfg))
+    if reason is not None:
+        report.mismatches.append(
+            Mismatch("encoder-vectorized", "encoder-loop", reason)
+        )
+
+    blob = container.pack_delta_sample([enc], np.zeros(1, dtype=np.int8))
+    _, channels, _, _ = container.unpack_sample(blob)
+    reason = _delta_enc_equal(enc, channels[0])
+    if reason is not None:
+        report.mismatches.append(
+            Mismatch("container", "encoder-loop", f"round-trip: {reason}")
+        )
+
+    report.mismatches.extend(
+        compare_against(delta_decode_outputs(enc, device))
+    )
+    return report
+
+
+# --------------------------------------------------------------------------
+# LUT codec
+# --------------------------------------------------------------------------
+
+def lut_decode_outputs(
+    enc: LutEncodedSample,
+    device: SimulatedGpu | None = None,
+    table_func: Callable[[np.ndarray], np.ndarray] | None = None,
+    dtype: np.dtype | str | None = None,
+) -> dict[str, np.ndarray]:
+    """Output of every LUT decode path for one encoded sample.
+
+    With ``table_func`` the fused-operator path is exercised: the operator
+    is applied to the tables first (``apply_to_tables``) for the host
+    decoders, while the accelerator kernel performs its own fusion.
+    """
+    device = device or _default_device()
+    work = enc
+    if table_func is not None:
+        work = apply_to_tables(enc, table_func, out_dtype=dtype)
+        out_dtype = work.tables[0].values.dtype if dtype is None else dtype
+    else:
+        out_dtype = dtype if dtype is not None else enc.tables[0].values.dtype
+    return {
+        REFERENCE: decode_lut_reference(work, dtype=out_dtype),
+        "gather": decode_sample(work, dtype=out_dtype),
+        "accel": k_lut_decode(
+            device, enc, table_func=table_func, out_dtype=out_dtype
+        ),
+    }
+
+
+def _lut_enc_equal(a: LutEncodedSample, b: LutEncodedSample) -> str | None:
+    """``None`` when two encoded samples are byte-identical, else a reason."""
+    if tuple(a.shape) != tuple(b.shape):
+        return f"shape {a.shape} != {b.shape}"
+    if len(a.tables) != len(b.tables):
+        return f"table count {len(a.tables)} != {len(b.tables)}"
+    for i, (ta, tb) in enumerate(zip(a.tables, b.tables)):
+        if tuple(ta.region) != tuple(tb.region):
+            return f"table {i} region differs"
+        if ta.keys.dtype != tb.keys.dtype:
+            return f"table {i} key dtype {ta.keys.dtype} != {tb.keys.dtype}"
+        if ta.values.dtype != tb.values.dtype:
+            return (
+                f"table {i} value dtype {ta.values.dtype} != "
+                f"{tb.values.dtype}"
+            )
+        if ta.keys.tobytes() != tb.keys.tobytes():
+            return f"table {i} keys differ"
+        if ta.values.tobytes() != tb.values.tobytes():
+            return f"table {i} values differ"
+    return None
+
+
+def check_lut_case(
+    volume: np.ndarray,
+    config: LutCodecConfig | None = None,
+    device: SimulatedGpu | None = None,
+) -> CaseReport:
+    """Encode one volume, decode with every path, plain and fused.
+
+    Checks (1) the container round-trip preserves keys/tables exactly,
+    (2) the plain decode paths agree at the native dtype, and (3) the
+    fused ``log1p`` + FP16 paths agree — the paper's operator reordering
+    must not change a single bit.
+    """
+    cfg = config or LutCodecConfig()
+    report = CaseReport(codec="lut")
+    enc = encode_sample(volume, cfg)
+    report.impls = ["container", REFERENCE, "gather", "accel",
+                    "fused-" + REFERENCE, "fused-gather", "fused-accel"]
+
+    blob = container.pack_lut_sample(enc, np.zeros(1, dtype=np.float32))
+    _, enc2, _, _ = container.unpack_sample(blob)
+    reason = _lut_enc_equal(enc, enc2)
+    if reason is not None:
+        report.mismatches.append(
+            Mismatch("container", "encoder", f"round-trip: {reason}")
+        )
+
+    report.mismatches.extend(compare_against(lut_decode_outputs(enc, device)))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fused = lut_decode_outputs(
+            enc, device, table_func=np.log1p, dtype=np.float16
+        )
+    report.mismatches.extend(
+        Mismatch("fused-" + m.impl, "fused-" + m.against, m.detail)
+        for m in compare_against(fused)
+    )
+    return report
+
+
+# --------------------------------------------------------------------------
+# config (de)serialization — shared by the fuzzer's crash corpus and the
+# golden-vector manifest
+# --------------------------------------------------------------------------
+
+def delta_config_to_dict(cfg: DeltaCodecConfig) -> dict:
+    """JSON-safe form of a :class:`DeltaCodecConfig`."""
+    return {
+        "block_size": cfg.block_size,
+        "rel_tol": cfg.rel_tol,
+        "rel_floor": cfg.rel_floor,
+        "max_literal_frac": cfg.max_literal_frac,
+        "mantissa_bits": cfg.mantissa_bits,
+        "quality_gate": cfg.quality_gate,
+    }
+
+
+def delta_config_from_dict(d: dict) -> DeltaCodecConfig:
+    """Inverse of :func:`delta_config_to_dict`."""
+    return DeltaCodecConfig(**d)
+
+
+def lut_config_to_dict(cfg: LutCodecConfig) -> dict:
+    """JSON-safe form of a :class:`LutCodecConfig`."""
+    return {
+        "max_groups_per_table": cfg.max_groups_per_table,
+        "value_dtype": cfg.value_dtype,
+    }
+
+
+def lut_config_from_dict(d: dict) -> LutCodecConfig:
+    """Inverse of :func:`lut_config_to_dict`."""
+    return LutCodecConfig(**d)

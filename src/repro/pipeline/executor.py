@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import traceback as _tb
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterator, Sequence
@@ -36,10 +37,39 @@ _SENTINEL = object()
 
 @dataclass(frozen=True)
 class FailedItem:
-    """A pipeline failure delivered in-band (``on_error="yield"``)."""
+    """A pipeline failure delivered in-band (``on_error="yield"``).
+
+    The live exception is kept for in-process policy decisions, but many
+    exceptions don't survive serialization (pickling across a process
+    pool, JSON fuzz/conformance reports), so the portable description —
+    ``error_repr`` and the formatted ``traceback`` — is captured eagerly
+    at construction time.  :meth:`to_json` is the stable wire form.
+    """
 
     index: int
     error: Exception
+    error_repr: str = ""
+    traceback: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.error_repr:
+            object.__setattr__(self, "error_repr", repr(self.error))
+        if not self.traceback and self.error.__traceback__ is not None:
+            object.__setattr__(
+                self,
+                "traceback",
+                "".join(_tb.format_exception(
+                    type(self.error), self.error, self.error.__traceback__
+                )),
+            )
+
+    def to_json(self) -> dict:
+        """JSON-safe description (no live exception object)."""
+        return {
+            "index": self.index,
+            "error": self.error_repr,
+            "traceback": self.traceback,
+        }
 
 
 class PrefetchExecutor:

@@ -46,16 +46,33 @@ def unpack_uint(data: bytes, width: int, count: int | None = None) -> np.ndarray
     Parameters
     ----------
     data:
-        Byte string produced by :func:`pack_uint`.
+        Byte string produced by :func:`pack_uint`.  Must be a whole
+        number of values when ``count`` is omitted — a truncated stream
+        is an error, not a silently shorter array.
     width:
         Bytes per value.
     count:
         Optional number of leading values to read; defaults to all.
+        Must not exceed the number of values ``data`` holds.
     """
     if width not in (1, 2, 4, 8):
         raise ValueError(f"unsupported key width {width}")
     dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}[width]
-    n = len(data) // width if count is None else count
+    if count is None:
+        if len(data) % width:
+            raise ValueError(
+                f"data length {len(data)} is not a multiple of width {width}"
+            )
+        n = len(data) // width
+    else:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count * width > len(data):
+            raise ValueError(
+                f"count {count} needs {count * width} bytes, "
+                f"data has {len(data)}"
+            )
+        n = count
     out = np.frombuffer(data, dtype=np.dtype(dtype).newbyteorder("<"), count=n)
     return out.astype(dtype, copy=False)
 

@@ -48,6 +48,25 @@ class TestPackUint:
         assert pack_uint(np.array([], dtype=np.uint8), 1) == b""
         assert unpack_uint(b"", 1).size == 0
 
+    def test_rejects_truncated_stream(self):
+        # a stream that is not a whole number of values must not silently
+        # decode to a shorter array
+        with pytest.raises(ValueError, match="not a multiple"):
+            unpack_uint(b"\x01\x02\x03", 2)
+
+    def test_rejects_count_beyond_data(self):
+        data = pack_uint(np.arange(4), 2)
+        with pytest.raises(ValueError, match="count 5"):
+            unpack_uint(data, 2, count=5)
+        with pytest.raises(ValueError, match="non-negative"):
+            unpack_uint(data, 2, count=-1)
+
+    def test_count_tolerates_trailing_bytes(self):
+        # an explicit count may read a prefix of a larger buffer — this is
+        # how the container slices sections out of one blob
+        data = pack_uint(np.arange(4), 2) + b"\xff"
+        assert np.array_equal(unpack_uint(data, 2, count=4), np.arange(4))
+
     @given(
         st.lists(st.integers(min_value=0, max_value=2**16 - 1), max_size=200)
     )
@@ -55,6 +74,44 @@ class TestPackUint:
     def test_roundtrip_property_u16(self, values):
         arr = np.array(values, dtype=np.uint16)
         assert np.array_equal(unpack_uint(pack_uint(arr, 2), 2), arr)
+
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_property_all_widths(self, width, data):
+        """Round-trip holds for every width, including zero-length input
+        and max-value payloads, and the stream length is exact."""
+        limit = 2 ** (8 * width) - 1
+        values = data.draw(
+            st.lists(
+                st.one_of(
+                    st.integers(0, limit),
+                    st.sampled_from([0, 1, limit - 1, limit]),
+                ),
+                min_size=0,
+                max_size=64,
+            )
+        )
+        arr = np.array(values, dtype=np.uint64)
+        packed = pack_uint(arr, width)
+        assert len(packed) == len(values) * width
+        out = unpack_uint(packed, width)
+        assert out.size == arr.size
+        assert np.array_equal(out.astype(np.uint64), arr)
+
+    @given(st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=8, deadline=None)
+    def test_max_value_payload_property(self, width):
+        limit = 2 ** (8 * width) - 1
+        arr = np.full(16, limit, dtype=np.uint64)
+        assert np.array_equal(
+            unpack_uint(pack_uint(arr, width), width).astype(np.uint64), arr
+        )
+        if width < 8:  # limit + 1 is not representable in uint64 for w=8
+            with pytest.raises(ValueError, match="does not fit"):
+                pack_uint(np.array([limit + 1], dtype=np.uint64), width)
 
 
 class TestPackFields:
@@ -83,3 +140,39 @@ class TestPackFields:
         packed = pack_fields(np.array([s]), np.array([e]), np.array([m]))
         s2, e2, m2 = unpack_fields(packed)
         assert (int(s2[0]), int(e2[0]), int(m2[0])) == (s, e, m)
+
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_property_all_splits(self, mantissa_bits, data):
+        """Round-trip holds for every sign/eoff/mantissa bit split,
+        including empty arrays and all-maximum fields."""
+        eoff_max = (1 << (7 - mantissa_bits)) - 1
+        mant_max = (1 << mantissa_bits) - 1
+        n = data.draw(st.integers(0, 40))
+        s = np.array(data.draw(st.lists(
+            st.integers(0, 1), min_size=n, max_size=n)), dtype=np.uint8)
+        e = np.array(data.draw(st.lists(
+            st.integers(0, eoff_max), min_size=n, max_size=n)), dtype=np.uint8)
+        m = np.array(data.draw(st.lists(
+            st.integers(0, mant_max), min_size=n, max_size=n)), dtype=np.uint8)
+        packed = pack_fields(s, e, m, mantissa_bits)
+        s2, e2, m2 = unpack_fields(packed, mantissa_bits)
+        assert np.array_equal(s2, s)
+        assert np.array_equal(e2, e)
+        assert np.array_equal(m2, m)
+
+    @pytest.mark.parametrize("mantissa_bits", [1, 2, 3, 4, 5, 6])
+    def test_exhaustive_byte_roundtrip_all_splits(self, mantissa_bits):
+        all_bytes = np.arange(256, dtype=np.uint8)
+        s, e, m = unpack_fields(all_bytes, mantissa_bits)
+        assert np.array_equal(
+            pack_fields(s, e, m, mantissa_bits), all_bytes
+        )
+
+    @pytest.mark.parametrize("mantissa_bits", [0, 7])
+    def test_rejects_invalid_split(self, mantissa_bits):
+        with pytest.raises(ValueError, match=r"\[1, 6\]"):
+            pack_fields(np.array([0]), np.array([0]), np.array([0]),
+                        mantissa_bits)
+        with pytest.raises(ValueError, match=r"\[1, 6\]"):
+            unpack_fields(np.array([0], dtype=np.uint8), mantissa_bits)

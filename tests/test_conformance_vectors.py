@@ -1,0 +1,140 @@
+"""Golden-vector corpus: verified, never regenerated.
+
+``tests/vectors/`` is the frozen codec contract: encoded blobs, the exact
+arrays they must decode to, and SHA-256 digests over both.  The tier-1
+suite *verifies* the committed corpus through every decode implementation;
+it must never regenerate it — a digest mismatch means the codec (or the
+container framing) changed bits and the change must be deliberate.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.conformance import generate_vectors, verify_vectors
+from repro.conformance.vectors import DEFAULT_SEED, MANIFEST_NAME
+
+VECTOR_DIR = Path(__file__).parent / "vectors"
+
+
+def test_committed_corpus_exists_and_is_nonempty():
+    manifest = json.loads((VECTOR_DIR / MANIFEST_NAME).read_text())
+    cases = manifest["cases"]
+    assert len(cases) >= 15
+    codecs = {c["codec"] for c in cases}
+    assert codecs == {"delta", "lut"}
+    for c in cases:
+        assert (VECTOR_DIR / c["blob"]).is_file()
+        assert (VECTOR_DIR / c["expected"]).is_file()
+
+
+def test_committed_corpus_verifies_bit_exact():
+    """The acceptance gate: every implementation reproduces every frozen
+    expected array bit-for-bit, and every digest matches."""
+    report = verify_vectors(VECTOR_DIR)
+    assert report.results, "empty corpus must not pass silently"
+    details = "; ".join(
+        f"{r.name}: {r.errors}" for r in report.failed
+    )
+    assert report.ok, f"golden-vector verification failed: {details}"
+
+
+def test_corpus_covers_documented_edge_cases():
+    manifest = json.loads((VECTOR_DIR / MANIFEST_NAME).read_text())
+    names = {c["name"] for c in manifest["cases"]}
+    # the regeneration policy (docs/format-*.md) promises these families
+    for required in (
+        "delta-smooth", "delta-abrupt", "delta-const", "delta-singlecol",
+        "delta-specials", "delta-denormal", "delta-nogate",
+        "lut-u8", "lut-u16", "lut-split", "lut-fused",
+    ):
+        assert required in names
+
+
+class TestTamperDetection:
+    """Verification must fail loudly when the corpus drifts."""
+
+    @pytest.fixture()
+    def corpus_copy(self, tmp_path):
+        dst = tmp_path / "vectors"
+        shutil.copytree(VECTOR_DIR, dst)
+        return dst
+
+    def test_blob_tamper_fails_digest(self, corpus_copy):
+        target = next(corpus_copy.glob("delta-*.bin"))
+        raw = bytearray(target.read_bytes())
+        raw[-1] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        report = verify_vectors(corpus_copy)
+        assert not report.ok
+        assert any("SHA-256" in e for r in report.failed for e in r.errors)
+
+    def test_expected_tamper_fails_digest(self, corpus_copy):
+        target = next(corpus_copy.glob("lut-*.npy"))
+        raw = bytearray(target.read_bytes())
+        raw[-1] ^= 0x01
+        target.write_bytes(bytes(raw))
+        assert not verify_vectors(corpus_copy).ok
+
+    def test_manifest_expectation_tamper_is_caught(self, corpus_copy):
+        """Rewriting manifest digests alone cannot launder a bit change:
+        the decoded output no longer matches the stored expectation."""
+        import hashlib
+
+        manifest_path = corpus_copy / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        entry = next(c for c in manifest["cases"]
+                     if c["name"] == "delta-smooth")
+        npy_path = corpus_copy / entry["expected"]
+        arr = np.load(npy_path)
+        arr.view(np.uint16).reshape(-1)[0] ^= 1
+        np.save(npy_path, arr)
+        entry["expected_sha256"] = hashlib.sha256(
+            npy_path.read_bytes()
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+        report = verify_vectors(corpus_copy)
+        bad = [r for r in report.failed if r.name == "delta-smooth"]
+        assert bad and any("expected" in e for e in bad[0].errors)
+
+    def test_missing_manifest_fails(self, tmp_path):
+        assert not verify_vectors(tmp_path / "nowhere").ok
+
+
+class TestGenerationPolicy:
+    def test_refuses_to_overwrite_without_force(self, tmp_path):
+        generate_vectors(tmp_path)
+        with pytest.raises(FileExistsError, match="frozen"):
+            generate_vectors(tmp_path)
+        generate_vectors(tmp_path, force=True)  # deliberate override works
+
+    def test_generation_is_deterministic(self, tmp_path):
+        """Same seed → byte-identical corpus.  This is what makes the
+        committed digests meaningful across machines."""
+        a = generate_vectors(tmp_path / "a", seed=123)
+        b = generate_vectors(tmp_path / "b", seed=123)
+        assert a == b
+        for case in a["cases"]:
+            assert (tmp_path / "a" / case["blob"]).read_bytes() == (
+                tmp_path / "b" / case["blob"]
+            ).read_bytes()
+
+    def test_committed_corpus_matches_default_seed(self, tmp_path):
+        """Regenerating with the recorded seed reproduces the committed
+        digests exactly — proof the corpus was built by this code and the
+        'never regenerate' policy loses nothing."""
+        committed = json.loads((VECTOR_DIR / MANIFEST_NAME).read_text())
+        assert committed["seed"] == DEFAULT_SEED
+        fresh = generate_vectors(tmp_path, seed=DEFAULT_SEED)
+        fresh_digests = {
+            c["name"]: (c["blob_sha256"], c["expected_sha256"])
+            for c in fresh["cases"]
+        }
+        committed_digests = {
+            c["name"]: (c["blob_sha256"], c["expected_sha256"])
+            for c in committed["cases"]
+        }
+        assert fresh_digests == committed_digests

@@ -13,7 +13,7 @@ from repro.pipeline import (
     TfRecordSource,
     TierSource,
 )
-from repro.pipeline.executor import PrefetchExecutor
+from repro.pipeline.executor import FailedItem, PrefetchExecutor
 from repro.pipeline.graph import Pipeline
 from repro.pipeline.ops import (
     CastOp,
@@ -563,3 +563,142 @@ class TestLoaderStatsAndReconfigure:
         dl.reconfigure(num_workers=1)
         assert dl.executor.num_workers == 1
         assert dl.executor.prefetch_depth == 2
+
+
+class TestReconfigureMidEpoch:
+    """Satellite: the adaptive controller may call ``reconfigure()`` while
+    a ``batches()`` generator is still being consumed.  The in-flight epoch
+    must finish on the executor it started with (order intact), the next
+    epoch must pick up the new settings, and the shared stats registry must
+    keep accumulating across the swap."""
+
+    def _reference_epochs(self, deepcam_blobs, seed=11):
+        plugin, blobs = deepcam_blobs
+        ref = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=seed)
+        return [
+            [b for b, _ in ref.batches(epoch)] for epoch in (0, 1)
+        ]
+
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            ((0, 4), (2, 4)),   # scale up from synchronous
+            ((2, 4), (0, 4)),   # scale down to synchronous
+            ((2, 1), (2, 8)),   # depth-only change
+            ((1, 2), (4, 1)),   # both knobs at once
+        ],
+    )
+    def test_order_preserved_across_mid_epoch_reconfigure(
+        self, deepcam_blobs, before, after
+    ):
+        plugin, blobs = deepcam_blobs
+        want0, want1 = self._reference_epochs(deepcam_blobs)
+        dl = DataLoader(
+            ListSource(blobs), plugin, batch_size=2, seed=11,
+            num_workers=before[0], prefetch_depth=before[1],
+        )
+        gen = dl.batches(0)
+        got0 = [next(gen)[0]]  # epoch under way...
+        dl.reconfigure(num_workers=after[0], prefetch_depth=after[1])
+        got0.extend(b for b, _ in gen)  # ...finishes on the old executor
+        assert len(got0) == len(want0)
+        for a, b in zip(got0, want0):
+            assert np.array_equal(a, b)
+        # the next epoch runs on the new executor and is still bit-exact
+        assert dl.executor.num_workers == after[0]
+        assert dl.executor.prefetch_depth == after[1]
+        got1 = [b for b, _ in dl.batches(1)]
+        assert len(got1) == len(want1)
+        for a, b in zip(got1, want1):
+            assert np.array_equal(a, b)
+
+    def test_stats_accumulate_across_mid_epoch_reconfigure(
+        self, deepcam_blobs
+    ):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=3,
+                        num_workers=0)
+        gen = dl.batches(0)
+        next(gen)
+        dl.reconfigure(num_workers=2, prefetch_depth=2)
+        list(gen)
+        list(dl.batches(1))
+        snap = dl.stats.snapshot()
+        # 5 samples/epoch × 2 epochs, counted by two different executors
+        # into the one registry
+        assert snap["executor.items"][0] == 10
+        assert snap["loader.epoch"][0] == 2
+        assert snap["loader.batches"][0] == 6
+        assert snap["executor.items"][1] > 0.0
+
+    def test_quarantine_log_survives_reconfigure(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        bad = list(blobs)
+        bad[2] = b"not a container"
+        dl = DataLoader(ListSource(bad), plugin, batch_size=2, seed=0,
+                        shuffle=False, bad_sample_policy="skip")
+        list(dl.batches(0))
+        assert dl.quarantine.ids() == [2]
+        log_before = dl.quarantine
+        dl.reconfigure(num_workers=2)
+        assert dl.quarantine is log_before
+        list(dl.batches(1))
+        assert len(dl.quarantine) == 2  # same sample quarantined again
+
+
+class TestFailedItemSerialization:
+    """Satellite: ``FailedItem`` must describe the failure without the live
+    exception object — ``repr`` + formatted traceback, JSON-safe."""
+
+    def _failed(self):
+        def inner_raiser():
+            raise RuntimeError("decode went sideways")
+
+        try:
+            inner_raiser()
+        except RuntimeError as exc:
+            return FailedItem(index=7, error=exc)
+
+    def test_repr_and_traceback_captured_eagerly(self):
+        item = self._failed()
+        assert item.error_repr == "RuntimeError('decode went sideways')"
+        assert "inner_raiser" in item.traceback
+        assert item.traceback.rstrip().endswith(
+            "RuntimeError: decode went sideways"
+        )
+
+    def test_to_json_is_json_safe(self):
+        import json
+
+        item = self._failed()
+        wire = json.dumps(item.to_json())
+        back = json.loads(wire)
+        assert back["index"] == 7
+        assert "decode went sideways" in back["error"]
+        assert "inner_raiser" in back["traceback"]
+
+    def test_exception_without_traceback(self):
+        item = FailedItem(index=0, error=ValueError("never raised"))
+        assert item.error_repr == "ValueError('never raised')"
+        assert item.traceback == ""
+        assert item.to_json()["traceback"] == ""
+
+    def test_executor_delivered_failures_are_serializable(
+        self, deepcam_blobs
+    ):
+        import json
+
+        plugin, blobs = deepcam_blobs
+        bad = list(blobs)
+        bad[1] = b"garbage"
+        pipe = Pipeline([ReadOp(ListSource(bad)), DecodeOp(plugin)])
+        for workers in (0, 2):
+            ex = PrefetchExecutor(pipe, num_workers=workers,
+                                  prefetch_depth=2)
+            out = list(ex.run([0, 1, 2], on_error="yield"))
+            failed = out[1]
+            assert isinstance(failed, FailedItem)
+            rec = json.loads(json.dumps(failed.to_json()))
+            assert rec["index"] == 1
+            assert rec["error"]
+            assert "Traceback" in rec["traceback"]
