@@ -14,6 +14,8 @@ Public surface:
   benchmark models.
 * :mod:`repro.simulate` — discrete-event performance model of the three
   evaluated HPC systems.
+* :mod:`repro.serve` — networked data service: TCP sample server, remote
+  source client, and shard-aware epoch coordination.
 * :mod:`repro.experiments` — one module per paper table/figure.
 """
 
@@ -27,5 +29,6 @@ __all__ = [
     "pipeline",
     "ml",
     "simulate",
+    "serve",
     "experiments",
 ]

@@ -23,9 +23,16 @@ for the common dataset chores:
 * ``fuzz``      — differential fuzzing of every codec implementation,
   count- or time-budgeted, with crash-corpus save/replay
   (``repro.conformance.fuzzer``); non-zero exit on any disagreement.
+* ``serve``     — run a :class:`repro.serve.DataServer` over a record
+  file: networked sample serving with a shared verify-before-cache,
+  bounded connections, and shard-aware epoch coordination; drains
+  gracefully on SIGINT/SIGTERM.
+* ``fetch``     — client of a running server: health/info/stats probes,
+  sample fetches by explicit indices or by ``EPOCH``-coordinated shard,
+  optional integrity verification and record-file export.
 
-``bench``, ``stats``, ``tune``, ``vectors verify`` and ``fuzz`` accept
-``--json`` for machine-readable output.
+``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``
+and ``fetch`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -327,6 +334,168 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.pipeline.sources import ListSource, TfRecordSource
+    from repro.serve import DataServer
+    from repro.storage.cache import SampleCache
+
+    if args.gzip:
+        # gzip permits only sequential access: materialize, then serve
+        source = ListSource(list(_iter_samples(args.input, True)))
+    else:
+        source = TfRecordSource(args.input)
+    if len(source) == 0:
+        raise SystemExit("no records in input")
+    cache = (
+        SampleCache(args.cache_mb * 1e6) if args.cache_mb > 0 else None
+    )
+    server = DataServer(
+        source,
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        verify=True if args.verify else None,
+        max_connections=args.max_connections,
+        world_size=args.world_size,
+        seed=args.seed,
+        service_delay_s=args.service_delay_ms / 1e3,
+    )
+    server.start()
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # not the main thread (tests)
+            pass
+    info = {**server.info(), "host": server.address[0],
+            "port": server.address[1]}
+    if args.json:
+        print(json.dumps(info), flush=True)
+    else:
+        print(
+            f"serving {info['n_samples']} samples on "
+            f"{info['host']}:{info['port']} "
+            f"(world_size={info['world_size']}, "
+            f"cache={'%.0f MB' % args.cache_mb if cache is not None else 'off'}, "
+            f"max_connections={args.max_connections}) — Ctrl-C to drain",
+            flush=True,
+        )
+    stop.wait(timeout=args.duration_s)
+    server.close(drain=True)
+    snap = server.stats.snapshot()
+    reads, read_s = snap.get("serve.read", (0, 0.0))
+    _, read_bytes = snap.get("serve.read.bytes", (0, 0.0))
+    summary = {
+        "reads": reads,
+        "read_seconds": read_s,
+        "read_bytes": int(read_bytes),
+        "connections": snap.get("serve.connections", (0, 0.0))[0],
+        "errors": snap.get("serve.errors", (0, 0.0))[0],
+    }
+    if args.json:
+        print(json.dumps({"drained": True, **summary}))
+    else:
+        print(
+            f"drained: served {summary['reads']} reads "
+            f"({summary['read_bytes'] / 1e6:.2f} MB) over "
+            f"{summary['connections']} connection(s), "
+            f"{summary['errors']} error(s)"
+        )
+    return 0
+
+
+def cmd_fetch(args) -> int:
+    from repro.serve import RemoteSource
+
+    try:
+        src = RemoteSource(args.host, args.port, timeout_s=args.timeout_s)
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+    with src:
+        if args.health or args.stats_only or args.info:
+            report = (
+                src.health() if args.health
+                else src.stats() if args.stats_only
+                else src.info()
+            )
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                for key, val in report.items():
+                    print(f"{key}: {val}")
+            return 0
+
+        if args.epoch is not None:
+            indices = src.epoch_shard(args.rank, args.epoch).tolist()
+        elif args.indices:
+            try:
+                indices = [int(t) for t in args.indices.split(",") if t.strip()]
+            except ValueError:
+                raise SystemExit(
+                    f"--indices expects comma-separated ints, got "
+                    f"{args.indices!r}"
+                )
+        else:
+            indices = list(range(len(src)))
+
+        writer = (
+            tfrecord.TfRecordWriter(args.output) if args.output else None
+        )
+        t0 = time.perf_counter()
+        total = 0
+        bad = 0
+        try:
+            for i in indices:
+                try:
+                    blob = src.read(i)
+                except container.CorruptSampleError as exc:
+                    # a verifying server refuses the sample outright
+                    bad += 1
+                    print(f"sample {i}: {exc}", file=sys.stderr)
+                    continue
+                total += len(blob)
+                if args.verify:
+                    try:
+                        container.verify_sample(blob, sample_id=i)
+                    except ValueError as exc:
+                        bad += 1
+                        print(f"sample {i}: {exc}", file=sys.stderr)
+                        continue
+                if writer is not None:
+                    writer.write(blob)
+        finally:
+            if writer is not None:
+                writer.close()
+        dt = time.perf_counter() - t0
+        result = {
+            "samples": len(indices),
+            "bytes": total,
+            "elapsed_s": dt,
+            "samples_per_s": len(indices) / dt if dt > 0 else 0.0,
+            "mb_per_s": total / dt / 1e6 if dt > 0 else 0.0,
+            "corrupt": bad,
+        }
+        if args.epoch is not None:
+            result["epoch"] = args.epoch
+            result["rank"] = args.rank
+        if args.output:
+            result["output"] = args.output
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(
+                f"fetched {result['samples']} samples "
+                f"({total / 1e6:.2f} MB) in {dt:.3f}s — "
+                f"{result['samples_per_s']:.1f} samples/s, "
+                f"{result['mb_per_s']:.1f} MB/s"
+                + (f", {bad} corrupt" if bad else "")
+            )
+        return 1 if bad else 0
+
+
 def cmd_tune(args) -> int:
     from repro.tune import (
         paper_config,
@@ -547,6 +716,62 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--policy", choices=("raise", "skip", "substitute"),
                    default="raise", help="bad-sample policy")
     c.set_defaults(func=cmd_chaos)
+
+    sv = sub.add_parser(
+        "serve", help="serve a record file to networked trainer clients"
+    )
+    sv.add_argument("--input", required=True)
+    sv.add_argument("--gzip", action="store_true",
+                    help="input is gzip-compressed (materialized in memory)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="0 picks an ephemeral port (printed at startup)")
+    sv.add_argument("--cache-mb", type=float, default=64.0,
+                    help="shared sample cache size; 0 disables caching")
+    sv.add_argument("--verify", action="store_true",
+                    help="checksum-verify every uncached read")
+    sv.add_argument("--max-connections", type=int, default=32,
+                    help="concurrent connection bound (back-pressure above)")
+    sv.add_argument("--world-size", type=int, default=1,
+                    help="ranks in the shard plan served by EPOCH")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="shard-plan shuffle seed")
+    sv.add_argument("--service-delay-ms", type=float, default=0.0,
+                    help="simulated per-read link/storage latency "
+                         "(benchmarking aid; see docs/serving.md)")
+    sv.add_argument("--duration-s", type=float, default=None,
+                    help="serve for N seconds then drain (default: until "
+                         "SIGINT/SIGTERM)")
+    sv.add_argument("--json", action="store_true",
+                    help="machine-readable startup/summary lines")
+    sv.set_defaults(func=cmd_serve)
+
+    fe = sub.add_parser(
+        "fetch", help="fetch samples or reports from a running server"
+    )
+    fe.add_argument("--host", default="127.0.0.1")
+    fe.add_argument("--port", type=int, required=True)
+    fe.add_argument("--timeout-s", type=float, default=10.0)
+    what = fe.add_mutually_exclusive_group()
+    what.add_argument("--health", action="store_true",
+                      help="print the server health report and exit")
+    what.add_argument("--info", action="store_true",
+                      help="print the dataset/server info and exit")
+    what.add_argument("--stats-only", action="store_true",
+                      help="print the server counter snapshot and exit")
+    what.add_argument("--indices", default="",
+                      help="comma-separated sample indices to fetch")
+    what.add_argument("--epoch", type=int, default=None,
+                      help="fetch this rank's EPOCH-coordinated shard")
+    fe.add_argument("--rank", type=int, default=0,
+                    help="rank for --epoch shard requests")
+    fe.add_argument("--verify", action="store_true",
+                    help="integrity-check every fetched container")
+    fe.add_argument("--output", default=None,
+                    help="write fetched blobs to a record file")
+    fe.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    fe.set_defaults(func=cmd_fetch)
 
     t = sub.add_parser(
         "tune", help="search for the fastest pipeline configuration"

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig11,
     fig12,
     harness,
+    serving,
     tables,
     time_to_accuracy,
     tuning,
@@ -36,6 +37,7 @@ __all__ = [
     "fig11",
     "fig12",
     "harness",
+    "serving",
     "tables",
     "time_to_accuracy",
     "tuning",

@@ -13,7 +13,7 @@ import sys
 
 from repro.experiments import (
     chaos, claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-    tables, time_to_accuracy, tuning,
+    serving, tables, time_to_accuracy, tuning,
 )
 
 _RUNNERS = {
@@ -31,6 +31,7 @@ _RUNNERS = {
     "tta": lambda: time_to_accuracy.run(),
     "chaos": lambda: chaos.run(),
     "tuning": lambda: tuning.run(),
+    "serving": lambda: serving.run(),
 }
 
 

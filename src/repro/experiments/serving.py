@@ -1,0 +1,202 @@
+"""Serving experiment: the networked data path against the local one.
+
+Not a paper exhibit — an acceptance exhibit for the ``repro.serve``
+subsystem.  One small dataset per codec (DeepCAM/delta, CosmoFlow/LUT),
+four scenarios:
+
+* **remote == local** — a full :class:`~repro.pipeline.loader.DataLoader`
+  epoch driven through :class:`~repro.serve.client.RemoteSource` over
+  localhost must be *bit-identical* (raw ``tobytes()`` equality) to the
+  same epoch through a :class:`~repro.pipeline.sources.ListSource`;
+* **shard coverage** — two coordinated ranks pulling their
+  ``EPOCH``-assigned shards jointly cover the dataset exactly once, and
+  consecutive epochs shuffle differently yet reproducibly;
+* **client scaling** — aggregate read throughput of 4 concurrent clients
+  vs 1 on the warmed cache path (the CI gate lives in
+  ``benchmarks/bench_serve_throughput.py``);
+* **graceful drain** — closing the server completes in-flight work and
+  refuses new connections.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.plugins import CosmoflowLutPlugin, DeepcamDeltaPlugin
+from repro.datasets import cosmoflow, deepcam
+from repro.experiments.harness import ExperimentResult
+from repro.pipeline import DataLoader, ListSource
+from repro.serve import DataServer, RemoteSource, ShardPlan
+from repro.storage.cache import SampleCache
+
+__all__ = ["run"]
+
+
+def _epoch_bytes(loader: DataLoader, epoch: int = 0) -> list[bytes]:
+    """Raw bytes of every batch (tensors + labels) of one epoch."""
+    out = []
+    for batch, labels in loader.batches(epoch):
+        out.append(batch.tobytes())
+        out.append(labels.tobytes())
+    return out
+
+
+def _make_blobs(workload: str, n: int, seed: int):
+    if workload == "deepcam":
+        cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+        plugin = DeepcamDeltaPlugin("cpu")
+        ds = deepcam.generate_dataset(n, cfg, seed=seed)
+    else:
+        cfg = cosmoflow.CosmoflowConfig(grid=16, n_particles=20_000)
+        plugin = CosmoflowLutPlugin("cpu")
+        ds = cosmoflow.generate_dataset(n, cfg, seed=seed)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+def _sweep(host: str, port: int, indices: np.ndarray) -> None:
+    with RemoteSource(host, port) as src:
+        for i in indices:
+            src.read(int(i))
+
+
+def _aggregate_throughput(
+    host: str, port: int, n_samples: int, n_clients: int, repeats: int = 3
+) -> float:
+    """Best-of-N aggregate samples/s with ``n_clients`` disjoint shards."""
+    plan = ShardPlan(n_samples, world_size=n_clients, seed=0)
+    best = 0.0
+    for _ in range(repeats):
+        threads = [
+            threading.Thread(target=_sweep, args=(host, port, plan.shard(r, 0)))
+            for r in range(n_clients)
+        ]
+        t0 = perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        best = max(best, n_samples / (perf_counter() - t0))
+    return best
+
+
+def run(
+    n_samples: int = 16,
+    batch_size: int = 4,
+    world_size: int = 2,
+    seed: int = 0,
+    quiet: bool = False,
+) -> ExperimentResult:
+    """Run the serving scenarios and assert their invariants."""
+    result = ExperimentResult(
+        exhibit="Serving",
+        title="networked sample service vs the local data path",
+        headers=["scenario", "detail", "value"],
+    )
+
+    # -- remote epochs bit-identical to local, both codecs -----------------
+    for workload in ("deepcam", "cosmoflow"):
+        plugin, blobs = _make_blobs(workload, n_samples, seed)
+        local = DataLoader(
+            ListSource(blobs), plugin, batch_size=batch_size, seed=seed
+        )
+        reference = _epoch_bytes(local)
+        with DataServer(
+            ListSource(blobs), cache=SampleCache(1e8), seed=seed
+        ) as server:
+            remote_src = RemoteSource(*server.address)
+            remote = DataLoader(
+                remote_src, plugin, batch_size=batch_size, seed=seed
+            )
+            identical = _epoch_bytes(remote) == reference
+            remote_src.close()
+        result.add(
+            f"remote epoch ({workload})",
+            f"{n_samples} samples, batch {batch_size}",
+            "bit-identical" if identical else "MISMATCH",
+        )
+        result.findings[f"remote_identical_{workload}"] = float(identical)
+
+    # -- shard-coordinated ranks cover the dataset exactly once ------------
+    plugin, blobs = _make_blobs("deepcam", n_samples, seed)
+    with DataServer(
+        ListSource(blobs), cache=SampleCache(1e8),
+        world_size=world_size, seed=seed,
+    ) as server:
+        host, port = server.address
+        shards = {}
+        for epoch in (0, 1):
+            per_rank = []
+            for rank in range(world_size):
+                with RemoteSource(host, port) as src:
+                    per_rank.append(src.epoch_shard(rank, epoch))
+            shards[epoch] = per_rank
+        coverage_ok = all(
+            sorted(np.concatenate(per_rank).tolist()) == list(range(n_samples))
+            for per_rank in shards.values()
+        )
+        epochs_differ = not np.array_equal(
+            np.concatenate(shards[0]), np.concatenate(shards[1])
+        )
+        reproducible = np.array_equal(
+            shards[0][0], ShardPlan(n_samples, world_size, seed).shard(0, 0)
+        )
+    result.add(
+        "shard coverage",
+        f"{world_size} ranks × 2 epochs",
+        "exact" if coverage_ok else "BROKEN",
+    )
+    result.add(
+        "epoch shuffling",
+        "epochs differ / seed-reproducible",
+        f"{'yes' if epochs_differ else 'NO'} / "
+        f"{'yes' if reproducible else 'NO'}",
+    )
+    result.findings["shard_coverage_exact"] = float(coverage_ok)
+    result.findings["epochs_differ"] = float(epochs_differ)
+    result.findings["seed_reproducible"] = float(reproducible)
+
+    # -- concurrent-client scaling on the cached path ----------------------
+    # ``service_delay_s`` simulates the per-READ remote-link latency that
+    # concurrent connections overlap (see benchmarks/bench_serve_throughput
+    # for the methodology; loopback alone has no latency to overlap).
+    with DataServer(
+        ListSource(blobs), cache=SampleCache(1e8), seed=seed,
+        service_delay_s=0.002,
+    ) as server:
+        host, port = server.address
+        _sweep(host, port, np.arange(n_samples))  # warm the cache
+        thr1 = _aggregate_throughput(host, port, n_samples, 1)
+        thr4 = _aggregate_throughput(host, port, n_samples, 4)
+    scaling = thr4 / thr1 if thr1 > 0 else 0.0
+    result.add(
+        "client scaling (cached)",
+        f"2 ms link; 1 client {thr1:.0f} → 4 clients {thr4:.0f} samples/s",
+        f"{scaling:.2f}x",
+    )
+    result.findings["client_scaling_4x"] = scaling
+
+    # -- graceful drain ----------------------------------------------------
+    server = DataServer(ListSource(blobs), cache=SampleCache(1e8)).start()
+    host, port = server.address
+    src = RemoteSource(host, port)
+    src.read(0)
+    server.close(drain=True)
+    try:
+        RemoteSource(host, port)
+        refused = False
+    except OSError:
+        refused = True
+    src.close()
+    result.add(
+        "graceful drain",
+        "in-flight read served, new connections refused",
+        "yes" if refused else "NO",
+    )
+    result.findings["drain_refuses_new"] = float(refused)
+
+    if not quiet:
+        print(result.render())
+    return result

@@ -71,6 +71,12 @@ class DataLoader:
     verify_reads:
         Checksum-verify each blob right after the read stage (container v2
         integrity; v1 blobs pass unchecked).
+    order_fn:
+        Optional ``epoch -> sequence of sample indices`` override of the
+        epoch traversal.  Used by data-service clients to walk the shard a
+        :class:`~repro.serve.coordination.ShardPlan` assigned to this rank
+        (the shard is already shuffled, so ``shuffle`` is ignored when
+        this is set).
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class DataLoader:
         bad_sample_policy: str = "raise",
         verify_reads: bool = False,
         stats: StatsRegistry | None = None,
+        order_fn=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -104,6 +111,7 @@ class DataLoader:
         self.drop_last = drop_last
         self.bad_sample_policy = bad_sample_policy
         self.device = device
+        self.order_fn = order_fn
         self.stats = stats if stats is not None else StatsRegistry()
         self.quarantine = QuarantineLog()
         ops: list[Op] = [ReadOp(source, verify=verify_reads), DecodeOp(plugin, device)]
@@ -148,6 +156,8 @@ class DataLoader:
 
     def epoch_order(self, epoch: int) -> np.ndarray:
         """The (possibly shuffled) traversal order for one epoch."""
+        if self.order_fn is not None:
+            return np.asarray(self.order_fn(epoch), dtype=np.int64)
         order = np.arange(len(self.source))
         if self.shuffle:
             make_rng(self.seed + epoch).shuffle(order)

@@ -11,18 +11,21 @@ All sources validate the index: out-of-range *and negative* indices raise
 shuffled epoch order must never alias sample ``-1`` onto the last sample.
 
 Fault-tolerance decorators (fault injection, retrying reads) live in
-:mod:`repro.robust`; they implement the same ``SampleSource`` protocol and
-compose freely with the sources here.
+:mod:`repro.robust`, and the networked client of a data service
+(:class:`~repro.serve.client.RemoteSource`) lives in :mod:`repro.serve`;
+all implement the same ``SampleSource`` protocol and compose freely with
+the sources here.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol, runtime_checkable
 
 from repro.core.encoding.container import verify_sample
 from repro.storage.cache import SampleCache
 from repro.storage.filesystem import Tier
-from repro.storage.tfrecord import build_index, read_record_at
+from repro.storage.tfrecord import build_index
 
 __all__ = [
     "SampleSource",
@@ -78,11 +81,20 @@ class TierSource:
 
 
 class TfRecordSource:
-    """Random-access reader over an uncompressed record file."""
+    """Random-access reader over an uncompressed record file.
+
+    Keeps one persistent file handle open across reads (an epoch of
+    shuffled random access must not pay an ``open``/``close`` syscall pair
+    per sample); seek+read runs under a lock so the source can be shared
+    by loader worker threads or server connection handlers.  The handle is
+    opened lazily and re-opened transparently after :meth:`close`.
+    """
 
     def __init__(self, path) -> None:
         self.path = path
         self._index = build_index(path)
+        self._fh = None
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._index)
@@ -91,7 +103,27 @@ class TfRecordSource:
         offset, length = self._index[
             _check_index(index, len(self._index), "record")
         ]
-        return read_record_at(self.path, offset, length)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "rb")
+            self._fh.seek(offset)
+            payload = self._fh.read(length)
+        if len(payload) < length:
+            raise ValueError("truncated record payload")
+        return payload
+
+    def close(self) -> None:
+        """Release the file handle (reads after this re-open it)."""
+        with self._lock:
+            fh, self._fh = self._fh, None
+            if fh is not None:
+                fh.close()
+
+    def __enter__(self) -> "TfRecordSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class CachedSource:

@@ -1,0 +1,38 @@
+"""Networked sample serving: the data-service layer of the reproduction.
+
+The paper's staged runs read node-local NVMe; production training stacks
+disaggregate the input pipeline into a *data service* (tf.data service,
+Murray et al.) serving preprocessed samples to many trainer clients.
+This package is that client/server data path, built out of the existing
+pieces — containers, :class:`~repro.storage.cache.SampleCache`,
+:mod:`repro.robust` retries/quarantine, :mod:`repro.tune` stats:
+
+* :mod:`~repro.serve.protocol` — length-prefixed CRC-checked frames with
+  ``READ`` / ``INFO`` / ``STATS`` / ``HEALTH`` / ``EPOCH`` ops;
+* :mod:`~repro.serve.server` — :class:`DataServer`, a threaded TCP server
+  with a shared verify-before-cache, bounded connections with
+  back-pressure, graceful drain, and per-op stats;
+* :mod:`~repro.serve.client` — :class:`RemoteSource`, a ``SampleSource``
+  over the wire that composes unchanged with ``RetryingSource``,
+  ``CachedSource``, ``FaultInjector`` and ``DataLoader``;
+* :mod:`~repro.serve.coordination` — :class:`ShardPlan` /
+  :class:`EpochCoordinator`, deterministic seeded per-epoch shuffled
+  shards that jointly cover the dataset exactly once per epoch.
+
+See ``docs/serving.md`` for the wire format and failure-mode contract.
+"""
+
+from repro.serve.client import RemoteOpError, RemoteSource
+from repro.serve.coordination import EpochCoordinator, ShardPlan
+from repro.serve.protocol import FrameCorruptError, ProtocolError
+from repro.serve.server import DataServer
+
+__all__ = [
+    "DataServer",
+    "RemoteSource",
+    "RemoteOpError",
+    "ShardPlan",
+    "EpochCoordinator",
+    "ProtocolError",
+    "FrameCorruptError",
+]

@@ -1,0 +1,207 @@
+"""Trainer-side client of the data service.
+
+:class:`RemoteSource` implements the ``SampleSource`` protocol over a TCP
+connection to a :class:`~repro.serve.server.DataServer`, so the entire
+existing data path composes unchanged around a network hop::
+
+    RetryingSource(FaultInjector(RemoteSource(host, port), plan), verify=True)
+    CachedSource(RemoteSource(host, port), SampleCache(...), verify=True)
+    DataLoader(RemoteSource(host, port), plugin, ...)
+
+Failure semantics (what makes that composition sound):
+
+* a dropped/broken connection raises ``ConnectionError``/``OSError`` and
+  the next ``read()`` transparently reconnects — so a wrapping
+  :class:`~repro.robust.retry.RetryingSource` turns transport blips into
+  clean re-reads;
+* a response frame whose body fails the wire CRC raises
+  :class:`~repro.core.encoding.container.CorruptSampleError` (retryable,
+  quarantinable) — corrupted sample bytes are *never* returned;
+* server-side errors are re-raised faithfully: ``IndexError`` stays
+  ``IndexError`` (never retried into an infinite loop),
+  ``CorruptSampleError`` stays corrupt, transient server I/O failures
+  come back as retryable ``OSError``.
+
+``read()`` is serialized by an internal lock, so one ``RemoteSource`` can
+be shared by all of a loader's worker threads; scale-out comes from one
+``RemoteSource`` (one connection) per trainer process/rank.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+
+from repro.core.encoding.container import CorruptSampleError
+from repro.serve import protocol
+
+__all__ = ["RemoteSource", "RemoteOpError"]
+
+
+class RemoteOpError(RuntimeError):
+    """The server reported an error the client cannot map to a local type."""
+
+
+#: server-reported exception type → faithful local re-raise
+_REMOTE_ERRORS = {
+    "IndexError": IndexError,
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "OSError": OSError,
+    "IOError": OSError,
+    "ConnectionError": ConnectionError,
+    "TimeoutError": TimeoutError,
+    "FileNotFoundError": OSError,
+}
+
+
+class RemoteSource:
+    """``SampleSource`` over the :mod:`repro.serve` wire protocol.
+
+    Parameters
+    ----------
+    host / port:
+        The serving :class:`~repro.serve.server.DataServer`.
+    timeout_s:
+        Socket timeout for connect and per-frame I/O; expiry raises
+        ``TimeoutError`` (retryable by :class:`RetryingSource`).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._n: int | None = None
+        self._info: dict | None = None
+        with self._lock:
+            self._info = self._request_json(protocol.OP_INFO)
+            self._n = int(self._info["n_samples"])
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _ensure(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = self._connect()
+        return self._sock
+
+    def _drop(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "RemoteSource":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- round trips -------------------------------------------------------
+
+    def _round_trip(self, op: int, body: bytes, *, context=None) -> bytes:
+        """One request/response exchange.  Caller holds the lock.
+
+        Transport failures close the socket (the next call reconnects) and
+        propagate as ``OSError``; a CRC-damaged response surfaces as
+        :class:`CorruptSampleError` without dropping the (still
+        synchronized) connection.
+        """
+        sock = self._ensure()
+        try:
+            sock.sendall(protocol.pack_frame(op, body))
+            frame = protocol.recv_frame(sock, frame_timeout_s=self.timeout_s)
+        except protocol.FrameCorruptError:
+            raise CorruptSampleError(
+                "response frame failed wire CRC",
+                sample_id=context,
+                section="frame",
+            ) from None
+        except (protocol.ProtocolError, OSError):
+            self._drop()
+            raise
+        if frame is None:
+            self._drop()
+            raise ConnectionError(
+                f"server {self.host}:{self.port} closed the connection"
+            )
+        kind, payload = frame
+        if kind == protocol.ST_ERROR:
+            self._raise_remote(payload, context)
+        if kind != protocol.ST_OK:
+            self._drop()
+            raise protocol.ProtocolError(f"unexpected response kind {kind:#x}")
+        return payload
+
+    def _raise_remote(self, payload: bytes, context) -> None:
+        detail = protocol.unpack_json(payload)
+        name = str(detail.get("error", "RemoteOpError"))
+        message = str(detail.get("message", "remote operation failed"))
+        if name in ("CorruptSampleError", "FrameCorruptError"):
+            raise CorruptSampleError(
+                message, sample_id=context, section=detail.get("section")
+            )
+        exc_type = _REMOTE_ERRORS.get(name)
+        if exc_type is not None:
+            raise exc_type(message)
+        raise RemoteOpError(f"{name}: {message}")
+
+    def _request_json(self, op: int) -> dict:
+        return protocol.unpack_json(self._round_trip(op, b""))
+
+    # -- SampleSource protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        assert self._n is not None
+        return self._n
+
+    def read(self, index: int) -> bytes:
+        """Fetch one container blob.  Raises ``IndexError`` out of range."""
+        n = len(self)
+        if not 0 <= index < n:
+            raise IndexError(f"sample index {index} out of range [0, {n})")
+        with self._lock:
+            return self._round_trip(
+                protocol.OP_READ, protocol.pack_read(index), context=index
+            )
+
+    # -- service ops -------------------------------------------------------
+
+    def info(self) -> dict:
+        """Dataset/server facts (cached from the constructor handshake)."""
+        assert self._info is not None
+        return dict(self._info)
+
+    def stats(self) -> dict:
+        """Live server-side counter snapshot (``STATS`` op)."""
+        with self._lock:
+            return self._request_json(protocol.OP_STATS)
+
+    def health(self) -> dict:
+        """Liveness/drain/progress report (``HEALTH`` op)."""
+        with self._lock:
+            return self._request_json(protocol.OP_HEALTH)
+
+    def epoch_shard(self, rank: int, epoch: int) -> np.ndarray:
+        """This rank's deterministic shard of one epoch (``EPOCH`` op)."""
+        with self._lock:
+            body = self._round_trip(
+                protocol.OP_EPOCH, protocol.pack_epoch(rank, epoch)
+            )
+        return protocol.unpack_indices(body)

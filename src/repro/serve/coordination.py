@@ -1,0 +1,109 @@
+"""Shard-aware epoch coordination for multi-client training.
+
+The MLPerf runs the paper reproduces give every node a static slice of the
+dataset; a data service instead hands out *per-epoch* shards: each epoch
+the global index ``[0, n)`` is re-shuffled with a seed derived from
+``(seed, epoch)`` and split into ``world_size`` disjoint contiguous runs
+of the shuffled order.  Together the ranks cover the dataset exactly once
+per epoch, shuffles differ between epochs, and every draw is reproducible
+from the seed alone — the same determinism contract as
+:meth:`repro.pipeline.loader.DataLoader.epoch_order`, lifted to many
+clients.
+
+:class:`ShardPlan` is the pure math (usable client-side when the seed is
+known); :class:`EpochCoordinator` is the server-side stateful wrapper that
+also tracks how far each rank has progressed, so ``HEALTH``/``STATS`` can
+report stragglers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShardPlan", "EpochCoordinator"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic partition of ``n_samples`` across ``world_size`` ranks.
+
+    An ``n % world_size`` remainder is distributed deterministically: the
+    first ``n % world_size`` ranks receive one extra sample.  Shard sizes
+    therefore depend only on the plan, never on the epoch.
+    """
+
+    n_samples: int
+    world_size: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+
+    def shard_sizes(self) -> list[int]:
+        """Per-rank sample counts (``sum == n_samples``)."""
+        base, rem = divmod(self.n_samples, self.world_size)
+        return [base + (1 if r < rem else 0) for r in range(self.world_size)]
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The global shuffled traversal order for one epoch."""
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        rng = np.random.default_rng([self.seed, epoch])
+        return rng.permutation(self.n_samples).astype(np.int64)
+
+    def shard(self, rank: int, epoch: int) -> np.ndarray:
+        """Rank ``rank``'s slice of the epoch's shuffled global order."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range for world size {self.world_size}"
+            )
+        sizes = self.shard_sizes()
+        start = sum(sizes[:rank])
+        return self.epoch_order(epoch)[start:start + sizes[rank]]
+
+
+class EpochCoordinator:
+    """Thread-safe shard dispenser with per-rank progress tracking.
+
+    Connection handler threads call :meth:`begin_epoch` concurrently; the
+    plan itself is immutable so only the progress map needs the lock.
+    """
+
+    def __init__(self, plan: ShardPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._rank_epoch: dict[int, int] = {}
+
+    def begin_epoch(self, rank: int, epoch: int) -> np.ndarray:
+        """Record that ``rank`` is starting ``epoch`` and return its shard."""
+        shard = self.plan.shard(rank, epoch)  # validates rank
+        with self._lock:
+            self._rank_epoch[rank] = epoch
+        return shard
+
+    def progress(self) -> dict[int, int]:
+        """Latest epoch each rank has requested (ranks never seen absent)."""
+        with self._lock:
+            return dict(self._rank_epoch)
+
+    def min_epoch(self) -> int | None:
+        """The slowest participating rank's epoch (None before any)."""
+        with self._lock:
+            return min(self._rank_epoch.values()) if self._rank_epoch else None
+
+    def stragglers(self) -> list[int]:
+        """Ranks at the minimum epoch while others have moved ahead."""
+        with self._lock:
+            if not self._rank_epoch:
+                return []
+            lo = min(self._rank_epoch.values())
+            hi = max(self._rank_epoch.values())
+            if lo == hi:
+                return []
+            return sorted(r for r, e in self._rank_epoch.items() if e == lo)

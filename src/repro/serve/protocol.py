@@ -1,0 +1,252 @@
+"""Wire protocol of the sample-serving data service.
+
+A deliberately small length-prefixed binary protocol, in the spirit of the
+record framing in :mod:`repro.storage.tfrecord`: every message on the wire
+is one *frame*, and every request frame is answered by exactly one
+response frame on the same connection (strict request/response, no
+pipelining within a connection — concurrency comes from multiple
+connections).
+
+Frame layout (little-endian)::
+
+    u32 magic ("RSV1") | u8 kind | u32 body_len | body | u32 crc32(body)
+
+``kind`` is an op code for requests and a status code for responses.
+The trailing CRC32 protects the body in flight: a client never hands
+corrupted sample bytes to a decoder — a mismatch raises
+:class:`FrameCorruptError`, which :class:`~repro.serve.client.RemoteSource`
+surfaces as a retryable
+:class:`~repro.core.encoding.container.CorruptSampleError`.
+
+Request bodies::
+
+    READ   u64 index                  → OK body = container blob
+    INFO   (empty)                    → OK body = JSON dataset/server facts
+    STATS  (empty)                    → OK body = JSON counter snapshot
+    HEALTH (empty)                    → OK body = JSON liveness report
+    EPOCH  u32 rank | u64 epoch       → OK body = u32 count | count × u64
+
+Error responses carry ``kind = ST_ERROR`` and a JSON body
+``{"error": <exception type name>, "message": ..., "section": ...?}`` so
+the client can re-raise a faithful local exception (``IndexError`` stays
+``IndexError``, ``CorruptSampleError`` stays corrupt-and-quarantinable,
+transient server I/O errors stay retryable ``OSError``).
+
+Failure taxonomy — load-bearing for the retry stack:
+
+* :class:`ProtocolError` (a ``ConnectionError``) — the byte stream is
+  broken (bad magic, truncation mid-frame, oversized length): the
+  connection is unusable and must be reopened.
+* :class:`FrameCorruptError` — the frame parsed but its body failed the
+  CRC: the stream is still synchronized, only this payload is damaged.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "OP_READ",
+    "OP_INFO",
+    "OP_STATS",
+    "OP_HEALTH",
+    "OP_EPOCH",
+    "ST_OK",
+    "ST_ERROR",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "FrameCorruptError",
+    "pack_frame",
+    "recv_frame",
+    "pack_read",
+    "unpack_read",
+    "pack_epoch",
+    "unpack_epoch",
+    "pack_indices",
+    "unpack_indices",
+    "pack_json",
+    "unpack_json",
+]
+
+MAGIC = b"RSV1"
+
+#: request op codes
+OP_READ = 0x01
+OP_INFO = 0x02
+OP_STATS = 0x03
+OP_HEALTH = 0x04
+OP_EPOCH = 0x05
+
+#: response status codes (high bit set so a stray request/response mixup
+#: is caught immediately instead of being misparsed)
+ST_OK = 0x80
+ST_ERROR = 0x81
+
+KINDS = frozenset(
+    {OP_READ, OP_INFO, OP_STATS, OP_HEALTH, OP_EPOCH, ST_OK, ST_ERROR}
+)
+
+#: sanity bound on one frame body — far above any encoded sample, far
+#: below a garbage length read from a desynchronized stream
+MAX_BODY_BYTES = 1 << 30
+
+_HEAD = struct.Struct("<4sBI")
+_CRC = struct.Struct("<I")
+_READ_BODY = struct.Struct("<Q")
+_EPOCH_BODY = struct.Struct("<IQ")
+_COUNT = struct.Struct("<I")
+
+
+class ProtocolError(ConnectionError):
+    """The frame stream is damaged; the connection cannot be reused."""
+
+
+class FrameCorruptError(Exception):
+    """A frame body failed its CRC; the stream itself is still in sync."""
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def pack_frame(kind: int, body: bytes = b"") -> bytes:
+    """Serialize one frame (request or response)."""
+    if kind not in KINDS:
+        raise ValueError(f"unknown frame kind {kind:#x}")
+    if len(body) > MAX_BODY_BYTES:
+        raise ValueError(f"frame body of {len(body)} bytes exceeds protocol cap")
+    return b"".join(
+        [_HEAD.pack(MAGIC, kind, len(body)), body, _CRC.pack(_crc(body))]
+    )
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, deadline: float | None
+) -> bytearray:
+    """Read exactly ``n`` bytes, riding out poll timeouts until ``deadline``.
+
+    The socket may carry a short poll timeout (the server uses one to
+    notice drain requests between frames); once a frame has *started*,
+    those polls must not abandon it mid-way — we keep reading until the
+    hard deadline, then declare the stream broken.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = sock.recv(n - len(buf))
+        except socket.timeout:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"timed out mid-frame after {len(buf)}/{n} bytes"
+                ) from None
+            continue
+        if not chunk:
+            raise ProtocolError(f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf.extend(chunk)
+    return buf
+
+
+def recv_frame(
+    sock: socket.socket, *, frame_timeout_s: float = 30.0
+) -> tuple[int, bytes] | None:
+    """Read one complete frame from a socket.
+
+    Returns ``(kind, body)``, or ``None`` on a clean EOF at a frame
+    boundary (the peer closed between requests).  A ``socket.timeout`` is
+    raised only when *no* frame bytes have arrived yet, so callers can use
+    a short socket timeout as a poll interval; once the first byte lands
+    the whole frame is read or the stream is declared broken.
+    """
+    first = sock.recv(1)  # may raise socket.timeout: nothing consumed yet
+    if not first:
+        return None
+    deadline = time.monotonic() + frame_timeout_s
+    head = bytes(first) + bytes(_recv_exact(sock, _HEAD.size - 1, deadline))
+    magic, kind, body_len = _HEAD.unpack(head)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if kind not in KINDS:
+        raise ProtocolError(f"unknown frame kind {kind:#x}")
+    if body_len > MAX_BODY_BYTES:
+        raise ProtocolError(f"frame body length {body_len} exceeds protocol cap")
+    body = bytes(_recv_exact(sock, body_len, deadline))
+    (crc,) = _CRC.unpack(bytes(_recv_exact(sock, _CRC.size, deadline)))
+    if crc != _crc(body):
+        raise FrameCorruptError(
+            f"frame body CRC mismatch (kind {kind:#x}, {body_len} bytes)"
+        )
+    return kind, body
+
+
+# -- op body codecs ---------------------------------------------------------
+
+
+def pack_read(index: int) -> bytes:
+    """Body of a ``READ`` request: the sample index as ``u64``."""
+    if index < 0:
+        raise ValueError("sample index must be non-negative on the wire")
+    return _READ_BODY.pack(index)
+
+
+def unpack_read(body: bytes) -> int:
+    """Parse a ``READ`` request body back into a sample index."""
+    if len(body) != _READ_BODY.size:
+        raise ProtocolError(f"READ body must be {_READ_BODY.size} bytes")
+    return _READ_BODY.unpack(body)[0]
+
+
+def pack_epoch(rank: int, epoch: int) -> bytes:
+    """Body of an ``EPOCH`` request: ``u32 rank | u64 epoch``."""
+    if rank < 0 or epoch < 0:
+        raise ValueError("rank and epoch must be non-negative")
+    return _EPOCH_BODY.pack(rank, epoch)
+
+
+def unpack_epoch(body: bytes) -> tuple[int, int]:
+    """Parse an ``EPOCH`` request body into ``(rank, epoch)``."""
+    if len(body) != _EPOCH_BODY.size:
+        raise ProtocolError(f"EPOCH body must be {_EPOCH_BODY.size} bytes")
+    rank, epoch = _EPOCH_BODY.unpack(body)
+    return rank, epoch
+
+
+def pack_indices(indices: np.ndarray) -> bytes:
+    """Shard payload: ``u32 count`` then the indices as little-endian u64."""
+    arr = np.ascontiguousarray(np.asarray(indices, dtype="<u8"))
+    return _COUNT.pack(arr.size) + arr.tobytes()
+
+
+def unpack_indices(body: bytes) -> np.ndarray:
+    """Parse a shard payload into an ``int64`` index array."""
+    if len(body) < _COUNT.size:
+        raise ProtocolError("truncated shard payload")
+    (count,) = _COUNT.unpack(body[: _COUNT.size])
+    payload = body[_COUNT.size:]
+    if len(payload) != count * 8:
+        raise ProtocolError(
+            f"shard payload carries {len(payload)} bytes for {count} indices"
+        )
+    return np.frombuffer(payload, dtype="<u8").astype(np.int64)
+
+
+def pack_json(obj: dict) -> bytes:
+    """Compact UTF-8 JSON body (INFO/STATS/HEALTH responses, errors)."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def unpack_json(body: bytes) -> dict:
+    """Parse a JSON frame body; anything but an object is a protocol error."""
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON frame body: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("JSON frame body must be an object")
+    return obj

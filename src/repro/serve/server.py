@@ -1,0 +1,405 @@
+"""Threaded TCP sample server.
+
+``DataServer`` exposes any :class:`~repro.pipeline.sources.SampleSource`
+over the :mod:`repro.serve.protocol` wire format — the tf.data-service
+shape (dispatcher+worker collapsed into one process): trainer clients
+fetch preprocessed/encoded samples over the network instead of reading
+node-local storage.
+
+Design points:
+
+* **One thread per connection, bounded.**  The accept loop takes a slot
+  from a semaphore *before* accepting, so at ``max_connections`` the
+  server simply stops accepting and surplus clients queue in the kernel
+  listen backlog — back-pressure instead of unbounded thread growth.
+* **Shared cache with verify-before-cache.**  Pass a
+  :class:`~repro.storage.cache.SampleCache` and every miss is fetched
+  from the inner source, checksum-verified, and only then cached — one
+  corrupt read can never poison other clients' epochs.  The cache is
+  shared across all connection threads (it is thread-safe).
+* **Shard-aware epoch coordination.**  ``EPOCH(rank, epoch)`` hands the
+  caller its deterministic per-epoch shard from the server's
+  :class:`~repro.serve.coordination.EpochCoordinator`, so disjoint
+  clients jointly cover the dataset exactly once per epoch.
+* **Graceful drain.**  ``close()`` stops accepting, lets every in-flight
+  request finish, then closes the connections; ``close(drain=False)``
+  aborts immediately.
+* **Per-op accounting** in a :class:`~repro.tune.stats.StatsRegistry`
+  (``serve.read`` latency, ``serve.read.bytes``, per-op counters,
+  ``serve.errors``, connection totals) — the same registry the autotuner
+  reads, so a serving deployment is observable with the same tooling.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from time import perf_counter
+
+from repro.core.encoding.container import verify_sample
+from repro.pipeline.sources import CachedSource, SampleSource
+from repro.serve import protocol
+from repro.serve.coordination import EpochCoordinator, ShardPlan
+from repro.storage.cache import SampleCache
+from repro.tune.stats import StatsRegistry
+
+__all__ = ["DataServer"]
+
+#: how often an idle connection re-checks the drain flag
+_POLL_S = 0.25
+
+_OP_NAMES = {
+    protocol.OP_READ: "read",
+    protocol.OP_INFO: "info",
+    protocol.OP_STATS: "stats",
+    protocol.OP_HEALTH: "health",
+    protocol.OP_EPOCH: "epoch",
+}
+
+
+class DataServer:
+    """Serve a ``SampleSource`` to many trainer clients over TCP.
+
+    Parameters
+    ----------
+    source:
+        Where container blobs come from (any ``SampleSource``; compose
+        with :mod:`repro.robust` decorators for a fault-tolerant backend).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    cache:
+        Optional shared :class:`SampleCache` fronting the source, with
+        verify-before-cache applied to every miss.
+    verify:
+        ``None`` (default) verifies exactly when a cache is present —
+        the verify-before-cache contract: a miss is checksum-verified
+        before it is stored, so one corrupt read can never poison other
+        clients' epochs.  Pass ``True`` to also verify uncached reads, or
+        ``False`` to disable verification entirely (non-container blobs).
+    max_connections:
+        Concurrent connection bound; surplus clients wait in the listen
+        backlog (back-pressure), they are not refused.
+    world_size / seed:
+        Shard plan geometry for ``EPOCH`` coordination.
+    stats:
+        Optional shared :class:`StatsRegistry`; a private one is created
+        otherwise and exposed as :attr:`stats`.
+    service_delay_s:
+        Deterministic extra delay applied to every ``READ`` — the
+        serving-side counterpart of the discrete-event simulator's link
+        and storage latencies, for studying client scaling on hosts whose
+        loopback has none (see ``benchmarks/bench_serve_throughput.py``).
+        Concurrent connections overlap these waits; a serial server would
+        not.  Default 0 (off).
+    """
+
+    def __init__(
+        self,
+        source: SampleSource,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: SampleCache | None = None,
+        verify: bool | None = None,
+        max_connections: int = 32,
+        backlog: int = 128,
+        world_size: int = 1,
+        seed: int = 0,
+        stats: StatsRegistry | None = None,
+        service_delay_s: float = 0.0,
+        frame_timeout_s: float = 30.0,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self._inner = source
+        if verify is None:
+            verify = cache is not None  # verify-before-cache by default
+        self._verified = verify
+        if cache is not None:
+            source = CachedSource(source, cache, verify=verify)
+            verify = False  # the fill path handles it
+        self.source = source
+        self.cache = cache
+        self.verify = verify
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.backlog = backlog
+        self.service_delay_s = service_delay_s
+        self.frame_timeout_s = frame_timeout_s
+        self.coordinator = EpochCoordinator(
+            ShardPlan(len(source), world_size=world_size, seed=seed)
+        )
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._stats_lock = threading.Lock()  # counters shared across handlers
+        self._read_lock = threading.Lock()  # serializes uncached source reads
+        self._slots = threading.Semaphore(max_connections)
+        self._active = 0
+        self._served_connections = 0
+        self._closing = False
+        self._draining = False
+        self._listen: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: set[threading.Thread] = set()
+        self._handlers_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DataServer":
+        """Bind, listen, and start accepting in a background thread."""
+        if self._listen is not None:
+            raise RuntimeError("server already started")
+        self._listen = socket.create_server(
+            (self.host, self.port), backlog=self.backlog, reuse_port=False
+        )
+        # poll: closing a listener does not wake a thread blocked in
+        # accept(), so the accept loop must time out to notice _closing
+        self._listen.settimeout(_POLL_S)
+        self.port = self._listen.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return (self.host, self.port)
+
+    @property
+    def active_connections(self) -> int:
+        return self._active
+
+    def close(self, drain: bool = True, timeout_s: float = 10.0) -> None:
+        """Stop the server.
+
+        With ``drain=True`` (default) the listener closes first, in-flight
+        requests run to completion, and only then are connections torn
+        down.  ``drain=False`` aborts connections immediately.  Idempotent.
+        """
+        self._closing = True
+        self._draining = True
+        listen, self._listen = self._listen, None
+        if listen is not None:
+            try:
+                listen.close()
+            except OSError:
+                pass
+        self._slots.release()  # wake an accept loop blocked on a full house
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout_s)
+            self._accept_thread = None
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        if not drain:
+            # abort: yank the sockets out from under the handlers
+            for t in handlers:
+                conn = getattr(t, "serve_conn", None)
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+        for t in handlers:
+            t.join(timeout=timeout_s)
+
+    def __enter__(self) -> "DataServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounting --------------------------------------------------------
+
+    def _record(self, name: str, value: float = 0.0, n: int = 1) -> None:
+        with self._stats_lock:
+            self.stats.add(name, value, n)
+
+    # -- accept / connection loops ----------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            self._slots.acquire()  # back-pressure: block at capacity
+            if self._closing:
+                self._slots.release()
+                return
+            listen = self._listen
+            if listen is None:
+                self._slots.release()
+                return
+            try:
+                conn, _peer = listen.accept()
+            except socket.timeout:
+                self._slots.release()
+                continue  # idle poll: re-check the closing flag
+            except OSError:  # listener closed under us
+                self._slots.release()
+                return
+            conn.settimeout(_POLL_S)
+            t = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            t.serve_conn = conn  # type: ignore[attr-defined]  # for abort
+            with self._handlers_lock:
+                self._handlers.add(t)
+                self._active += 1
+                self._served_connections += 1
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self._record("serve.connections")
+        try:
+            with conn:
+                while not self._draining:
+                    try:
+                        frame = protocol.recv_frame(
+                            conn, frame_timeout_s=self.frame_timeout_s
+                        )
+                    except socket.timeout:
+                        continue  # idle poll: re-check the drain flag
+                    except (protocol.ProtocolError, OSError):
+                        self._record("serve.errors")
+                        return  # stream broken: drop the connection
+                    except protocol.FrameCorruptError:
+                        # request damaged in flight but stream in sync:
+                        # tell the client so it can retry the op
+                        self._record("serve.errors")
+                        self._send_error(
+                            conn, "FrameCorruptError", "request frame CRC mismatch"
+                        )
+                        continue
+                    if frame is None:
+                        return  # clean EOF between requests
+                    kind, body = frame
+                    try:
+                        response = self._dispatch(kind, body)
+                    except Exception as exc:  # never kill the handler
+                        self._record("serve.errors")
+                        response = self._error_frame(exc)
+                    try:
+                        conn.sendall(response)
+                    except OSError:
+                        self._record("serve.errors")
+                        return
+        finally:
+            self._slots.release()
+            with self._handlers_lock:
+                self._active -= 1
+                self._handlers.discard(threading.current_thread())
+
+    # -- request dispatch --------------------------------------------------
+
+    def _dispatch(self, kind: int, body: bytes) -> bytes:
+        name = _OP_NAMES.get(kind)
+        if name is None:
+            raise ValueError(f"unsupported op {kind:#x}")
+        t0 = perf_counter()
+        try:
+            if kind == protocol.OP_READ:
+                return self._op_read(body)
+            if kind == protocol.OP_INFO:
+                return protocol.pack_frame(
+                    protocol.ST_OK, protocol.pack_json(self.info())
+                )
+            if kind == protocol.OP_STATS:
+                return protocol.pack_frame(
+                    protocol.ST_OK, protocol.pack_json(self.stats_report())
+                )
+            if kind == protocol.OP_HEALTH:
+                return protocol.pack_frame(
+                    protocol.ST_OK, protocol.pack_json(self.health())
+                )
+            return self._op_epoch(body)
+        finally:
+            self._record(f"serve.{name}", perf_counter() - t0)
+
+    def _op_read(self, body: bytes) -> bytes:
+        index = protocol.unpack_read(body)
+        if self.service_delay_s > 0:
+            time.sleep(self.service_delay_s)  # outside every lock
+        if self.cache is not None:
+            blob = self.source.read(index)  # cache is internally locked
+        else:
+            with self._read_lock:  # sources need not be thread-safe
+                blob = self.source.read(index)
+            if self.verify:
+                verify_sample(blob, sample_id=index)
+        self._record("serve.read.bytes", float(len(blob)))
+        return protocol.pack_frame(protocol.ST_OK, blob)
+
+    def _op_epoch(self, body: bytes) -> bytes:
+        rank, epoch = protocol.unpack_epoch(body)
+        shard = self.coordinator.begin_epoch(rank, epoch)
+        return protocol.pack_frame(protocol.ST_OK, protocol.pack_indices(shard))
+
+    # -- reports -----------------------------------------------------------
+
+    def info(self) -> dict:
+        plan = self.coordinator.plan
+        return {
+            "server": "repro.serve",
+            "protocol": 1,
+            "n_samples": len(self.source),
+            "world_size": plan.world_size,
+            "seed": plan.seed,
+            "cached": self.cache is not None,
+            "verify": self._verified,
+        }
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "active_connections": self._active,
+            "max_connections": self.max_connections,
+            "served_connections": self._served_connections,
+            "epoch_progress": {
+                str(r): e for r, e in self.coordinator.progress().items()
+            },
+            "stragglers": self.coordinator.stragglers(),
+        }
+
+    def stats_report(self) -> dict:
+        with self._stats_lock:
+            snap = self.stats.snapshot()
+        out: dict = {
+            "counters": {k: {"n": n, "total": t} for k, (n, t) in snap.items()}
+        }
+        if self.cache is not None:
+            cs = self.cache.stats
+            out["cache"] = {
+                "hits": cs.hits,
+                "misses": cs.misses,
+                "hit_rate": cs.hit_rate,
+                "evictions": cs.evictions,
+                "evicted_bytes": cs.evicted_bytes,
+                "rejected": cs.rejected,
+                "used_bytes": self.cache.used_bytes,
+                "capacity_bytes": self.cache.capacity_bytes,
+            }
+        return out
+
+    # -- error responses ---------------------------------------------------
+
+    def _error_frame(self, exc: Exception) -> bytes:
+        payload = {"error": type(exc).__name__, "message": str(exc)}
+        section = getattr(exc, "section", None)
+        if section is not None:
+            payload["section"] = section
+        return protocol.pack_frame(protocol.ST_ERROR, protocol.pack_json(payload))
+
+    def _send_error(self, conn: socket.socket, error: str, message: str) -> None:
+        try:
+            conn.sendall(
+                protocol.pack_frame(
+                    protocol.ST_ERROR,
+                    protocol.pack_json({"error": error, "message": message}),
+                )
+            )
+        except OSError:
+            pass

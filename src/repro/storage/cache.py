@@ -6,10 +6,18 @@ size, for instance through compression, enables caching more samples in the
 host CPU memory" — this cache is that mechanism.  It is used both by the
 functional pipeline (real blobs) and, through its hit/miss statistics, by
 the performance model to decide which tier a sample is served from.
+
+The cache is shared widely — loader worker threads through
+``CachedSource``, and every connection-handler thread of a
+:class:`~repro.serve.server.DataServer` — so all mutating operations (and
+the stats they update) are serialized by one internal lock.  Critical
+sections are a dict probe plus integer arithmetic; the payload bytes are
+never copied under the lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -33,31 +41,35 @@ class CacheStats:
 
 
 class SampleCache:
-    """LRU cache keyed by sample id, bounded by total payload bytes."""
+    """Thread-safe LRU cache keyed by sample id, bounded by payload bytes."""
 
     def __init__(self, capacity_bytes: float) -> None:
         if capacity_bytes < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity_bytes = capacity_bytes
         self._entries: OrderedDict[object, bytes] = OrderedDict()
+        self._lock = threading.RLock()
         self.used_bytes = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: object) -> bytes | None:
         """Look up a sample, refreshing its recency.  None on miss."""
-        blob = self._entries.get(key)
-        if blob is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return blob
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return blob
 
     def put(self, key: object, blob: bytes) -> bool:
         """Insert a sample, evicting LRU entries to make room.
@@ -70,21 +82,22 @@ class SampleCache:
         dropping our own stale copy is neither an eviction nor a miss.
         """
         size = len(blob)
-        if size > self.capacity_bytes:
-            self.stats.rejected += 1
-            self.invalidate(key)
-            return False
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.used_bytes -= len(old)
-        while self.used_bytes + size > self.capacity_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self.used_bytes -= len(evicted)
-            self.stats.evictions += 1
-            self.stats.evicted_bytes += len(evicted)
-        self._entries[key] = blob
-        self.used_bytes += size
-        return True
+        with self._lock:
+            if size > self.capacity_bytes:
+                self.stats.rejected += 1
+                self.invalidate(key)
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.used_bytes -= len(old)
+            while self.used_bytes + size > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.used_bytes -= len(evicted)
+                self.stats.evictions += 1
+                self.stats.evicted_bytes += len(evicted)
+            self._entries[key] = blob
+            self.used_bytes += size
+            return True
 
     def invalidate(self, key: object) -> bool:
         """Drop one entry (e.g. its blob failed verification downstream).
@@ -92,12 +105,14 @@ class SampleCache:
         Returns True when something was removed.  Does not touch the
         hit/miss/eviction statistics.
         """
-        old = self._entries.pop(key, None)
-        if old is None:
-            return False
-        self.used_bytes -= len(old)
-        return True
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is None:
+                return False
+            self.used_bytes -= len(old)
+            return True
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.used_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.used_bytes = 0

@@ -160,3 +160,60 @@ class TestTune:
         with pytest.raises(SystemExit):
             main(["tune", "--machine", "frontier", "--workload",
                   "cosmoflow"])
+
+
+class TestServeFetch:
+    def test_serve_fetch_end_to_end(self, tmp_path, capsys):
+        import json
+        import threading
+        import time
+
+        out = tmp_path / "d.tfr"
+        assert main(["generate", "--workload", "deepcam",
+                     "--representation", "plugin", "--count", "4",
+                     "--size", "16", "--output", str(out)]) == 0
+        capsys.readouterr()  # drop generate output
+
+        rc = {}
+
+        def serve():
+            rc["serve"] = main([
+                "serve", "--input", str(out), "--world-size", "2",
+                "--duration-s", "3", "--json",
+            ])
+
+        t = threading.Thread(target=serve)
+        t.start()
+        try:
+            # the startup JSON line carries the ephemeral port
+            port, lines = None, []
+            deadline = time.monotonic() + 5.0
+            while port is None and time.monotonic() < deadline:
+                lines += capsys.readouterr().out.splitlines()
+                for line in lines:
+                    obj = json.loads(line or "{}")
+                    if "port" in obj:
+                        port = obj["port"]
+                time.sleep(0.05)
+            assert port is not None, f"no startup line in {lines!r}"
+
+            assert main(["fetch", "--port", str(port), "--health",
+                         "--json"]) == 0
+            health = json.loads(capsys.readouterr().out)
+            assert health["status"] == "ok"
+
+            assert main(["fetch", "--port", str(port), "--indices", "0,2",
+                         "--verify", "--json"]) == 0
+            fetched = json.loads(capsys.readouterr().out)
+            assert fetched["samples"] == 2 and fetched["corrupt"] == 0
+
+            assert main(["fetch", "--port", str(port), "--epoch", "0",
+                         "--rank", "1", "--json"]) == 0
+            shard = json.loads(capsys.readouterr().out)
+            assert shard["samples"] == 2  # 4 samples over 2 ranks
+            assert shard["rank"] == 1 and shard["epoch"] == 0
+        finally:
+            t.join(timeout=10.0)
+        assert rc.get("serve") == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["reads"] >= 4 and summary["errors"] == 0

@@ -63,6 +63,55 @@ class TestSources:
         assert len(src) == 5
         assert src.read(4) == blobs[4]
 
+    def test_tfrecord_source_reuses_one_handle(self, tmp_path, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        path = tmp_path / "d.tfr"
+        with tfrecord.TfRecordWriter(path) as w:
+            for b in blobs:
+                w.write(b)
+        src = TfRecordSource(path)
+        assert src._fh is None  # opened lazily, not at construction
+        src.read(0)
+        fh = src._fh
+        assert fh is not None
+        for i in (3, 1, 4, 0, 2):  # shuffled epoch access, one handle
+            assert src.read(i) == blobs[i]
+            assert src._fh is fh
+        src.close()
+        assert src._fh is None
+        assert src.read(2) == blobs[2]  # transparently re-opened
+        assert src._fh is not None and src._fh is not fh
+        src.close()
+
+    def test_tfrecord_source_concurrent_reads(self, tmp_path, deepcam_blobs):
+        import threading
+
+        _, blobs = deepcam_blobs
+        path = tmp_path / "d.tfr"
+        with tfrecord.TfRecordWriter(path) as w:
+            for b in blobs:
+                w.write(b)
+        errors = []
+
+        with TfRecordSource(path) as src:
+            def sweep(seed):
+                rng = np.random.default_rng(seed)
+                try:
+                    for _ in range(200):
+                        i = int(rng.integers(0, len(blobs)))
+                        assert src.read(i) == blobs[i]
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=sweep, args=(s,)) for s in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+
     def test_cached_source_hits(self, deepcam_blobs):
         _, blobs = deepcam_blobs
         cache = SampleCache(10**9)

@@ -1,0 +1,329 @@
+"""Tests for the data service: wire protocol, server ops, remote data path.
+
+The serving acceptance criterion lives here: a full ``DataLoader`` epoch
+driven through :class:`RemoteSource` over localhost is *bit-identical*
+(raw ``tobytes()``) to the same epoch through a :class:`ListSource`, for
+both the delta and LUT codecs.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.encoding.container import CorruptSampleError
+from repro.core.plugins import CosmoflowLutPlugin, DeepcamDeltaPlugin
+from repro.datasets import cosmoflow, deepcam
+from repro.pipeline import DataLoader, ListSource
+from repro.serve import DataServer, RemoteSource, protocol
+from repro.serve.protocol import (
+    FrameCorruptError,
+    ProtocolError,
+    pack_frame,
+    recv_frame,
+)
+from repro.storage.cache import SampleCache
+
+N = 12
+
+
+@pytest.fixture(scope="module")
+def deepcam_blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(N, cfg, seed=3)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+@pytest.fixture(scope="module")
+def cosmo_blobs():
+    cfg = cosmoflow.CosmoflowConfig(grid=16, n_particles=20_000)
+    plugin = CosmoflowLutPlugin("cpu")
+    ds = cosmoflow.generate_dataset(N, cfg, seed=3)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(2.0)
+    b.settimeout(2.0)
+    return a, b
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        a, b = _pair()
+        try:
+            body = b"\x00payload\xff" * 100
+            a.sendall(pack_frame(protocol.ST_OK, body))
+            assert recv_frame(b) == (protocol.ST_OK, body)
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_body_roundtrip(self):
+        a, b = _pair()
+        try:
+            a.sendall(pack_frame(protocol.OP_INFO))
+            assert recv_frame(b) == (protocol.OP_INFO, b"")
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pair()
+        try:
+            a.close()
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_bad_magic_is_protocol_error(self):
+        a, b = _pair()
+        try:
+            frame = bytearray(pack_frame(protocol.ST_OK, b"x"))
+            frame[:4] = b"JUNK"
+            a.sendall(bytes(frame))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_truncation_mid_frame_is_protocol_error(self):
+        a, b = _pair()
+        try:
+            frame = pack_frame(protocol.ST_OK, b"0123456789")
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_crc_mismatch_is_frame_corrupt_not_protocol(self):
+        a, b = _pair()
+        try:
+            frame = bytearray(pack_frame(protocol.ST_OK, b"0123456789"))
+            frame[12] ^= 0x40  # flip a body byte, leave the CRC
+            a.sendall(bytes(frame))
+            with pytest.raises(FrameCorruptError):
+                recv_frame(b)
+            # the stream is still synchronized: the next frame parses
+            a.sendall(pack_frame(protocol.ST_OK, b"next"))
+            assert recv_frame(b) == (protocol.ST_OK, b"next")
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_length_rejected_before_allocation(self):
+        a, b = _pair()
+        try:
+            head = protocol._HEAD.pack(
+                protocol.MAGIC, protocol.ST_OK, protocol.MAX_BODY_BYTES + 1
+            )
+            a.sendall(head)
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            pack_frame(0x7F, b"")
+        a, b = _pair()
+        try:
+            a.sendall(protocol._HEAD.pack(protocol.MAGIC, 0x7F, 0))
+            with pytest.raises(ProtocolError, match="kind"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_body_codecs_roundtrip(self):
+        assert protocol.unpack_read(protocol.pack_read(2**40)) == 2**40
+        assert protocol.unpack_epoch(protocol.pack_epoch(3, 2**33)) == (3, 2**33)
+        idx = np.array([5, 0, 2**35], dtype=np.int64)
+        out = protocol.unpack_indices(protocol.pack_indices(idx))
+        assert out.dtype == np.int64 and np.array_equal(out, idx)
+        assert protocol.unpack_json(protocol.pack_json({"a": [1]})) == {"a": [1]}
+
+    def test_malformed_bodies_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.unpack_read(b"\x00" * 3)
+        with pytest.raises(ProtocolError):
+            protocol.unpack_indices(protocol._COUNT.pack(2) + b"\x00" * 8)
+        with pytest.raises(ProtocolError):
+            protocol.unpack_json(b"[1, 2]")
+        with pytest.raises(ValueError):
+            protocol.pack_read(-1)
+
+
+class TestServerClient:
+    def test_read_roundtrip_and_len(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        with DataServer(ListSource(blobs)) as server:
+            with RemoteSource(*server.address) as src:
+                assert len(src) == len(blobs)
+                assert all(src.read(i) == blobs[i] for i in range(len(blobs)))
+
+    def test_index_error_is_local_and_remote(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        with DataServer(ListSource(blobs)) as server:
+            with RemoteSource(*server.address) as src:
+                with pytest.raises(IndexError):
+                    src.read(len(blobs))  # client-side bounds check
+                with pytest.raises(IndexError):
+                    # bypass the local check: the server's answer must
+                    # come back as a faithful IndexError, not a retry loop
+                    src._n = len(blobs) + 10
+                    src.read(len(blobs) + 1)
+                src._n = len(blobs)
+                assert src.read(0) == blobs[0]  # connection still usable
+
+    def test_info_health_stats_ops(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        with DataServer(
+            ListSource(blobs), cache=SampleCache(1e7), world_size=2
+        ) as server:
+            with RemoteSource(*server.address) as src:
+                info = src.info()
+                assert info["n_samples"] == len(blobs)
+                assert info["world_size"] == 2
+                assert info["cached"] is True
+                src.read(1)
+                health = src.health()
+                assert health["status"] == "ok"
+                stats = src.stats()
+                assert stats["counters"]["serve.read"]["n"] >= 1
+                assert stats["cache"]["misses"] >= 1
+
+    def test_shared_source_many_client_threads(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        errors = []
+
+        def sweep(host, port):
+            try:
+                with RemoteSource(host, port) as src:
+                    for i in range(len(blobs)):
+                        assert src.read(i) == blobs[i]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        with DataServer(ListSource(blobs), cache=SampleCache(1e7)) as server:
+            host, port = server.address
+            threads = [
+                threading.Thread(target=sweep, args=(host, port))
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+    @pytest.mark.parametrize("workload", ["deepcam", "cosmo"])
+    def test_remote_epoch_bit_identical_to_local(
+        self, workload, deepcam_blobs, cosmo_blobs
+    ):
+        """Acceptance: remote epoch == local epoch, raw bytes, both codecs."""
+        plugin, blobs = deepcam_blobs if workload == "deepcam" else cosmo_blobs
+
+        def epoch_bytes(loader):
+            out = []
+            for batch, labels in loader.batches(0):
+                out.append(batch.tobytes())
+                out.append(labels.tobytes())
+            return out
+
+        local = DataLoader(ListSource(blobs), plugin, batch_size=4, seed=9)
+        with DataServer(ListSource(blobs), cache=SampleCache(1e8)) as server:
+            with RemoteSource(*server.address) as src:
+                remote = DataLoader(src, plugin, batch_size=4, seed=9)
+                assert epoch_bytes(remote) == epoch_bytes(local)
+
+    def test_verify_before_cache_rejects_corrupt_blob(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        bad = bytearray(blobs[2])
+        bad[len(bad) // 2] ^= 0x10
+        served = list(blobs)
+        served[2] = bytes(bad)
+        cache = SampleCache(1e7)
+        with DataServer(ListSource(served), cache=cache) as server:
+            with RemoteSource(*server.address) as src:
+                assert src.read(0) == blobs[0]
+                for _ in range(2):  # never cached, fails identically twice
+                    with pytest.raises(CorruptSampleError):
+                        src.read(2)
+                assert src.read(1) == blobs[1]  # connection survives
+        assert 2 not in cache
+
+    def test_back_pressure_bound_respected(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        with DataServer(
+            ListSource(blobs), max_connections=2, service_delay_s=0.005
+        ) as server:
+            host, port = server.address
+            done = []
+
+            def sweep():
+                # the connect itself queues behind the 2-connection bound;
+                # the handshake completes once a slot frees
+                with RemoteSource(host, port) as src:
+                    for i in range(len(blobs)):
+                        src.read(i)
+                done.append(1)
+
+            threads = [threading.Thread(target=sweep) for _ in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(done) == 5  # queued clients eventually served
+            with RemoteSource(host, port) as probe:
+                assert probe.health()["max_connections"] == 2
+
+    def test_graceful_drain_refuses_new_connections(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        server = DataServer(ListSource(blobs)).start()
+        host, port = server.address
+        src = RemoteSource(host, port)
+        assert src.read(0) == blobs[0]
+        server.close(drain=True)
+        with pytest.raises(OSError):
+            RemoteSource(host, port)
+        src.close()
+
+    def test_close_is_idempotent(self, deepcam_blobs):
+        _, blobs = deepcam_blobs
+        server = DataServer(ListSource(blobs)).start()
+        server.close()
+        server.close()
+
+    def test_service_delay_applied_outside_locks(self, deepcam_blobs):
+        """Two concurrent delayed reads overlap: total < 2 × delay × reads."""
+        from time import perf_counter
+
+        _, blobs = deepcam_blobs
+        with DataServer(
+            ListSource(blobs), cache=SampleCache(1e7), service_delay_s=0.02
+        ) as server:
+            host, port = server.address
+
+            def sweep():
+                with RemoteSource(host, port) as src:
+                    for i in range(6):
+                        src.read(i)
+
+            sweep()  # warm
+            t0 = perf_counter()
+            threads = [threading.Thread(target=sweep) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = perf_counter() - t0
+        # serial floor would be 2 clients × 6 reads × 20 ms = 240 ms
+        assert elapsed < 0.9 * 2 * 6 * 0.02

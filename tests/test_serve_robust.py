@@ -1,0 +1,231 @@
+"""The networked data path under transport faults and corruption.
+
+The robustness acceptance criteria for ``repro.serve`` live here:
+dropped connections and truncated or CRC-damaged response frames are
+retried with backoff and surface as ``CorruptSampleError``/quarantine —
+the trainer never silently consumes wrong bytes.
+
+Wire-level faults are produced by a :class:`ScriptedServer`, a
+hand-driven protocol peer that misbehaves on request (corrupting,
+truncating, or dropping specific responses); end-to-end payload faults
+reuse :class:`~repro.robust.faults.FaultInjector` around a real
+:class:`~repro.serve.client.RemoteSource`.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.encoding.container import CorruptSampleError
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.pipeline import DataLoader, ListSource
+from repro.robust import FaultInjector, FaultPlan, RetryingSource, RetryPolicy
+from repro.serve import DataServer, RemoteSource, protocol
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(10, cfg, seed=13)
+    return plugin, [plugin.encode(s.data, s.label) for s in ds]
+
+
+class ScriptedServer:
+    """Protocol peer that misbehaves per a script of READ behaviors.
+
+    ``INFO`` is always answered honestly (the client handshakes with it);
+    each ``READ`` consumes the next scripted behavior:
+
+    * ``"ok"`` — correct response frame (also after the script runs out);
+    * ``"corrupt"`` — flip a body byte, leave the CRC (payload damaged,
+      stream still in sync);
+    * ``"truncate"`` — send half the frame, then close (stream broken);
+    * ``"drop"`` — close without responding.
+    """
+
+    def __init__(self, blobs, behaviors):
+        self.blobs = blobs
+        self.behaviors = list(behaviors)
+        self.connections = 0
+        self._closing = False
+        self._listen = socket.create_server(("127.0.0.1", 0))
+        self._listen.settimeout(0.05)
+        self.address = self._listen.getsockname()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def close(self):
+        self._closing = True
+        self._thread.join(timeout=5.0)
+        self._listen.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _loop(self):
+        while not self._closing:
+            try:
+                conn, _ = self._listen.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                self._serve(conn)
+            except OSError:
+                pass
+
+    def _serve(self, conn):
+        with conn:
+            conn.settimeout(0.05)
+            while not self._closing:
+                try:
+                    frame = protocol.recv_frame(conn, frame_timeout_s=2.0)
+                except socket.timeout:
+                    continue
+                except (protocol.ProtocolError, OSError):
+                    return
+                if frame is None:
+                    return
+                kind, body = frame
+                if kind == protocol.OP_INFO:
+                    conn.sendall(protocol.pack_frame(
+                        protocol.ST_OK,
+                        protocol.pack_json(
+                            {"n_samples": len(self.blobs), "world_size": 1}
+                        ),
+                    ))
+                    continue
+                index = protocol.unpack_read(body)
+                behavior = self.behaviors.pop(0) if self.behaviors else "ok"
+                payload = self.blobs[index]
+                wire = protocol.pack_frame(protocol.ST_OK, payload)
+                if behavior == "ok":
+                    conn.sendall(wire)
+                elif behavior == "corrupt":
+                    buf = bytearray(wire)
+                    buf[protocol._HEAD.size + len(payload) // 2] ^= 0x20
+                    conn.sendall(bytes(buf))
+                elif behavior == "truncate":
+                    conn.sendall(wire[: len(wire) // 2])
+                    return
+                elif behavior == "drop":
+                    return
+                else:  # pragma: no cover - script typo guard
+                    raise AssertionError(behavior)
+
+
+def _fast_retry(inner, **kw):
+    return RetryingSource(
+        inner,
+        RetryPolicy(max_attempts=4, base_delay_s=0.001, max_delay_s=0.002),
+        sleep=lambda s: None,
+        **kw,
+    )
+
+
+class TestWireFaults:
+    def test_corrupt_frame_surfaces_without_dropping_connection(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["corrupt"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(CorruptSampleError) as exc_info:
+                src.read(3)
+            assert exc_info.value.sample_id == 3
+            assert exc_info.value.section == "frame"
+            # stream still in sync: the very next read succeeds on the
+            # same connection (no reconnect)
+            assert src.read(3) == raw[3]
+            assert server.connections == 1
+            src.close()
+
+    def test_truncated_frame_breaks_stream_then_reconnects(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["truncate"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(ConnectionError):
+                src.read(0)
+            assert src.read(0) == raw[0]  # transparent reconnect
+            assert server.connections == 2
+            src.close()
+
+    def test_dropped_connection_raises_then_reconnects(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["drop"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(ConnectionError):
+                src.read(5)
+            assert src.read(5) == raw[5]
+            assert server.connections == 2
+            src.close()
+
+    def test_retrying_source_rides_out_wire_faults(self, blobs):
+        """Each fault class is retryable: the trainer sees clean bytes."""
+        _, raw = blobs
+        script = ["corrupt", "drop", "truncate", "ok"]
+        with ScriptedServer(raw, script) as server:
+            src = _fast_retry(RemoteSource(*server.address))
+            assert src.read(7) == raw[7]
+            assert src.stats.retries == 3
+            src.inner.close()
+
+    def test_exhausted_retries_surface_the_corruption(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["corrupt"] * 10) as server:
+            src = _fast_retry(RemoteSource(*server.address))
+            with pytest.raises(CorruptSampleError):
+                src.read(1)
+            src.inner.close()
+
+
+class TestEndToEndFaultStack:
+    def test_transient_faults_yield_bit_identical_epoch(self, blobs):
+        """Seeded transient I/O faults on the remote path change nothing."""
+        plugin, raw = blobs
+
+        def epoch(src):
+            loader = DataLoader(src, plugin, batch_size=2, seed=3)
+            return [
+                (b.tobytes(), l.tobytes()) for b, l in loader.batches(0)
+            ]
+
+        reference = epoch(ListSource(raw))
+        with DataServer(ListSource(raw)) as server:
+            remote = RemoteSource(*server.address)
+            flaky = FaultInjector(
+                remote, FaultPlan(io_error_rate=0.3, seed=17)
+            )
+            assert epoch(_fast_retry(flaky, verify=True)) == reference
+            assert flaky.stats.total_injected > 0
+            remote.close()
+
+    def test_permanent_corruption_quarantined_never_wrong_bytes(self, blobs):
+        """The full stack: DataServer → RemoteSource → FaultInjector →
+        RetryingSource(verify) → DataLoader(skip) quarantines exactly the
+        corrupted ids and decodes everything else bit-identically."""
+        plugin, raw = blobs
+        bad = {2, 6}
+        with DataServer(ListSource(raw)) as server:
+            remote = RemoteSource(*server.address)
+            stack = _fast_retry(
+                FaultInjector(remote, FaultPlan(corrupt_ids=bad, seed=1)),
+                verify=True,
+            )
+            loader = DataLoader(
+                stack, plugin, batch_size=2, seed=3, bad_sample_policy="skip"
+            )
+            order = loader.epoch_order(0)
+            good = [i for i in order.tolist() if i not in bad]
+            rows = []
+            for batch, _labels in loader.batches(0):
+                rows.extend(row.tobytes() for row in batch)
+            remote.close()
+        assert set(loader.quarantine.ids()) == bad
+        assert rows == [plugin.decode(raw[i])[0].tobytes() for i in good]

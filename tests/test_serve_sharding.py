@@ -1,0 +1,159 @@
+"""Shard-plan and epoch-coordination invariants.
+
+The distributed-sampling contract: every sample index appears exactly
+once per epoch across the union of rank shards; consecutive epochs
+shuffle differently yet reproducibly from the seed; uneven
+``n % world_size`` remainders are assigned deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.pipeline import DataLoader, ListSource
+from repro.serve import DataServer, EpochCoordinator, RemoteSource, ShardPlan
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize(
+        "n,world", [(12, 1), (12, 3), (13, 3), (17, 4), (5, 8), (1, 1)]
+    )
+    def test_every_index_exactly_once_per_epoch(self, n, world):
+        plan = ShardPlan(n, world_size=world, seed=7)
+        for epoch in (0, 1, 5):
+            union = np.concatenate(
+                [plan.shard(r, epoch) for r in range(world)]
+            )
+            assert sorted(union.tolist()) == list(range(n))
+
+    @pytest.mark.parametrize("n,world", [(13, 3), (17, 4), (10, 3)])
+    def test_remainder_ranks_are_deterministic(self, n, world):
+        plan = ShardPlan(n, world_size=world, seed=0)
+        sizes = plan.shard_sizes()
+        assert sum(sizes) == n
+        # first n % world ranks carry the extra sample
+        base, extra = divmod(n, world)
+        assert sizes == [base + 1] * extra + [base] * (world - extra)
+        assert [len(plan.shard(r, 3)) for r in range(world)] == sizes
+
+    def test_epochs_shuffle_differently(self):
+        plan = ShardPlan(64, world_size=2, seed=1)
+        orders = [plan.epoch_order(e) for e in range(4)]
+        for a in range(len(orders)):
+            for b in range(a + 1, len(orders)):
+                assert not np.array_equal(orders[a], orders[b])
+
+    def test_same_seed_reproduces_and_seeds_differ(self):
+        a = ShardPlan(40, world_size=4, seed=9)
+        b = ShardPlan(40, world_size=4, seed=9)
+        c = ShardPlan(40, world_size=4, seed=10)
+        for epoch in (0, 3):
+            for rank in range(4):
+                assert np.array_equal(a.shard(rank, epoch), b.shard(rank, epoch))
+        assert not np.array_equal(a.epoch_order(0), c.epoch_order(0))
+
+    def test_world_size_one_is_a_plain_shuffle(self):
+        plan = ShardPlan(20, world_size=1, seed=2)
+        shard = plan.shard(0, 0)
+        assert np.array_equal(shard, plan.epoch_order(0))
+        assert sorted(shard.tolist()) == list(range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(10, world_size=0)
+        with pytest.raises(ValueError):
+            ShardPlan(-1, world_size=1)
+        plan = ShardPlan(10, world_size=2)
+        with pytest.raises(ValueError):
+            plan.shard(2, 0)
+        with pytest.raises(ValueError):
+            plan.shard(-1, 0)
+
+
+class TestEpochCoordinator:
+    def test_progress_and_stragglers(self):
+        coord = EpochCoordinator(ShardPlan(12, world_size=3, seed=0))
+        coord.begin_epoch(0, 0)
+        coord.begin_epoch(1, 0)
+        coord.begin_epoch(0, 1)
+        assert coord.progress() == {0: 1, 1: 0}
+        assert coord.min_epoch() == 0
+        assert set(coord.stragglers()) == {1}
+
+    def test_begin_epoch_returns_the_plan_shard(self):
+        plan = ShardPlan(10, world_size=2, seed=4)
+        coord = EpochCoordinator(plan)
+        assert np.array_equal(coord.begin_epoch(1, 2), plan.shard(1, 2))
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        coord = EpochCoordinator(ShardPlan(100, world_size=8, seed=0))
+
+        def worker(rank):
+            for epoch in range(20):
+                coord.begin_epoch(rank, epoch)
+
+        threads = [
+            threading.Thread(target=worker, args=(r,)) for r in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert coord.progress() == {r: 19 for r in range(8)}
+        assert coord.min_epoch() == 19
+
+
+class TestRemoteSharding:
+    @pytest.fixture(scope="class")
+    def served(self):
+        cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+        plugin = DeepcamDeltaPlugin("cpu")
+        ds = deepcam.generate_dataset(13, cfg, seed=5)
+        blobs = [plugin.encode(s.data, s.label) for s in ds]
+        with DataServer(ListSource(blobs), world_size=3, seed=21) as server:
+            yield plugin, blobs, server
+
+    def test_epoch_rpc_matches_local_plan(self, served):
+        _, blobs, server = served
+        plan = ShardPlan(len(blobs), world_size=3, seed=21)
+        with RemoteSource(*server.address) as src:
+            for epoch in (0, 1):
+                for rank in range(3):
+                    assert np.array_equal(
+                        src.epoch_shard(rank, epoch), plan.shard(rank, epoch)
+                    )
+
+    def test_epoch_rpc_rejects_bad_rank(self, served):
+        _, _, server = served
+        with RemoteSource(*server.address) as src:
+            with pytest.raises(ValueError):
+                src.epoch_shard(3, 0)
+
+    def test_sharded_loaders_jointly_cover_the_dataset(self, served):
+        """Rank loaders on ``order_fn`` shards decode every sample once."""
+        plugin, blobs, server = served
+        n = len(blobs)
+        seen = []
+        reference = {
+            i: plugin.decode(blobs[i])[0].tobytes() for i in range(n)
+        }
+        with RemoteSource(*server.address) as src:
+            for rank in range(3):
+                loader = DataLoader(
+                    src,
+                    plugin,
+                    batch_size=2,
+                    order_fn=lambda epoch, r=rank: src.epoch_shard(r, epoch),
+                )
+                order = loader.epoch_order(0)
+                pos = 0
+                for batch, _labels in loader.batches(0):
+                    for row in batch:
+                        idx = int(order[pos])
+                        assert row.tobytes() == reference[idx]
+                        pos += 1
+                seen.extend(order.tolist())
+        assert sorted(seen) == list(range(n))

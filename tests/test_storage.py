@@ -484,3 +484,79 @@ class TestStagingVerification:
         plain = stage_dataset(pfs, nvme, ["s0"])
         checked = stage_dataset(pfs, nvme, ["s0"], verify=True)
         assert checked.modeled_seconds > plain.modeled_seconds
+
+
+class TestSampleCacheConcurrency:
+    """The cache is shared by every server connection handler: hammer it
+    from many threads and check the accounting invariants survive."""
+
+    def test_concurrent_get_put_evict_stress(self):
+        import threading
+
+        capacity = 2_000
+        cache = SampleCache(capacity)
+        blobs = {k: bytes([k]) * (20 + 13 * k % 90) for k in range(40)}
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(400):
+                    k = int(rng.integers(0, 40))
+                    op = rng.random()
+                    if op < 0.45:
+                        got = cache.get(k)
+                        assert got is None or got == blobs[k]
+                    elif op < 0.85:
+                        cache.put(k, blobs[k])
+                    elif op < 0.95:
+                        cache.invalidate(k)
+                    else:
+                        k in cache  # noqa: B015 - exercising __contains__
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # invariants after the dust settles
+        assert cache.used_bytes <= capacity
+        assert cache.used_bytes == sum(
+            len(blobs[k]) for k in range(40) if k in cache
+        )
+        stats = cache.stats
+        assert stats.hits + stats.misses > 0
+        assert stats.evicted_bytes >= 0
+
+    def test_concurrent_clear_is_safe(self):
+        import threading
+
+        cache = SampleCache(10_000)
+        stop = threading.Event()
+        errors = []
+
+        def putter():
+            i = 0
+            try:
+                while not stop.is_set():
+                    cache.put(i % 50, b"x" * 50)
+                    cache.get((i + 7) % 50)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=putter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(50):
+            cache.clear()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.used_bytes <= 10_000
