@@ -1,0 +1,113 @@
+"""Simulated-bandwidth gate for the tier hierarchy.
+
+The claim to hold: once the :class:`~repro.tiering.TierManager`'s
+between-epoch migration has promoted the working set off the parallel
+file system, an epoch of reads costs **at least 2× less** modeled read
+time than the same epoch served entirely from the PFS.
+
+Methodology note — this is the repo's modeled-time methodology (the DES
+machines, ``service_delay_s`` in the serve benchmarks): every read the
+hierarchy serves charges ``read_time(spec, nbytes)`` of the tier that
+served it, using the same :class:`~repro.storage.filesystem.TierSpec`
+bandwidth/latency numbers the cost model uses.  Test-sized files on a
+laptop say nothing about Summit's GPFS; the spec-derived seconds are
+deterministic and machine-independent, so the gate can assert a hard
+ratio.  The PFS-only baseline is the analytic epoch cost
+``sum(read_time(machine.pfs, len(blob)))`` — exactly what the manager
+would charge if every read missed to backing.
+
+Run with ``pytest benchmarks/bench_tiering.py -s`` to print the measured
+ratios for every evaluated machine.
+"""
+
+import pytest
+
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.pipeline import ListSource
+from repro.storage.filesystem import read_time
+from repro.tiering import TieredSource, build_hierarchy
+from repro.tune import resolve_machine
+
+N_SAMPLES = 32
+MIN_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(N_SAMPLES, cfg, seed=0)
+    return [plugin.encode(s.data, s.label) for s in ds]
+
+
+def _settled_epoch_seconds(machine, blobs, *, ram_mb, nvme_mb):
+    """Modeled read seconds of one epoch after promotion has settled."""
+    manager = build_hierarchy(
+        machine,
+        ram_budget_bytes=ram_mb * 1e6,
+        nvme_budget_bytes=nvme_mb * 1e6,
+        verify=True,
+    )
+    source = TieredSource(ListSource(blobs), manager)
+    for _ in range(2):  # cold epoch, migrate, then a warming epoch
+        for i in range(len(blobs)):
+            source.read(i)
+        source.end_epoch()
+    before = manager.modeled_read_seconds()
+    for i in range(len(blobs)):
+        source.read(i)
+    settled = manager.modeled_read_seconds() - before
+    return settled, manager
+
+
+@pytest.mark.parametrize(
+    "machine_name", ["summit", "cori-v100", "cori-a100"]
+)
+def test_promoted_working_set_2x_over_pfs(blobs, machine_name):
+    """RAM+NVMe hierarchy, budgets that fit the working set."""
+    machine = resolve_machine(machine_name)
+    total_mb = sum(len(b) for b in blobs) / 1e6
+    settled, manager = _settled_epoch_seconds(
+        machine, blobs, ram_mb=2 * total_mb, nvme_mb=4 * total_mb
+    )
+    pfs_only = sum(read_time(machine.pfs, len(b)) for b in blobs)
+    speedup = pfs_only / settled
+    status = manager.status()
+    print(
+        f"\n{machine_name}: settled epoch {settled * 1e3:.3f} ms vs "
+        f"PFS-only {pfs_only * 1e3:.1f} ms — {speedup:.0f}x "
+        f"(hit rate {status['hit_rate']:.0%}, "
+        f"{status['promotions']} promotions)"
+    )
+    assert status["promotions"] > 0, "nothing was promoted"
+    assert speedup >= MIN_SPEEDUP, (
+        f"{machine_name}: promoted working set is only {speedup:.2f}x "
+        f"faster than PFS-only (gate: {MIN_SPEEDUP}x)"
+    )
+
+
+def test_nvme_only_hierarchy_still_beats_pfs(blobs):
+    """A zero-RAM hierarchy (NVMe staging only) must clear the gate too."""
+    machine = resolve_machine("summit")
+    total_mb = sum(len(b) for b in blobs) / 1e6
+    settled, _ = _settled_epoch_seconds(
+        machine, blobs, ram_mb=0.0, nvme_mb=4 * total_mb
+    )
+    pfs_only = sum(read_time(machine.pfs, len(b)) for b in blobs)
+    speedup = pfs_only / settled
+    print(f"\nsummit NVMe-only: {speedup:.1f}x over PFS-only")
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_modeled_time_accounts_every_read(blobs):
+    """Sanity: hits + backing reads account for every read of the sweep."""
+    machine = resolve_machine("summit")
+    total_mb = sum(len(b) for b in blobs) / 1e6
+    _, manager = _settled_epoch_seconds(
+        machine, blobs, ram_mb=2 * total_mb, nvme_mb=4 * total_mb
+    )
+    status = manager.status()
+    served = status["misses"] + sum(lv["hits"] for lv in status["levels"])
+    assert served == 3 * len(blobs)
+    assert status["modeled_read_s"] > 0.0

@@ -30,9 +30,14 @@ for the common dataset chores:
 * ``fetch``     — client of a running server: health/info/stats probes,
   sample fetches by explicit indices or by ``EPOCH``-coordinated shard,
   optional integrity verification and record-file export.
+* ``tiers``     — drive a record file through a RAM → NVMe tier
+  hierarchy (``repro.tiering``) for a few probe epochs, migrating hot
+  samples between them, then report ``status`` (per-level hit rates and
+  counters), ``plan`` (the pending migration moves) or ``migrate`` (one
+  more applied cycle).
 
-``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``
-and ``fetch`` accept ``--json`` for machine-readable output.
+``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``,
+``fetch`` and ``tiers`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -211,9 +216,14 @@ def cmd_stats(args) -> int:
             rows.append([i, "raw", "-", f"{len(blob)}B"])
             records.append({"sample": i, "codec": "raw", "bytes": len(blob)})
     if args.json:
-        print(json.dumps({"input": args.input, "samples": records}, indent=2))
+        out = {"input": args.input, "samples": records}
+        if args.tiers:
+            out["tiers"] = _probe_tiers(args).status()
+        print(json.dumps(out, indent=2))
         return 0
     print_table(["sample", "codec", "structure", "size detail"], rows)
+    if args.tiers:
+        _print_tier_status(_probe_tiers(args).status())
     return 0
 
 
@@ -630,6 +640,131 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _probe_tiers(args):
+    """Build a tier hierarchy over a record file and run probe epochs.
+
+    Shared by ``repro tiers`` and the ``repro stats --tiers`` probe: the
+    record file becomes the backing store, and ``--epochs`` shuffled
+    read sweeps run with a migration cycle between consecutive epochs —
+    the same cadence training uses — so the reported hit rates reflect a
+    promoted working set, not a cold hierarchy.  Returns the manager
+    with the last epoch's access window still open (``plan`` needs it).
+    """
+    from repro.pipeline.sources import ListSource
+    from repro.tiering import TieredSource, build_hierarchy
+    from repro.tune import resolve_machine
+
+    blobs = list(_iter_samples(args.input, args.gzip))
+    if not blobs:
+        raise SystemExit("no records in input")
+    try:
+        machine = resolve_machine(args.machine)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    manager = build_hierarchy(
+        machine,
+        ram_budget_bytes=args.ram_mb * 1e6,
+        nvme_budget_bytes=args.nvme_mb * 1e6,
+        nvme_dir=args.nvme_dir,
+        policy=args.policy,
+        verify=True,
+    )
+    source = TieredSource(ListSource(blobs), manager)
+    rng = np.random.default_rng(args.seed)
+    for epoch in range(args.epochs):
+        for i in rng.permutation(len(source)):
+            source.read(int(i))
+        if epoch < args.epochs - 1:
+            source.end_epoch(max_moves=args.max_moves)
+    return manager
+
+
+def _print_tier_status(status: dict) -> None:
+    rows = [
+        [lv["name"], lv["policy"],
+         f"{lv['used_bytes'] / 1e6:.2f}/{lv['budget_bytes'] / 1e6:.2f}",
+         lv["entries"], lv["hits"], f"{lv['hit_rate']:.0%}",
+         f"{lv['modeled_read_s'] * 1e3:.2f}"]
+        for lv in status["levels"]
+    ]
+    print_table(
+        ["level", "policy", "used/budget MB", "entries", "hits",
+         "hit rate", "modeled read ms"],
+        rows,
+    )
+    print(
+        f"overall hit rate {status['hit_rate']:.0%}, "
+        f"{status['misses']} misses, "
+        f"{status['backing_reads']} backing reads, "
+        f"{status['promotions']} promotions, "
+        f"{status['demotions']} demotions, "
+        f"{status['evictions']} evictions, "
+        f"{status['rejected_oversize']} oversize rejects, "
+        f"{status['verify_failures']} verify failures, "
+        f"{status['rebalances']} rebalances — "
+        f"modeled read {status['modeled_read_s'] * 1e3:.1f} ms total"
+    )
+
+
+def cmd_tiers(args) -> int:
+    manager = _probe_tiers(args)
+    if args.action == "status":
+        status = manager.status()
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            _print_tier_status(status)
+        return 0
+    if args.action == "plan":
+        plan = manager.plan_migrations(max_moves=args.max_moves)
+        if args.json:
+            print(json.dumps(plan.to_json(), indent=2))
+            return 0
+        rows = [[m.key, m.kind, m.src, m.dst or "-", m.nbytes]
+                for m in plan.moves]
+        print_table(["sample", "move", "from", "to", "bytes"], rows)
+        counts = plan.counts()
+        print(", ".join(f"{v} {k}" for k, v in counts.items()))
+        return 0
+    # migrate: apply one more cycle, then show where that left the tiers
+    summary = manager.end_epoch(max_moves=args.max_moves)
+    status = manager.status()
+    if args.json:
+        print(json.dumps({"migrated": summary, "status": status}, indent=2))
+        return 0
+    print("migrated: " + (
+        ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+        or "nothing to move"
+    ))
+    _print_tier_status(status)
+    return 0
+
+
+def _add_tier_probe_args(p: argparse.ArgumentParser) -> None:
+    """The knobs of the :func:`_probe_tiers` read sweep (``tiers``/``stats``)."""
+    from repro.tiering import POLICIES
+
+    p.add_argument("--machine", default="summit",
+                   help="tier specs come from this simulated machine "
+                        "(summit, cori-v100, cori-a100)")
+    p.add_argument("--ram-mb", type=float, default=4.0,
+                   help="RAM-level capacity budget; 0 omits the level")
+    p.add_argument("--nvme-mb", type=float, default=16.0,
+                   help="NVMe-level capacity budget; 0 omits the level")
+    p.add_argument("--nvme-dir", default=None,
+                   help="directory backing the NVMe level (default: "
+                        "in-memory, modeled at NVMe bandwidth)")
+    p.add_argument("--policy", choices=POLICIES, default="lru",
+                   help="per-level eviction policy")
+    p.add_argument("--epochs", type=int, default=2,
+                   help="probe read-sweep epochs (migration runs between "
+                        "consecutive epochs)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="epoch shuffle seed")
+    p.add_argument("--max-moves", type=int, default=None,
+                   help="cap migration moves per cycle")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -671,6 +806,10 @@ def build_parser() -> argparse.ArgumentParser:
     st = sub.add_parser("stats", help="codec statistics of encoded samples")
     st.add_argument("--input", required=True)
     st.add_argument("--gzip", action="store_true")
+    st.add_argument("--tiers", action="store_true",
+                    help="also probe a tier hierarchy over the file and "
+                         "report its hit rates and migration counters")
+    _add_tier_probe_args(st)
     st.add_argument("--json", action="store_true",
                     help="machine-readable output")
     st.set_defaults(func=cmd_stats)
@@ -826,6 +965,17 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--json", action="store_true",
                    help="machine-readable output")
     f.set_defaults(func=cmd_fuzz)
+
+    ti = sub.add_parser(
+        "tiers", help="probe a record file through a tier hierarchy"
+    )
+    ti.add_argument("action", choices=("status", "plan", "migrate"))
+    ti.add_argument("--input", required=True)
+    ti.add_argument("--gzip", action="store_true")
+    _add_tier_probe_args(ti)
+    ti.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    ti.set_defaults(func=cmd_tiers)
     return p
 
 

@@ -20,6 +20,7 @@ from repro.experiments import (
     harness,
     serving,
     tables,
+    tiering,
     time_to_accuracy,
     tuning,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "harness",
     "serving",
     "tables",
+    "tiering",
     "time_to_accuracy",
     "tuning",
 ]

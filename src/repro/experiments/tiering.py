@@ -1,0 +1,162 @@
+"""Tiering experiment: the multi-tier cache hierarchy vs the flat path.
+
+Not a paper exhibit — an acceptance exhibit for the ``repro.tiering``
+subsystem, the same role :mod:`repro.experiments.serving` plays for
+``repro.serve``.  One small dataset per codec (DeepCAM/delta,
+CosmoFlow/LUT), four scenarios:
+
+* **tiered == flat** — a :class:`~repro.pipeline.loader.DataLoader`
+  run of several epochs through a :class:`~repro.tiering.TieredSource`
+  (RAM → NVMe over the machine's specs, verify-before-admit on, a
+  migration cycle between epochs) must be *bit-identical* (raw
+  ``tobytes()`` equality) to the same epochs through the bare
+  :class:`~repro.pipeline.sources.ListSource` — placement must never
+  change bytes;
+* **promotion lifecycle** — with a RAM budget that fits the working
+  set, per-epoch modeled read time (charged from each serving tier's
+  :class:`~repro.storage.filesystem.TierSpec`) drops epoch over epoch
+  as the background migration promotes the working set off the PFS;
+* **promoted speedup** — the settled epoch's modeled read time beats an
+  all-PFS epoch by ≥ 2× (the CI gate lives in
+  ``benchmarks/bench_tiering.py``);
+* **constrained budgets** — with tiers far smaller than the dataset the
+  hierarchy still serves every byte correctly, and the eviction/
+  promotion counters account for the churn.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.serving import _epoch_bytes, _make_blobs
+from repro.pipeline import DataLoader, ListSource
+from repro.storage.filesystem import read_time
+from repro.tiering import TieredSource, build_hierarchy
+from repro.tune import resolve_machine
+
+__all__ = ["run"]
+
+
+def _tiered_loader(blobs, plugin, machine, *, ram_mb, nvme_mb,
+                   batch_size, seed):
+    source = TieredSource(
+        ListSource(blobs),
+        build_hierarchy(
+            machine,
+            ram_budget_bytes=ram_mb * 1e6,
+            nvme_budget_bytes=nvme_mb * 1e6,
+            verify=True,
+        ),
+    )
+    return source, DataLoader(
+        source, plugin, batch_size=batch_size, seed=seed
+    )
+
+
+def run(
+    n_samples: int = 16,
+    batch_size: int = 4,
+    epochs: int = 4,
+    machine_name: str = "summit",
+    seed: int = 0,
+    quiet: bool = False,
+) -> ExperimentResult:
+    """Run the tiering scenarios and assert their invariants."""
+    result = ExperimentResult(
+        exhibit="Tiering",
+        title="multi-tier cache hierarchy vs the flat PFS path",
+        headers=["scenario", "detail", "value"],
+    )
+    machine = resolve_machine(machine_name)
+
+    # -- tiered epochs bit-identical to flat, both codecs ------------------
+    epoch_times: dict[str, list[float]] = {}
+    pfs_times: dict[str, float] = {}
+    final_status: dict | None = None
+    for workload in ("deepcam", "cosmoflow"):
+        plugin, blobs = _make_blobs(workload, n_samples, seed)
+        flat = DataLoader(
+            ListSource(blobs), plugin, batch_size=batch_size, seed=seed
+        )
+        reference = [_epoch_bytes(flat, e) for e in range(epochs)]
+        source, tiered = _tiered_loader(
+            blobs, plugin, machine,
+            ram_mb=2 * sum(len(b) for b in blobs) / 1e6,  # fits everything
+            nvme_mb=64.0,
+            batch_size=batch_size, seed=seed,
+        )
+        times = []
+        identical = True
+        for e in range(epochs):
+            before = source.manager.modeled_read_seconds()
+            identical = _epoch_bytes(tiered, e) == reference[e] and identical
+            times.append(source.manager.modeled_read_seconds() - before)
+            source.end_epoch()
+        epoch_times[workload] = times
+        pfs_times[workload] = sum(
+            read_time(machine.pfs, len(b)) for b in blobs
+        )
+        final_status = source.manager.status()
+        result.add(
+            f"tiered epochs ({workload})",
+            f"{epochs} epochs × {n_samples} samples, batch {batch_size}",
+            "bit-identical" if identical else "MISMATCH",
+        )
+        result.findings[f"tiered_identical_{workload}"] = float(identical)
+
+    # -- promotion lifecycle: modeled epoch time drops ---------------------
+    for workload, times in epoch_times.items():
+        improves = times[-1] < times[0]
+        result.add(
+            f"promotion lifecycle ({workload})",
+            " → ".join(f"{t * 1e3:.1f}" for t in times) + " ms/epoch",
+            "drops" if improves else "FLAT",
+        )
+        result.findings[f"epoch_time_drops_{workload}"] = float(improves)
+
+    # -- promoted working set vs all-PFS epoch -----------------------------
+    speedups = {
+        w: pfs_times[w] / epoch_times[w][-1] for w in epoch_times
+    }
+    worst = min(speedups, key=speedups.get)
+    result.add(
+        "promoted speedup vs PFS",
+        f"settled epoch {epoch_times[worst][-1] * 1e3:.2f} ms vs "
+        f"all-PFS {pfs_times[worst] * 1e3:.2f} ms ({worst})",
+        f"{speedups[worst]:.1f}x",
+    )
+    result.findings["speedup_vs_pfs"] = speedups[worst]
+    result.findings["final_hit_rate"] = final_status["hit_rate"]
+    result.findings["promotions"] = float(final_status["promotions"])
+
+    # -- constrained budgets: correct under churn, counters account for it -
+    plugin, blobs = _make_blobs("deepcam", n_samples, seed)
+    total_mb = sum(len(b) for b in blobs) / 1e6
+    flat = DataLoader(
+        ListSource(blobs), plugin, batch_size=batch_size, seed=seed
+    )
+    source, tiered = _tiered_loader(
+        blobs, plugin, machine,
+        ram_mb=total_mb / 8, nvme_mb=total_mb / 4,
+        batch_size=batch_size, seed=seed,
+    )
+    identical = True
+    for e in range(epochs):
+        identical = _epoch_bytes(tiered, e) == _epoch_bytes(flat, e) \
+            and identical
+        source.end_epoch()
+    status = source.manager.status()
+    churn_ok = status["evictions"] > 0 and status["promotions"] > 0
+    result.add(
+        "constrained budgets",
+        f"RAM {total_mb / 8:.2f} MB + NVMe {total_mb / 4:.2f} MB for a "
+        f"{total_mb:.2f} MB dataset: {status['promotions']} promotions, "
+        f"{status['evictions']} evictions, "
+        f"hit rate {status['hit_rate']:.0%}",
+        "bit-identical" if identical and churn_ok else "MISMATCH",
+    )
+    result.findings["constrained_identical"] = float(identical)
+    result.findings["constrained_churn"] = float(churn_ok)
+
+    if not quiet:
+        print(result.render())
+    return result

@@ -378,7 +378,7 @@ class DataServer:
                 "hit_rate": cs.hit_rate,
                 "evictions": cs.evictions,
                 "evicted_bytes": cs.evicted_bytes,
-                "rejected": cs.rejected,
+                "rejected": cs.rejected_oversize,
                 "used_bytes": self.cache.used_bytes,
                 "capacity_bytes": self.cache.capacity_bytes,
             }

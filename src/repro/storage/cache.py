@@ -28,11 +28,17 @@ __all__ = ["SampleCache", "CacheStats"]
 class CacheStats:
     """Hit/miss accounting across the cache's lifetime."""
 
+    gets: int = 0  # every lookup; hits + misses == gets always holds
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     evicted_bytes: int = 0  # payload bytes displaced by LRU eviction
-    rejected: int = 0  # puts refused because the blob alone exceeds capacity
+    rejected_oversize: int = 0  # puts refused: the blob alone exceeds capacity
+
+    @property
+    def rejected(self) -> int:
+        """Backwards-compatible alias for :attr:`rejected_oversize`."""
+        return self.rejected_oversize
 
     @property
     def hit_rate(self) -> float:
@@ -63,6 +69,7 @@ class SampleCache:
     def get(self, key: object) -> bytes | None:
         """Look up a sample, refreshing its recency.  None on miss."""
         with self._lock:
+            self.stats.gets += 1
             blob = self._entries.get(key)
             if blob is None:
                 self.stats.misses += 1
@@ -75,16 +82,19 @@ class SampleCache:
         """Insert a sample, evicting LRU entries to make room.
 
         Returns False (and caches nothing) when the blob alone exceeds
-        capacity — oversized samples simply stream every epoch, as they do
-        on the real systems.  A rejected put also invalidates any stale
-        entry under the same key (the caller clearly has a newer value we
-        cannot hold), without disturbing the hit/miss/eviction counters:
-        dropping our own stale copy is neither an eviction nor a miss.
+        capacity — the rejection happens *up front*, before any eviction,
+        so an oversized sample never flushes resident entries on its way
+        to failing (it is counted as ``rejected_oversize``); it simply
+        streams every epoch, as it does on the real systems.  A rejected
+        put also invalidates any stale entry under the same key (the
+        caller clearly has a newer value we cannot hold), without
+        disturbing the hit/miss/eviction counters: dropping our own stale
+        copy is neither an eviction nor a miss.
         """
         size = len(blob)
         with self._lock:
             if size > self.capacity_bytes:
-                self.stats.rejected += 1
+                self.stats.rejected_oversize += 1
                 self.invalidate(key)
                 return False
             old = self._entries.pop(key, None)

@@ -57,13 +57,19 @@ class Tier:
     """A tier spec bound to a real directory for functional pipelines.
 
     Tracks used capacity so staging onto a small NVMe fails the same way it
-    would on the machine.
+    would on the machine.  Used bytes are maintained incrementally on
+    :meth:`write` / :meth:`delete` — an admission check is integer
+    arithmetic, never a directory walk (a tier holding a million staged
+    samples answers ``has_room`` in O(1)).  The directory is scanned once
+    at construction to pick up files from earlier runs; if some *other*
+    process writes into the tier behind our back, call :meth:`rescan`.
     """
 
     def __init__(self, spec: TierSpec, root: str | os.PathLike) -> None:
         self.spec = spec
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._used_bytes = self._scan()
 
     def path(self, name: str) -> Path:
         p = (self.root / name).resolve()
@@ -71,26 +77,53 @@ class Tier:
             raise ValueError(f"path {name!r} escapes the tier root")
         return p
 
-    @property
-    def used_bytes(self) -> int:
+    def _scan(self) -> int:
         return sum(
             f.stat().st_size for f in self.root.rglob("*") if f.is_file()
         )
 
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def rescan(self) -> int:
+        """Recount used bytes from disk (out-of-band writers escape hatch)."""
+        self._used_bytes = self._scan()
+        return self._used_bytes
+
     def has_room(self, nbytes: int) -> bool:
-        return self.used_bytes + nbytes <= self.spec.capacity_bytes
+        return self._used_bytes + nbytes <= self.spec.capacity_bytes
+
+    def exists(self, name: str) -> bool:
+        return self.path(name).is_file()
 
     def write(self, name: str, data: bytes) -> Path:
-        """Write a blob, enforcing the tier's capacity."""
-        if not self.has_room(len(data)):
+        """Write a blob, enforcing the tier's capacity.
+
+        Overwriting an existing blob charges only the size delta — the old
+        bytes are reclaimed by the same write.
+        """
+        p = self.path(name)
+        old = p.stat().st_size if p.is_file() else 0
+        if self._used_bytes - old + len(data) > self.spec.capacity_bytes:
             raise OSError(
                 f"tier {self.spec.name!r} out of capacity "
-                f"({self.used_bytes} + {len(data)} > {self.spec.capacity_bytes})"
+                f"({self._used_bytes} + {len(data)} > {self.spec.capacity_bytes})"
             )
-        p = self.path(name)
         p.parent.mkdir(parents=True, exist_ok=True)
         p.write_bytes(data)
+        self._used_bytes += len(data) - old
         return p
+
+    def delete(self, name: str) -> bool:
+        """Remove a blob, reclaiming its capacity.  True if it existed."""
+        p = self.path(name)
+        if not p.is_file():
+            return False
+        size = p.stat().st_size
+        p.unlink()
+        self._used_bytes -= size
+        return True
 
     def read(self, name: str) -> bytes:
         return self.path(name).read_bytes()

@@ -1,0 +1,73 @@
+"""Tiered storage manager: a policy-driven multi-tier cache hierarchy.
+
+The paper's first lever is placing compressed samples in the fastest
+memory tier that fits — host RAM over node NVMe over the shared parallel
+file system.  The flat :class:`~repro.storage.cache.SampleCache` and the
+one-shot :func:`~repro.storage.staging.stage_dataset` copy model a single
+static placement decision; this package manages placement *over time*,
+the way tf.data's service and MinatoLoader sustain throughput once a
+dataset outgrows any single tier:
+
+``policy``
+    Pluggable per-tier eviction: LRU, LFU, and a cost-aware policy that
+    scores samples by the read-time their residency saves per byte, from
+    the same :class:`~repro.storage.filesystem.TierSpec` bandwidths the
+    cost model uses.
+``manager``
+    :class:`TierManager` — the ordered hierarchy (fastest first) with
+    per-level byte budgets, verify-before-admit integrity (the
+    robustness path), epoch-windowed access tracking, migration planning
+    (promote/demote/evict), capacity rebalancing against the observed
+    working set, and modeled per-tier read/write time.
+``source``
+    :class:`TieredSource` — the hierarchy as a ``SampleSource``, so it
+    composes unchanged with ``RetryingSource``/``FaultInjector``/
+    ``DataServer``/``DataLoader``.
+``worker``
+    :class:`MigrationWorker` — background promotion/demotion between
+    epochs, off the training path.
+``hierarchy``
+    :func:`build_hierarchy` — RAM → NVMe managers from a
+    :class:`~repro.simulate.machine.MachineSpec`.
+
+Layering mirrors :mod:`repro.robust`: this package sits on the storage
+and stats layers and is consumed by the pipeline, the CLI and the
+experiments; only :mod:`~repro.tiering.source` touches the pipeline's
+source protocol.
+"""
+
+from repro.tiering.hierarchy import build_hierarchy
+from repro.tiering.manager import (
+    MemoryTier,
+    MigrationPlan,
+    Move,
+    TierLevel,
+    TierManager,
+)
+from repro.tiering.policy import (
+    POLICIES,
+    CostAwarePolicy,
+    EvictionPolicy,
+    LfuPolicy,
+    LruPolicy,
+    make_policy,
+)
+from repro.tiering.source import TieredSource
+from repro.tiering.worker import MigrationWorker
+
+__all__ = [
+    "build_hierarchy",
+    "MemoryTier",
+    "MigrationPlan",
+    "Move",
+    "TierLevel",
+    "TierManager",
+    "POLICIES",
+    "CostAwarePolicy",
+    "EvictionPolicy",
+    "LfuPolicy",
+    "LruPolicy",
+    "make_policy",
+    "TieredSource",
+    "MigrationWorker",
+]

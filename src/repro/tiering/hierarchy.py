@@ -1,0 +1,75 @@
+"""Convenience constructors for common tier hierarchies.
+
+The CLI, the ``tiering`` experiment and the benchmark all want the same
+thing: a RAM → NVMe hierarchy whose specs come from one of the evaluated
+machines (:mod:`repro.simulate.machine`), managed in front of a
+PFS-resident backing source.  :func:`build_hierarchy` assembles it —
+in-memory levels by default (reads/writes are modeled, not timed, so a
+functional directory is only needed when the hierarchy must survive the
+process, e.g. a real NVMe staging dir).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.simulate.machine import MachineSpec
+from repro.storage.filesystem import Tier
+from repro.tiering.manager import MemoryTier, TierLevel, TierManager
+from repro.tiering.policy import make_policy
+from repro.tune.costmodel import host_ram_tierspec
+from repro.tune.stats import StatsRegistry
+
+__all__ = ["build_hierarchy"]
+
+
+def build_hierarchy(
+    machine: MachineSpec,
+    *,
+    ram_budget_bytes: float,
+    nvme_budget_bytes: float,
+    nvme_dir: str | os.PathLike | None = None,
+    policy: str = "lru",
+    backing=None,
+    verify: bool = False,
+    stats: StatsRegistry | None = None,
+) -> TierManager:
+    """A RAM → NVMe manager with ``machine``'s tier specs.
+
+    ``nvme_dir`` makes the NVMe level a real directory-backed
+    :class:`~repro.storage.filesystem.Tier` (so replicas persist across
+    processes and the CLI can inspect them); by default it is in-memory
+    like the RAM level.  A zero budget omits a level entirely — a
+    PFS + NVMe machine without a RAM cache is ``ram_budget_bytes=0``.
+    The backing store is modeled as the machine's PFS.
+    """
+    levels: list[TierLevel] = []
+    ram_spec = host_ram_tierspec(machine)
+    if ram_budget_bytes > 0:
+        levels.append(TierLevel(
+            MemoryTier(ram_spec),
+            budget_bytes=min(ram_budget_bytes, ram_spec.capacity_bytes),
+            policy=make_policy(policy, ram_spec, machine.nvme),
+            name="ram",
+        ))
+    if nvme_budget_bytes > 0:
+        tier = (
+            Tier(machine.nvme, nvme_dir)
+            if nvme_dir is not None
+            else MemoryTier(machine.nvme)
+        )
+        levels.append(TierLevel(
+            tier,
+            budget_bytes=min(nvme_budget_bytes, machine.nvme.capacity_bytes),
+            policy=make_policy(policy, machine.nvme, machine.pfs),
+            name="nvme",
+        ))
+    if not levels:
+        raise ValueError("hierarchy needs at least one non-zero budget")
+    return TierManager(
+        levels,
+        backing=backing,
+        backing_spec=machine.pfs,
+        verify=verify,
+        stats=stats,
+    )

@@ -1,0 +1,181 @@
+"""Eviction policies for one tier of the storage hierarchy.
+
+A policy is pure bookkeeping: the :class:`~repro.tiering.manager.TierLevel`
+tells it what was admitted, accessed and removed, and asks it which
+resident sample to displace when the tier's byte budget is exceeded.  The
+policy never touches storage itself, so the same implementations serve the
+in-memory RAM tier and the directory-backed NVMe tier alike.
+
+Three policies are provided:
+
+* :class:`LruPolicy` — displace the least recently *used* sample.  The
+  classic choice when every sample costs the same to refetch.
+* :class:`LfuPolicy` — displace the least *frequently* used sample
+  (recency breaks ties).  Robust against one-off scans polluting a tier.
+* :class:`CostAwarePolicy` — displace the sample whose residency buys the
+  least: each sample is scored by the read-time it saves per byte of tier
+  capacity it occupies, ``accesses × (read_time(slower) − read_time(this))
+  / bytes``, using the :class:`~repro.storage.filesystem.TierSpec`
+  bandwidths of this tier and the next slower one — the same spec numbers
+  the cost model (:mod:`repro.tune.costmodel`) predicts throughput from.
+  A big sample over a small bandwidth delta is cheap to stream again;
+  a small hot sample over a large delta is exactly what the fast tier is
+  for.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol, runtime_checkable
+
+from repro.storage.filesystem import TierSpec, read_time
+
+__all__ = [
+    "EvictionPolicy",
+    "LruPolicy",
+    "LfuPolicy",
+    "CostAwarePolicy",
+    "make_policy",
+    "POLICIES",
+]
+
+
+@runtime_checkable
+class EvictionPolicy(Protocol):
+    """Bookkeeping protocol a tier level drives."""
+
+    def on_admit(self, key: object, nbytes: int) -> None: ...
+
+    def on_access(self, key: object) -> None: ...
+
+    def on_remove(self, key: object) -> None: ...
+
+    def victim(self) -> object | None: ...
+
+
+class LruPolicy:
+    """Evict the least recently used sample."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[object, None] = OrderedDict()
+
+    def on_admit(self, key: object, nbytes: int) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: object) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: object) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> object | None:
+        return next(iter(self._order), None)
+
+
+class LfuPolicy:
+    """Evict the least frequently used sample (LRU breaks ties).
+
+    An admission counts as the first use; every access adds one.  The
+    insertion-ordered dict doubles as the recency record: re-inserting a
+    key on access moves it to the back, so among equal counts the victim
+    is the one untouched longest.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._counts: OrderedDict[object, int] = OrderedDict()
+
+    def on_admit(self, key: object, nbytes: int) -> None:
+        count = self._counts.pop(key, 0)
+        self._counts[key] = count + 1
+
+    def on_access(self, key: object) -> None:
+        if key in self._counts:
+            count = self._counts.pop(key)
+            self._counts[key] = count + 1
+
+    def on_remove(self, key: object) -> None:
+        self._counts.pop(key, None)
+
+    def victim(self) -> object | None:
+        if not self._counts:
+            return None
+        return min(self._counts, key=self._counts.__getitem__)
+
+
+class CostAwarePolicy:
+    """Evict the sample whose residency saves the least time per byte.
+
+    Parameters
+    ----------
+    spec:
+        The spec of the tier this policy guards.
+    fallback_spec:
+        The spec of the tier a displaced sample would be served from
+        instead (the next slower level, or the backing store for the
+        slowest managed level).
+    """
+
+    name = "cost"
+
+    def __init__(self, spec: TierSpec, fallback_spec: TierSpec) -> None:
+        self.spec = spec
+        self.fallback_spec = fallback_spec
+        self._sizes: OrderedDict[object, int] = OrderedDict()
+        self._counts: dict[object, int] = {}
+
+    def _score(self, key: object) -> float:
+        nbytes = self._sizes[key]
+        saved = read_time(self.fallback_spec, nbytes) - read_time(
+            self.spec, nbytes
+        )
+        return self._counts.get(key, 1) * max(saved, 0.0) / max(nbytes, 1)
+
+    def on_admit(self, key: object, nbytes: int) -> None:
+        self._sizes.pop(key, None)
+        self._sizes[key] = nbytes
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def on_access(self, key: object) -> None:
+        if key in self._sizes:
+            self._sizes.move_to_end(key)
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def on_remove(self, key: object) -> None:
+        self._sizes.pop(key, None)
+        self._counts.pop(key, None)
+
+    def victim(self) -> object | None:
+        if not self._sizes:
+            return None
+        # iteration order is admission/access recency, so among equal
+        # scores the stalest sample loses
+        return min(self._sizes, key=self._score)
+
+
+POLICIES = ("lru", "lfu", "cost")
+
+
+def make_policy(
+    name: str,
+    spec: TierSpec | None = None,
+    fallback_spec: TierSpec | None = None,
+) -> EvictionPolicy:
+    """Construct a policy by name (the CLI's ``--policy`` values)."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "lfu":
+        return LfuPolicy()
+    if name == "cost":
+        if spec is None or fallback_spec is None:
+            raise ValueError(
+                "cost-aware policy needs this tier's spec and the "
+                "fallback tier's spec"
+            )
+        return CostAwarePolicy(spec, fallback_spec)
+    raise ValueError(f"unknown policy {name!r}; choose from {POLICIES}")

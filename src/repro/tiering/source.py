@@ -1,0 +1,62 @@
+"""``TieredSource``: the hierarchy behind the ``SampleSource`` protocol.
+
+The whole point of the tier manager is that nothing above it changes: a
+:class:`TieredSource` wraps any inner source (a
+:class:`~repro.pipeline.sources.TierSource` on the PFS, a
+:class:`~repro.storage.sharding.ShardedSource`, a networked
+:class:`~repro.serve.client.RemoteSource`...) and is itself a
+``SampleSource``, so it composes unchanged with
+:class:`~repro.robust.retry.RetryingSource`,
+:class:`~repro.robust.faults.FaultInjector`, a
+:class:`~repro.serve.server.DataServer`, and the
+:class:`~repro.pipeline.loader.DataLoader` — the same decorator chain as
+every other source in the repo.
+
+Bit-identy guarantee: a ``TieredSource`` returns exactly the bytes the
+inner source holds — levels store verbatim replicas, migrations copy
+verbatim — so an epoch through the hierarchy is bit-identical to an epoch
+straight off the inner source (the ``tiering`` experiment asserts this
+for both codecs).
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.sources import SampleSource
+from repro.tiering.manager import TierManager
+
+__all__ = ["TieredSource"]
+
+
+class TieredSource:
+    """Serve samples through a :class:`TierManager` hierarchy.
+
+    The manager's backing store is wired to ``inner`` (unless the caller
+    attached one already), so misses stream from the inner source and hot
+    samples migrate toward the fast tiers between epochs.
+
+    Call :meth:`end_epoch` between epochs — or hand the manager to a
+    :class:`~repro.tiering.worker.MigrationWorker` to do it in the
+    background — so the access pattern of the finished epoch drives the
+    next round of promotions.
+    """
+
+    def __init__(self, inner: SampleSource, manager: TierManager) -> None:
+        self.inner = inner
+        self.manager = manager
+        if manager.backing is None:
+            manager.backing = inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def read(self, index: int) -> bytes:
+        return self.manager.read(index)
+
+    def end_epoch(self, max_moves: int | None = None) -> dict[str, int]:
+        """Run one migration cycle and reset the epoch access window."""
+        return self.manager.end_epoch(max_moves)
+
+    @property
+    def stats(self):
+        """Tier status dict, surfaced on the ``robust_stats`` walk."""
+        return self.manager.status()

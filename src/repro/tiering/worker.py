@@ -1,0 +1,101 @@
+"""Background migration worker: promotion/demotion off the training path.
+
+MinatoLoader's and tf.data service's shared lesson: placement work must
+not steal time from the step loop.  The :class:`MigrationWorker` owns a
+daemon thread that waits for a trigger (normally fired between epochs),
+runs one migration cycle on its :class:`~repro.tiering.manager.
+TierManager`, and goes back to sleep — the consumer never blocks on a
+copy.  The manager's per-move locking means readers of the *next* epoch
+interleave with a migration still in flight.
+
+Synchronous use (tests, the CLI) can skip the thread entirely and call
+:meth:`run_once`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.tiering.manager import TierManager
+
+__all__ = ["MigrationWorker"]
+
+
+class MigrationWorker:
+    """Event-triggered background promotion/demotion thread.
+
+    Parameters
+    ----------
+    manager:
+        The hierarchy to migrate.
+    max_moves:
+        Optional per-cycle move cap, bounding how much copy bandwidth one
+        trigger may consume (None = migrate everything the plan wants).
+    """
+
+    def __init__(self, manager: TierManager, max_moves: int | None = None) -> None:
+        self.manager = manager
+        self.max_moves = max_moves
+        self.cycles = 0
+        self.last_summary: dict[str, int] = {}
+        self._trigger = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def run_once(self) -> dict[str, int]:
+        """Synchronous migration cycle (no thread involved)."""
+        self.last_summary = self.manager.end_epoch(self.max_moves)
+        self.cycles += 1
+        return self.last_summary
+
+    # -- background mode ---------------------------------------------------
+
+    def start(self) -> "MigrationWorker":
+        if self._thread is not None:
+            raise RuntimeError("worker already started")
+        self._thread = threading.Thread(
+            target=self._loop, name="tier-migration", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def trigger(self) -> None:
+        """Request one migration cycle; returns immediately."""
+        if self._thread is None:
+            raise RuntimeError("worker not started; use run_once() instead")
+        self._idle.clear()
+        self._trigger.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the triggered cycle has finished."""
+        return self._idle.wait(timeout)
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Finish any in-flight cycle and join the thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._trigger.set()
+        self._thread.join(timeout)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while True:
+            self._trigger.wait()
+            self._trigger.clear()
+            if self._stop.is_set():
+                self._idle.set()
+                return
+            try:
+                self.last_summary = self.manager.end_epoch(self.max_moves)
+                self.cycles += 1
+            finally:
+                self._idle.set()
+
+    def __enter__(self) -> "MigrationWorker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

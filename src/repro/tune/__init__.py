@@ -29,7 +29,14 @@ imports the stats layer).
 """
 
 from repro.tune.controller import AdaptiveController, EpochObservation
-from repro.tune.costmodel import Prediction, TuneConfig, predict_throughput
+from repro.tune.costmodel import (
+    Prediction,
+    TuneConfig,
+    expected_read_seconds,
+    host_ram_tierspec,
+    machine_tier_specs,
+    predict_throughput,
+)
 from repro.tune.search import (
     Trial,
     TuneResult,
@@ -48,6 +55,9 @@ __all__ = [
     "Prediction",
     "TuneConfig",
     "predict_throughput",
+    "expected_read_seconds",
+    "host_ram_tierspec",
+    "machine_tier_specs",
     "Trial",
     "TuneResult",
     "TuneSpace",

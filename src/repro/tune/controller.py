@@ -67,6 +67,14 @@ class AdaptiveController:
         exceed to be kept.
     settle_epochs:
         Consecutive no-action epochs after which :attr:`converged` is True.
+    tier_manager:
+        Optional :class:`~repro.tiering.manager.TierManager` behind the
+        loader's source.  Each epoch the controller reads its per-tier
+        hit rates and, when the worker/depth knobs have nothing to do,
+        asks the manager to re-split its capacity budgets against the
+        observed working set (:meth:`TierManager.rebalance` — the change
+        is only made when the cost model predicts an improvement, which
+        is this knob's own hysteresis).
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class AdaptiveController:
         idle_occupancy: float = 0.35,
         hysteresis: float = 0.05,
         settle_epochs: int = 2,
+        tier_manager=None,
     ) -> None:
         if not 0 <= min_workers <= max_workers:
             raise ValueError("need 0 <= min_workers <= max_workers")
@@ -96,6 +105,7 @@ class AdaptiveController:
         self.idle_occupancy = idle_occupancy
         self.hysteresis = hysteresis
         self.settle_epochs = settle_epochs
+        self.tier_manager = tier_manager
         self.history: list[tuple[EpochObservation, str]] = []
         self._pending: _Pending | None = None
         self._locked: set[tuple[str, int]] = set()
@@ -116,6 +126,13 @@ class AdaptiveController:
     @property
     def prefetch_depth(self) -> int:
         return self.loader.executor.prefetch_depth
+
+    @property
+    def tier_hit_rates(self) -> dict[str, float] | None:
+        """Per-tier hit-rate view of the attached manager (None without one)."""
+        if self.tier_manager is None:
+            return None
+        return self.tier_manager.hit_rates()
 
     # -- observation ------------------------------------------------------
 
@@ -207,6 +224,14 @@ class AdaptiveController:
             self._apply("num_workers", new)
             self._stable = 0
             return f"shrink num_workers {w} -> {new}"
+
+        # 3) worker/depth knobs are settled: let the tier hierarchy re-split
+        #    its capacity budgets against the hit rates this epoch observed
+        if self.tier_manager is not None:
+            change = self.tier_manager.rebalance()
+            if change is not None:
+                self._stable = 0
+                return f"rebalance tiers: {change}"
 
         self._stable += 1
         return "hold"

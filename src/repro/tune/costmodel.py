@@ -40,7 +40,14 @@ from repro.simulate.machine import MachineSpec
 from repro.simulate.trainsim import WorkloadSpec
 from repro.storage.filesystem import read_time
 
-__all__ = ["TuneConfig", "Prediction", "predict_throughput"]
+__all__ = [
+    "TuneConfig",
+    "Prediction",
+    "predict_throughput",
+    "host_ram_tierspec",
+    "machine_tier_specs",
+    "expected_read_seconds",
+]
 
 
 @dataclass(frozen=True)
@@ -97,6 +104,55 @@ class Prediction:
     caps: dict = field(default_factory=dict)  # stage -> samples/s capacity
     hit_rate: float = 0.0
     footprint_bytes: float = 0.0  # per-node host memory for buffers/workers
+
+
+def host_ram_tierspec(machine: MachineSpec) -> "TierSpec":
+    """The host-RAM row of a machine, as a storage-tier spec.
+
+    :class:`MachineSpec` models RAM through ``host_mem_gb`` +
+    ``cpu.mem_bw_gbps``; the tier hierarchy (:mod:`repro.tiering`) wants
+    it in the same :class:`~repro.storage.filesystem.TierSpec` shape as
+    the NVMe and PFS rows so one read-time formula covers all levels.
+    Capacity is the cache share of host memory — the rest belongs to the
+    framework, model replicas and the OS.
+    """
+    from repro.storage.filesystem import TierSpec
+
+    return TierSpec(
+        name=f"{machine.name.lower()}-ram",
+        read_bw_gbps=machine.cpu.mem_bw_gbps,
+        write_bw_gbps=machine.cpu.mem_bw_gbps,
+        latency_s=100e-9,
+        capacity_bytes=machine.cache_bytes,
+    )
+
+
+def machine_tier_specs(machine: MachineSpec) -> tuple:
+    """The full storage hierarchy of a machine, fastest first: RAM, NVMe, PFS."""
+    return (host_ram_tierspec(machine), machine.nvme, machine.pfs)
+
+
+def expected_read_seconds(specs, fractions, nbytes: float) -> float:
+    """Expected per-sample read time over a tier hit-rate mix.
+
+    ``fractions[i]`` is the share of reads served by ``specs[i]`` (they
+    must sum to 1); the result is the probability-weighted read time of
+    an ``nbytes`` sample.  This is the term the tier rebalancer minimizes
+    when it re-splits capacity budgets, and the multi-tier refinement of
+    the single-``read_s`` storage term in :func:`predict_throughput`.
+    """
+    if len(specs) != len(fractions):
+        raise ValueError("need one fraction per tier spec")
+    if any(f < 0 for f in fractions):
+        raise ValueError("fractions must be non-negative")
+    total = sum(fractions)
+    if not math.isclose(total, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+        raise ValueError(f"fractions must sum to 1, got {total}")
+    return sum(
+        f * read_time(spec, int(nbytes))
+        for spec, f in zip(specs, fractions)
+        if f > 0
+    )
 
 
 def _capacities(

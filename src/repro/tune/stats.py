@@ -93,10 +93,24 @@ def _cache_stats(source) -> dict[str, float] | None:
                 "hit_rate": stats.hit_rate,
                 "evictions": stats.evictions,
                 "evicted_bytes": stats.evicted_bytes,
-                "rejected": stats.rejected,
+                "rejected": stats.rejected_oversize,
+                "rejected_oversize": stats.rejected_oversize,
                 "used_bytes": getattr(cache, "used_bytes", 0),
                 "capacity_bytes": getattr(cache, "capacity_bytes", 0),
             }
+        source = getattr(source, "inner", None)
+        seen += 1
+    return None
+
+
+def _tier_status(source) -> dict | None:
+    """Walk a source decorator chain for an attached ``TierManager``."""
+    seen = 0
+    while source is not None and seen < 32:  # defensive cycle bound
+        manager = getattr(source, "manager", None)
+        status = getattr(manager, "status", None)
+        if callable(status):
+            return status()
         source = getattr(source, "inner", None)
         seen += 1
     return None
@@ -107,7 +121,8 @@ def collect_loader_stats(loader) -> dict[str, object]:
 
     Merges the per-stage wall-clock attribution (read/decode/… from the
     pipeline stopwatch), the executor/loader counters, the sample-cache
-    statistics found on the source chain (if any), and the simulated
+    statistics and tier-hierarchy status found on the source chain (if
+    any), and the simulated
     device's accumulated kernel time (H2D + decode) when the loader owns
     a device.  Everything is duck-typed so the function never imports
     the pipeline package.
@@ -122,6 +137,9 @@ def collect_loader_stats(loader) -> dict[str, object]:
     cache = _cache_stats(getattr(loader, "source", None))
     if cache is not None:
         out["cache"] = cache
+    tiers = _tier_status(getattr(loader, "source", None))
+    if tiers is not None:
+        out["tiers"] = tiers
     device = getattr(loader, "device", None)
     if device is not None:
         out["gpu"] = {"busy_s": device.busy_seconds,

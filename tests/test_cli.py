@@ -217,3 +217,79 @@ class TestServeFetch:
         assert rc.get("serve") == 0
         summary = json.loads(capsys.readouterr().out)
         assert summary["reads"] >= 4 and summary["errors"] == 0
+
+
+class TestTiers:
+    @pytest.fixture()
+    def record_file(self, tmp_path):
+        out = tmp_path / "t.tfr"
+        main(["generate", "--workload", "deepcam", "--representation",
+              "plugin", "--count", "8", "--size", "16", "--output",
+              str(out)])
+        return out
+
+    def test_status_json_reports_hit_rates(self, record_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["tiers", "status", "--input", str(record_file),
+                     "--epochs", "3", "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert {lv["name"] for lv in status["levels"]} == {"ram", "nvme"}
+        for lv in status["levels"]:
+            assert "hit_rate" in lv and "budget_bytes" in lv
+        assert status["hit_rate"] > 0.0  # promoted epochs actually hit
+        assert status["promotions"] > 0
+        assert status["modeled_read_s"] > 0.0
+
+    def test_status_human_output(self, record_file, capsys):
+        capsys.readouterr()
+        assert main(["tiers", "status", "--input", str(record_file)]) == 0
+        text = capsys.readouterr().out
+        assert "hit rate" in text and "ram" in text and "nvme" in text
+        assert "promotions" in text
+
+    def test_plan_lists_moves(self, record_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["tiers", "plan", "--input", str(record_file),
+                     "--epochs", "1", "--json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert set(plan["counts"]) == {"promote", "demote", "evict"}
+        assert plan["counts"]["promote"] > 0
+        assert all({"key", "kind", "src", "dst", "bytes"} <= set(m)
+                   for m in plan["moves"])
+
+    def test_migrate_applies_and_reports(self, record_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["tiers", "migrate", "--input", str(record_file),
+                     "--epochs", "1", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["migrated"].get("promote", 0) > 0
+        assert out["status"]["promotions"] > 0
+
+    def test_nvme_dir_persists_replicas(self, record_file, tmp_path, capsys):
+        nvme = tmp_path / "nvme"
+        capsys.readouterr()
+        assert main(["tiers", "status", "--input", str(record_file),
+                     "--ram-mb", "0", "--nvme-dir", str(nvme),
+                     "--policy", "cost", "--json"]) == 0
+        assert list(nvme.glob("*.blob"))  # staged replicas are real files
+
+    def test_rejects_unknown_machine(self, record_file):
+        with pytest.raises(SystemExit):
+            main(["tiers", "status", "--input", str(record_file),
+                  "--machine", "frontier"])
+
+    def test_stats_tier_probe(self, record_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["stats", "--input", str(record_file), "--tiers",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tiers"]["hit_rate"] > 0.0
+        assert len(data["samples"]) == 8

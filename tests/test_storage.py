@@ -58,6 +58,56 @@ class TestTier:
             tier.path("../outside")
 
 
+class TestTierIncrementalAccounting:
+    """used_bytes is a counter maintained on write/delete, not a walk."""
+
+    def test_overwrite_charges_only_the_delta(self, tmp_path):
+        tier = Tier(TierSpec("t", 1, 1, 0, capacity_bytes=10), tmp_path / "t")
+        tier.write("a", b"12345678")
+        tier.write("a", b"123")  # shrink in place
+        assert tier.used_bytes == 3
+        tier.write("a", b"1234567890")  # grow back to exactly capacity
+        assert tier.used_bytes == 10
+        with pytest.raises(OSError):
+            tier.write("b", b"x")
+
+    def test_delete_reclaims_capacity(self, tmp_path):
+        tier = Tier(TierSpec("t", 1, 1, 0, capacity_bytes=10), tmp_path / "t")
+        tier.write("a", b"1234567890")
+        assert not tier.has_room(1)
+        assert tier.delete("a")
+        assert tier.used_bytes == 0 and tier.has_room(10)
+        assert not tier.delete("a")  # already gone, nothing double-counted
+        assert tier.used_bytes == 0
+
+    def test_construction_picks_up_existing_files(self, tmp_path):
+        Tier(TierSpec("t", 1, 1, 0), tmp_path / "t").write("old", b"12345")
+        again = Tier(TierSpec("t", 1, 1, 0), tmp_path / "t")
+        assert again.used_bytes == 5
+
+    def test_rescan_sees_out_of_band_writes(self, tmp_path):
+        tier = Tier(TierSpec("t", 1, 1, 0), tmp_path / "t")
+        tier.write("a", b"123")
+        (tier.root / "sneaky").write_bytes(b"45")  # behind the tier's back
+        assert tier.used_bytes == 3
+        assert tier.rescan() == 5
+        assert tier.used_bytes == 5
+
+    def test_accounting_never_walks_the_directory(self, tmp_path, monkeypatch):
+        tier = Tier(TierSpec("t", 1, 1, 0, capacity_bytes=100), tmp_path / "t")
+
+        def boom(self):  # a walk after construction is a perf regression
+            raise AssertionError("used_bytes walked the directory tree")
+
+        monkeypatch.setattr(Tier, "_scan", boom)
+        tier.write("a", b"12345")
+        tier.write("a", b"123456")
+        assert tier.used_bytes == 6
+        assert tier.has_room(94) and not tier.has_room(95)
+        assert tier.delete("a")
+        assert tier.used_bytes == 0
+
+
 class TestHdf5Lite:
     def test_roundtrip_all(self, tmp_path):
         path = tmp_path / "s.h5lt"
@@ -367,11 +417,21 @@ class TestSampleCacheHardening:
             cache.stats.hits, cache.stats.misses, cache.stats.evictions,
         )
         assert not cache.put("big", b"x" * 11)
-        assert cache.stats.rejected == 1
+        assert cache.stats.rejected_oversize == 1
+        assert cache.stats.rejected == 1  # backwards-compatible alias
         # rejection is neither a hit, a miss, nor an eviction
         assert (cache.stats.hits, cache.stats.misses,
                 cache.stats.evictions) == (hits, misses, evictions)
         assert cache.used_bytes == 4 and len(cache) == 1
+
+    def test_every_get_is_counted(self):
+        cache = SampleCache(100)
+        cache.put("a", b"1234")
+        for key in ("a", "a", "b", "c", "a"):
+            cache.get(key)
+        assert cache.stats.gets == 5
+        assert cache.stats.hits + cache.stats.misses == cache.stats.gets
+        assert (cache.stats.hits, cache.stats.misses) == (3, 2)
 
     def test_oversized_put_invalidates_stale_entry(self):
         cache = SampleCache(10)
@@ -525,12 +585,14 @@ class TestSampleCacheConcurrency:
             t.join()
         assert errors == []
         # invariants after the dust settles
-        assert cache.used_bytes <= capacity
+        assert 0 <= cache.used_bytes <= capacity
         assert cache.used_bytes == sum(
             len(blobs[k]) for k in range(40) if k in cache
         )
         stats = cache.stats
-        assert stats.hits + stats.misses > 0
+        assert stats.gets > 0
+        # no lookup lost or double-counted under contention
+        assert stats.hits + stats.misses == stats.gets
         assert stats.evicted_bytes >= 0
 
     def test_concurrent_clear_is_safe(self):
