@@ -30,6 +30,11 @@ for the common dataset chores:
 * ``fetch``     — client of a running server: health/info/stats probes,
   sample fetches by explicit indices or by ``EPOCH``-coordinated shard,
   optional integrity verification and record-file export.
+* ``cluster``   — fault-tolerant serving fleet (``repro.cluster``):
+  ``start`` runs a dispatcher plus N replicated workers over a record
+  file (draining gracefully on SIGINT/SIGTERM), ``status`` prints a
+  running dispatcher's membership/lease/routing view, ``drain`` removes
+  one worker from the routing table without dropping in-flight clients.
 * ``tiers``     — drive a record file through a RAM → NVMe tier
   hierarchy (``repro.tiering``) for a few probe epochs, migrating hot
   samples between them, then report ``status`` (per-level hit rates and
@@ -37,7 +42,8 @@ for the common dataset chores:
   more applied cycle).
 
 ``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``,
-``fetch`` and ``tiers`` accept ``--json`` for machine-readable output.
+``fetch``, ``cluster`` and ``tiers`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
@@ -428,7 +434,7 @@ def cmd_fetch(args) -> int:
         if args.health or args.stats_only or args.info:
             report = (
                 src.health() if args.health
-                else src.stats() if args.stats_only
+                else src.stats_report() if args.stats_only
                 else src.info()
             )
             if args.json:
@@ -504,6 +510,162 @@ def cmd_fetch(args) -> int:
                 + (f", {bad} corrupt" if bad else "")
             )
         return 1 if bad else 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.cluster.dispatcher import dispatcher_call
+    from repro.serve import protocol
+
+    if args.action == "status":
+        try:
+            status = dispatcher_call(
+                args.host, args.port, protocol.OP_LEASE, {"action": "status"},
+                timeout_s=args.timeout_s,
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+        if args.json:
+            print(json.dumps(status, indent=2))
+            return 0
+        rows = [
+            [w["worker_id"], f"{w['host']}:{w['port']}", w["incarnation"],
+             "draining" if w["draining"] else "serving",
+             w["heartbeats"], f"{w['lease_remaining_s']:.2f}s"]
+            for w in status["workers"]
+        ]
+        print_table(
+            ["worker", "address", "incarnation", "state", "heartbeats",
+             "lease left"],
+            rows,
+        )
+        print(
+            f"membership v{status['version']}, "
+            f"routing v{status.get('routing_version')}, "
+            f"lease {status['lease_s']}s, "
+            f"replication {status.get('replication')} "
+            f"over {status.get('n_buckets')} buckets"
+        )
+        return 0
+
+    if args.action == "drain":
+        if not args.worker_id:
+            raise SystemExit("cluster drain requires --worker-id")
+        try:
+            reply = dispatcher_call(
+                args.host, args.port, protocol.OP_LEASE,
+                {"action": "drain", "worker_id": args.worker_id},
+                timeout_s=args.timeout_s,
+            )
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+        if args.json:
+            print(json.dumps(reply, indent=2))
+        else:
+            print(
+                f"{args.worker_id}: "
+                + ("draining (left the routing table, membership "
+                   f"v{reply['version']})" if reply["drained"]
+                   else "not drained (unknown or already draining)")
+            )
+        return 0 if reply["drained"] else 1
+
+    # start: dispatcher + N in-process workers over one record file
+    import signal
+    import threading
+
+    from repro.cluster import ClusterWorker, Dispatcher
+    from repro.pipeline.sources import ListSource, TfRecordSource
+    from repro.serve.admission import AdmissionController, AdmissionPolicy
+    from repro.storage.cache import SampleCache
+
+    if args.input is None:
+        raise SystemExit("cluster start requires --input")
+    if args.gzip:
+        source = ListSource(list(_iter_samples(args.input, True)))
+    else:
+        source = TfRecordSource(args.input)
+    if len(source) == 0:
+        raise SystemExit("no records in input")
+
+    dispatcher = Dispatcher(
+        host=args.host,
+        port=args.port,
+        lease_s=args.lease_s,
+        replication=args.replication,
+        world_size=args.world_size,
+        seed=args.seed,
+    ).start()
+
+    def make_admission():
+        if args.rate_per_client <= 0 and args.max_inflight <= 0:
+            return None
+        return AdmissionController(AdmissionPolicy(
+            rate_per_client=args.rate_per_client or None,
+            max_inflight=args.max_inflight or None,
+        ))
+
+    workers = [
+        ClusterWorker(
+            source,
+            dispatcher=dispatcher.address,
+            host=args.host,
+            cache=(SampleCache(args.cache_mb * 1e6)
+                   if args.cache_mb > 0 else None),
+            admission=make_admission(),
+        ).start()
+        for _ in range(args.workers)
+    ]
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # not the main thread (tests)
+            pass
+    startup = {
+        "dispatcher": {"host": dispatcher.address[0],
+                       "port": dispatcher.address[1]},
+        "workers": [
+            {"worker_id": w.worker_id, "host": w.address[0],
+             "port": w.address[1]}
+            for w in workers
+        ],
+        "n_samples": len(source),
+        "replication": args.replication,
+        "lease_s": args.lease_s,
+    }
+    if args.json:
+        print(json.dumps(startup), flush=True)
+    else:
+        print(
+            f"dispatcher on {dispatcher.address[0]}:{dispatcher.address[1]} "
+            f"— {len(workers)} worker(s), replication {args.replication}, "
+            f"{len(source)} samples — Ctrl-C to drain",
+            flush=True,
+        )
+        for w in startup["workers"]:
+            print(f"  {w['worker_id']}: {w['host']}:{w['port']}", flush=True)
+    stop.wait(timeout=args.duration_s)
+    for w in workers:
+        w.close(drain=True)
+    dispatcher.close(drain=True)
+    snap = dispatcher.stats.snapshot()
+    summary = {
+        "drained": True,
+        "registrations": snap.get("dispatch.register", (0, 0.0))[0],
+        "heartbeats": snap.get("dispatch.heartbeat", (0, 0.0))[0],
+        "route_fetches": snap.get("dispatch.route", (0, 0.0))[0],
+        "expired": snap.get("dispatch.expired", (0, 0.0))[0],
+    }
+    if args.json:
+        print(json.dumps(summary))
+    else:
+        print(
+            f"drained: {summary['registrations']} registration(s), "
+            f"{summary['heartbeats']} heartbeat(s), "
+            f"{summary['route_fetches']} route fetch(es), "
+            f"{summary['expired']} expired lease(s)"
+        )
+    return 0
 
 
 def cmd_tune(args) -> int:
@@ -911,6 +1073,47 @@ def build_parser() -> argparse.ArgumentParser:
     fe.add_argument("--json", action="store_true",
                     help="machine-readable output")
     fe.set_defaults(func=cmd_fetch)
+
+    cl = sub.add_parser(
+        "cluster", help="fault-tolerant serving fleet (dispatcher + workers)"
+    )
+    cl.add_argument("action", choices=("start", "status", "drain"))
+    cl.add_argument("--host", default="127.0.0.1",
+                    help="dispatcher bind/contact address")
+    cl.add_argument("--port", type=int, default=0,
+                    help="dispatcher port (start: 0 picks ephemeral; "
+                         "status/drain: the running dispatcher's port)")
+    cl.add_argument("--input", default=None,
+                    help="record file every worker serves (start)")
+    cl.add_argument("--gzip", action="store_true",
+                    help="input is gzip-compressed (materialized in memory)")
+    cl.add_argument("--workers", type=int, default=3,
+                    help="data-plane workers to launch (start)")
+    cl.add_argument("--replication", type=int, default=2,
+                    help="replicas per sample range (start)")
+    cl.add_argument("--lease-s", type=float, default=2.0,
+                    help="worker heartbeat lease (start)")
+    cl.add_argument("--cache-mb", type=float, default=64.0,
+                    help="per-worker sample cache; 0 disables (start)")
+    cl.add_argument("--rate-per-client", type=float, default=0.0,
+                    help="admission token-bucket rate per client; "
+                         "0 disables (start)")
+    cl.add_argument("--max-inflight", type=int, default=0,
+                    help="per-worker global in-flight cap; 0 disables (start)")
+    cl.add_argument("--world-size", type=int, default=1,
+                    help="ranks in the cluster-wide shard plan (start)")
+    cl.add_argument("--seed", type=int, default=0,
+                    help="shard-plan shuffle seed (start)")
+    cl.add_argument("--duration-s", type=float, default=None,
+                    help="run for N seconds then drain (default: until "
+                         "SIGINT/SIGTERM; start only)")
+    cl.add_argument("--worker-id", default=None,
+                    help="worker to remove from routing (drain)")
+    cl.add_argument("--timeout-s", type=float, default=5.0,
+                    help="control-call timeout (status/drain)")
+    cl.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    cl.set_defaults(func=cmd_cluster)
 
     t = sub.add_parser(
         "tune", help="search for the fastest pipeline configuration"

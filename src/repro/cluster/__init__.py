@@ -1,0 +1,53 @@
+"""Fault-tolerant data-service cluster: dispatcher, workers, failover client.
+
+One :class:`~repro.serve.server.DataServer` is both a single point of
+failure and a throughput ceiling.  This package is the tf.data-service
+split (dispatcher/worker, Murray et al., PAPERS.md) built on the PR 4
+wire protocol and the PR 1 retry/quarantine machinery:
+
+* :mod:`~repro.cluster.membership` — :class:`Membership`, heartbeat
+  leases with stable worker ids and a monotonic version that bumps on
+  every membership change (register, expiry, drain);
+* :mod:`~repro.cluster.routing` — :class:`RoutingTable`, consistent-hash
+  assignment of contiguous sample-id ranges to workers with a
+  configurable replication factor ≥ 2;
+* :mod:`~repro.cluster.dispatcher` — :class:`Dispatcher`, the control
+  plane: ``REGISTER``/``HEARTBEAT``/``ROUTE``/``LEASE`` frames, the
+  cluster-wide :class:`~repro.serve.coordination.EpochCoordinator`, and
+  a lease-expiry sweeper that reassigns a dead worker's ranges;
+* :mod:`~repro.cluster.worker` — :class:`ClusterWorker`, a
+  ``DataServer`` plus a registration/heartbeat loop (and optional
+  admission control for load shedding);
+* :mod:`~repro.cluster.client` — :class:`ClusterSource`, a
+  ``SampleSource`` that routes every read to a live replica, fails over
+  on connection loss / wire corruption / ``BUSY`` sheds, and refreshes
+  its routing table when the version goes stale.
+
+Failure story end to end: a worker dies → its lease expires → the
+dispatcher bumps the routing version and reassigns its ranges → clients
+fail over to the surviving replicas (and refresh their tables); an
+overloaded worker sheds with ``BUSY`` → clients re-route; when *every*
+replica of a range is gone the client raises a retryable, ``degraded``
+-tagged error that the loader's ``bad_sample_policy`` absorbs
+(skip/substitute + quarantine) instead of collapsing the epoch.
+
+See docs/serving.md ("Cluster mode") for the topology and knobs.
+"""
+
+from repro.cluster.client import ClusterSource, NoReplicaError
+from repro.cluster.dispatcher import Dispatcher, dispatcher_call
+from repro.cluster.membership import Membership, WorkerRecord
+from repro.cluster.routing import RoutingTable, build_routing_table
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "ClusterSource",
+    "NoReplicaError",
+    "Dispatcher",
+    "dispatcher_call",
+    "Membership",
+    "WorkerRecord",
+    "RoutingTable",
+    "build_routing_table",
+    "ClusterWorker",
+]

@@ -1,0 +1,325 @@
+"""The cluster control plane: registration, leases, routing, coordination.
+
+``Dispatcher`` is a :class:`~repro.serve.server.FrameServer` speaking the
+four control ops (plus the usual observability ops):
+
+* ``REGISTER {worker_id?, host, port, n_samples}`` → lease grant
+  ``{worker_id, lease_s, heartbeat_s, version}``.  Passing a previously
+  granted ``worker_id`` re-admits a restarted worker under its stable
+  identity.
+* ``HEARTBEAT {worker_id}`` → ``{known, lease_s, version}``.  ``known:
+  false`` means the lease already expired and was swept — the worker
+  must re-register (with its old id, keeping it stable).
+* ``ROUTE {}`` → the versioned routing table
+  (:meth:`~repro.cluster.routing.RoutingTable.to_json`).  Rebuilt lazily
+  whenever membership's version moved past the cached table's.
+* ``LEASE {action, worker_id?}`` → membership administration:
+  ``status`` (snapshot + routing version), ``drain`` (remove from
+  routing, keep serving), ``expire`` (force-kill a lease — chaos/admin),
+  ``sweep`` (run an expiry sweep now, for deterministic tests).
+* ``EPOCH rank epoch`` → the cluster-wide shard, from the dispatcher's
+  own :class:`~repro.serve.coordination.EpochCoordinator` — ranks get
+  disjoint shards across the *whole* cluster no matter which workers
+  serve the bytes.
+
+A background sweeper expires leases every ``lease_s / 4``; dead workers'
+ranges reassign on the next table rebuild (consistent hashing keeps the
+movement minimal).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.cluster.membership import Membership
+from repro.cluster.routing import RoutingTable, build_routing_table
+from repro.serve import protocol
+from repro.serve.coordination import EpochCoordinator, ShardPlan
+from repro.serve.server import FrameServer
+from repro.tune.stats import StatsRegistry
+
+__all__ = ["Dispatcher", "dispatcher_call"]
+
+
+def dispatcher_call(
+    host: str,
+    port: int,
+    op: int,
+    obj: dict | None = None,
+    *,
+    timeout_s: float = 5.0,
+) -> dict:
+    """One-shot JSON exchange with a dispatcher (or any frame server).
+
+    Opens a connection, sends one frame, reads one response, closes.
+    Control traffic is rare (heartbeats at a few Hz), so the per-call
+    connect cost buys robustness: a dispatcher restart can never strand
+    a half-open control connection.  Raises ``OSError`` on transport
+    failure and re-raises server-reported errors as ``RuntimeError``.
+    """
+    body = b"" if obj is None else protocol.pack_json(obj)
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.settimeout(timeout_s)
+        sock.sendall(protocol.pack_frame(op, body))
+        frame = protocol.recv_frame(sock, frame_timeout_s=timeout_s)
+    if frame is None:
+        raise ConnectionError(f"dispatcher {host}:{port} closed the connection")
+    kind, payload = frame
+    detail = protocol.unpack_json(payload)
+    if kind == protocol.ST_ERROR:
+        raise RuntimeError(
+            f"{detail.get('error', 'Error')}: {detail.get('message', '')}"
+        )
+    if kind != protocol.ST_OK:
+        raise protocol.ProtocolError(f"unexpected response kind {kind:#x}")
+    return detail
+
+
+class Dispatcher(FrameServer):
+    """Registry + router + epoch coordinator for a worker fleet.
+
+    Parameters
+    ----------
+    lease_s:
+        Worker heartbeat lease; a worker silent for this long is dead
+        and its ranges reassign.
+    replication:
+        Replica workers per sample range (≥ 2 for fault tolerance; a
+        smaller live fleet degrades the effective factor rather than
+        failing).
+    n_buckets:
+        Contiguous sample ranges in the routing table.
+    route_ttl_s:
+        Client-side lease on a fetched routing table; clients re-route
+        after it expires.
+    world_size / seed:
+        Cluster-wide shard-plan geometry for ``EPOCH``.
+    clock:
+        Injectable monotonic clock for the membership table (tests).
+    """
+
+    stats_prefix = "dispatch"
+    thread_name = "repro-dispatch"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_s: float = 2.0,
+        replication: int = 2,
+        n_buckets: int = 32,
+        route_ttl_s: float = 5.0,
+        world_size: int = 1,
+        seed: int = 0,
+        max_connections: int = 64,
+        stats: StatsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        super().__init__(
+            host=host, port=port, max_connections=max_connections, stats=stats
+        )
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self.n_buckets = n_buckets
+        self.route_ttl_s = route_ttl_s
+        self.world_size = world_size
+        self.seed = seed
+        self.membership = Membership(lease_s=lease_s, clock=clock)
+        self._table: RoutingTable | None = None
+        self._table_lock = threading.Lock()
+        self._coordinator: EpochCoordinator | None = None
+        self._sweep_thread: threading.Thread | None = None
+        self._sweep_stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "Dispatcher":
+        super().start()
+        self._sweep_stop.clear()
+        self._sweep_thread = threading.Thread(
+            target=self._sweep_loop, name="repro-dispatch-sweep", daemon=True
+        )
+        self._sweep_thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout_s: float = 10.0) -> None:
+        self._sweep_stop.set()
+        if self._sweep_thread is not None:
+            self._sweep_thread.join(timeout=timeout_s)
+            self._sweep_thread = None
+        super().close(drain=drain, timeout_s=timeout_s)
+
+    def _sweep_loop(self) -> None:
+        period = self.membership.lease_s / 4.0
+        while not self._sweep_stop.wait(period):
+            dead = self.membership.sweep()
+            if dead:
+                self._record("dispatch.expired", n=len(dead))
+
+    # -- routing table -----------------------------------------------------
+
+    def routing_table(self) -> RoutingTable:
+        """The current table, rebuilt if membership moved past it."""
+        version = self.membership.version
+        with self._table_lock:
+            if self._table is not None and self._table.version == version:
+                return self._table
+            alive = self.membership.alive()
+            if not alive:
+                raise RuntimeError("no live workers registered")
+            n_samples = self.membership.n_samples()
+            self._table = build_routing_table(
+                alive,
+                n_samples,
+                replication=self.replication,
+                n_buckets=self.n_buckets,
+                version=version,
+                ttl_s=self.route_ttl_s,
+            )
+            self._record("dispatch.table_rebuilds")
+            return self._table
+
+    # -- coordination ------------------------------------------------------
+
+    def _coordinator_for(self, n_samples: int) -> EpochCoordinator:
+        if self._coordinator is None:
+            self._coordinator = EpochCoordinator(
+                ShardPlan(n_samples, world_size=self.world_size, seed=self.seed)
+            )
+        return self._coordinator
+
+    # -- request dispatch --------------------------------------------------
+
+    def _dispatch(self, kind: int, body: bytes, peer) -> bytes:
+        if kind == protocol.OP_REGISTER:
+            return self._op_register(body)
+        if kind == protocol.OP_HEARTBEAT:
+            return self._op_heartbeat(body)
+        if kind == protocol.OP_ROUTE:
+            return self._json_ok(self.routing_table().to_json())
+        if kind == protocol.OP_LEASE:
+            return self._op_lease(body)
+        if kind == protocol.OP_EPOCH:
+            return self._op_epoch(body)
+        if kind == protocol.OP_INFO:
+            return self._json_ok(self.info())
+        if kind == protocol.OP_HEALTH:
+            return self._json_ok(self.health())
+        if kind == protocol.OP_STATS:
+            return self._json_ok(self.stats_report())
+        raise ValueError(f"unsupported dispatcher op {kind:#x}")
+
+    @staticmethod
+    def _json_ok(obj: dict) -> bytes:
+        return protocol.pack_frame(protocol.ST_OK, protocol.pack_json(obj))
+
+    def _op_register(self, body: bytes) -> bytes:
+        req = protocol.unpack_json(body)
+        record = self.membership.register(
+            str(req["host"]),
+            int(req["port"]),
+            int(req["n_samples"]),
+            worker_id=req.get("worker_id"),
+        )
+        self._coordinator_for(record.n_samples)
+        return self._json_ok(
+            {
+                "worker_id": record.worker_id,
+                "incarnation": record.incarnation,
+                "lease_s": self.membership.lease_s,
+                "heartbeat_s": self.membership.lease_s / 3.0,
+                "version": self.membership.version,
+            }
+        )
+
+    def _op_heartbeat(self, body: bytes) -> bytes:
+        req = protocol.unpack_json(body)
+        known = self.membership.heartbeat(str(req["worker_id"]))
+        return self._json_ok(
+            {
+                "known": known,
+                "lease_s": self.membership.lease_s,
+                "version": self.membership.version,
+            }
+        )
+
+    def _op_lease(self, body: bytes) -> bytes:
+        req = protocol.unpack_json(body)
+        action = str(req.get("action", "status"))
+        if action == "status":
+            out = self.membership.snapshot()
+            out["replication"] = self.replication
+            out["n_buckets"] = self.n_buckets
+            try:
+                out["routing_version"] = self.routing_table().version
+            except RuntimeError:
+                out["routing_version"] = None
+            return self._json_ok(out)
+        worker_id = str(req.get("worker_id", ""))
+        if action == "drain":
+            return self._json_ok(
+                {"drained": self.membership.drain(worker_id),
+                 "version": self.membership.version}
+            )
+        if action == "expire":
+            return self._json_ok(
+                {"expired": self.membership.expire(worker_id),
+                 "version": self.membership.version}
+            )
+        if action == "sweep":
+            return self._json_ok(
+                {"expired_ids": self.membership.sweep(),
+                 "version": self.membership.version}
+            )
+        raise ValueError(f"unknown LEASE action {action!r}")
+
+    def _op_epoch(self, body: bytes) -> bytes:
+        rank, epoch = protocol.unpack_epoch(body)
+        n_samples = self.membership.n_samples()
+        if n_samples is None:
+            raise RuntimeError("no workers registered; cannot shard an epoch")
+        shard = self._coordinator_for(n_samples).begin_epoch(rank, epoch)
+        return protocol.pack_frame(protocol.ST_OK, protocol.pack_indices(shard))
+
+    # -- reports -----------------------------------------------------------
+
+    def info(self) -> dict:
+        return {
+            "server": "repro.cluster.dispatcher",
+            "protocol": 1,
+            "n_samples": self.membership.n_samples() or 0,
+            "world_size": self.world_size,
+            "seed": self.seed,
+            "replication": self.replication,
+            "n_buckets": self.n_buckets,
+            "lease_s": self.membership.lease_s,
+            "route_ttl_s": self.route_ttl_s,
+            "workers": len(self.membership),
+        }
+
+    def health(self) -> dict:
+        coordinator = self._coordinator
+        return {
+            "status": "draining" if self._draining else "ok",
+            "active_connections": self._active,
+            "workers": len(self.membership),
+            "membership_version": self.membership.version,
+            "epoch_progress": {}
+            if coordinator is None
+            else {str(r): e for r, e in coordinator.progress().items()},
+            "stragglers": []
+            if coordinator is None
+            else coordinator.stragglers(),
+        }
+
+    def stats_report(self) -> dict:
+        with self._stats_lock:
+            snap = self.stats.snapshot()
+        return {
+            "counters": {k: {"n": n, "total": t} for k, (n, t) in snap.items()},
+            "membership": self.membership.snapshot(),
+        }

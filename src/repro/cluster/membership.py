@@ -1,0 +1,241 @@
+"""Cluster membership: heartbeat leases with stable ids and versioning.
+
+The dispatcher's view of which workers exist.  Liveness is lease-based
+(the tf.data-service / GFS shape): a worker's registration grants it a
+lease of ``lease_s`` seconds, every heartbeat renews it, and a worker
+whose lease expires is *dead* until it re-registers — there is no
+in-between, so routing decisions are always made against a crisp set.
+
+Three properties the tests pin down:
+
+* **stable worker ids** — a worker that restarts and re-registers under
+  its previous id keeps that id (its ``incarnation`` bumps), so routing
+  assignments, stats, and operator muscle memory survive restarts;
+* **monotonic version** — every membership *change* (register,
+  re-register, expiry, drain) increments :attr:`version` exactly once;
+  heartbeats renew leases without bumping it.  Routing tables are stamped
+  with the version they were built from, which is how clients detect
+  staleness;
+* **deterministic sweeps** — expiry happens in :meth:`sweep` against an
+  injectable clock, never as a side effect of reads, so chaos tests can
+  step time explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WorkerRecord", "Membership"]
+
+
+@dataclass
+class WorkerRecord:
+    """One worker as the dispatcher sees it."""
+
+    worker_id: str
+    host: str
+    port: int
+    n_samples: int
+    lease_expires: float
+    incarnation: int = 0  # bumps on every re-registration
+    draining: bool = False
+    registered_at: float = 0.0
+    heartbeats: int = 0
+
+    def to_json(self, now: float) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "host": self.host,
+            "port": self.port,
+            "n_samples": self.n_samples,
+            "incarnation": self.incarnation,
+            "draining": self.draining,
+            "heartbeats": self.heartbeats,
+            "lease_remaining_s": round(self.lease_expires - now, 3),
+        }
+
+
+@dataclass
+class MembershipEvent:
+    """Audit-trail entry: what changed and which version it produced."""
+
+    version: int
+    kind: str  # "register" | "expire" | "drain" | "force-expire"
+    worker_id: str
+    at: float = field(default=0.0)
+
+
+class Membership:
+    """Thread-safe lease table; the dispatcher's source of truth.
+
+    Parameters
+    ----------
+    lease_s:
+        Lease granted per registration/heartbeat.  Workers heartbeat at
+        ``lease_s / 3`` so a single dropped heartbeat never kills a
+        healthy worker.
+    clock:
+        Injectable monotonic clock (tests step it manually).
+    """
+
+    def __init__(self, *, lease_s: float = 2.0, clock=time.monotonic) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.lease_s = lease_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._workers: dict[str, WorkerRecord] = {}
+        # incarnation history outlives the records: a worker that comes
+        # back *after* its lease expired must still bump, so anything
+        # tagged with the old incarnation is recognisably stale
+        self._incarnations: dict[str, int] = {}
+        self._version = 0
+        self._next_id = 0
+        self.events: list[MembershipEvent] = []
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership version (bumps on every change)."""
+        with self._lock:
+            return self._version
+
+    def _bump(self, kind: str, worker_id: str) -> int:
+        # caller holds the lock
+        self._version += 1
+        self.events.append(
+            MembershipEvent(self._version, kind, worker_id, self._clock())
+        )
+        return self._version
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def register(
+        self,
+        host: str,
+        port: int,
+        n_samples: int,
+        *,
+        worker_id: str | None = None,
+    ) -> WorkerRecord:
+        """Admit a worker (or re-admit a restarted one) and grant a lease.
+
+        A ``worker_id`` seen before keeps its identity: the record's
+        ``incarnation`` bumps and its address/lease refresh.  All other
+        workers must serve the same dataset — a conflicting ``n_samples``
+        is a deployment error, refused outright.
+        """
+        if n_samples < 0:
+            raise ValueError("n_samples must be non-negative")
+        now = self._clock()
+        with self._lock:
+            others = [
+                w for w in self._workers.values() if w.worker_id != worker_id
+            ]
+            if others and any(w.n_samples != n_samples for w in others):
+                raise ValueError(
+                    f"worker announces {n_samples} samples but the cluster "
+                    f"serves {others[0].n_samples}; all workers must serve "
+                    f"the same dataset"
+                )
+            if worker_id is None:
+                worker_id = f"w{self._next_id}"
+                self._next_id += 1
+            incarnation = self._incarnations.get(worker_id, -1) + 1
+            self._incarnations[worker_id] = incarnation
+            record = WorkerRecord(
+                worker_id=worker_id,
+                host=host,
+                port=port,
+                n_samples=n_samples,
+                lease_expires=now + self.lease_s,
+                incarnation=incarnation,
+                registered_at=now,
+            )
+            self._workers[worker_id] = record
+            self._bump("register", worker_id)
+            return record
+
+    def heartbeat(self, worker_id: str) -> bool:
+        """Renew a lease.  Returns False for unknown (expired-and-swept)
+        workers — the worker's cue to re-register.  Never bumps the
+        version: a renewal is not a membership change."""
+        now = self._clock()
+        with self._lock:
+            record = self._workers.get(worker_id)
+            if record is None:
+                return False
+            record.lease_expires = now + self.lease_s
+            record.heartbeats += 1
+            return True
+
+    def sweep(self) -> list[str]:
+        """Remove every worker whose lease has expired; return their ids."""
+        now = self._clock()
+        with self._lock:
+            dead = [
+                wid
+                for wid, w in self._workers.items()
+                if w.lease_expires <= now
+            ]
+            for wid in dead:
+                del self._workers[wid]
+                self._bump("expire", wid)
+            return dead
+
+    def drain(self, worker_id: str) -> bool:
+        """Mark a worker draining: it keeps its lease (and keeps serving
+        in-flight clients) but leaves the routing table."""
+        with self._lock:
+            record = self._workers.get(worker_id)
+            if record is None or record.draining:
+                return False
+            record.draining = True
+            self._bump("drain", worker_id)
+            return True
+
+    def expire(self, worker_id: str) -> bool:
+        """Force-remove a worker now (admin/chaos op)."""
+        with self._lock:
+            if worker_id not in self._workers:
+                return False
+            del self._workers[worker_id]
+            self._bump("force-expire", worker_id)
+            return True
+
+    # -- views -------------------------------------------------------------
+
+    def alive(self) -> dict[str, tuple[str, int]]:
+        """Routable workers: leased and not draining → ``{id: (host, port)}``."""
+        now = self._clock()
+        with self._lock:
+            return {
+                wid: (w.host, w.port)
+                for wid, w in self._workers.items()
+                if not w.draining and w.lease_expires > now
+            }
+
+    def n_samples(self) -> int | None:
+        """The dataset size the cluster serves (None before any worker)."""
+        with self._lock:
+            for w in self._workers.values():
+                return w.n_samples
+            return None
+
+    def snapshot(self) -> dict:
+        """JSON-safe membership view for ``LEASE {"action": "status"}``."""
+        now = self._clock()
+        with self._lock:
+            return {
+                "version": self._version,
+                "lease_s": self.lease_s,
+                "workers": sorted(
+                    (w.to_json(now) for w in self._workers.values()),
+                    key=lambda w: w["worker_id"],
+                ),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)

@@ -1,0 +1,182 @@
+"""Consistent-hash routing: sample-id ranges → replicated worker sets.
+
+The dispatcher partitions the sample-id space ``[0, n)`` into
+``n_buckets`` contiguous ranges and assigns each range to
+``replication`` distinct workers via a consistent-hash ring (each worker
+contributes virtual nodes; a bucket's replicas are the first distinct
+workers clockwise from the bucket's own hash point).  Consistency is the
+point: when one worker joins or dies, only the buckets adjacent to its
+virtual nodes move — most of the table (and most client connections, and
+most worker cache state) is undisturbed.
+
+The ring walk is *load-bounded* (consistent hashing with bounded loads,
+Mirrokni et al.): a worker already holding its fair share of bucket
+assignments (``ceil(n_buckets * replication / n_workers)``) is skipped
+and the walk continues clockwise, so no worker is assigned more than one
+bucket above the ideal share.  A plain ring at these vnode counts leaves
+30–40% spread between the lightest and heaviest worker, which caps the
+fleet's aggregate throughput at the hottest worker; the bound restores
+near-perfect balance while keeping reassignment-on-churn local.
+
+Hashes come from ``blake2b``, not Python's ``hash()`` — the table must be
+identical across processes and runs (``PYTHONHASHSEED`` varies), because
+clients rebuild replica orderings locally and chaos replays must be
+deterministic.
+
+The table is an immutable value object stamped with the membership
+version it was built from; clients compare versions to detect staleness
+and re-``ROUTE`` when their copy's ``ttl_s`` lease runs out.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RoutingTable", "build_routing_table"]
+
+#: virtual nodes per worker — enough to smooth the ring at small N
+_VNODES = 64
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit ring position (identical across processes/runs)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Versioned, immutable bucket → replica-set assignment.
+
+    ``buckets[b]`` lists the worker ids serving bucket ``b`` in ring
+    order (primary first); ``workers`` maps ids to addresses.  ``ttl_s``
+    is the client-side lease on this copy of the table: after it expires
+    the client must re-``ROUTE`` before routing more reads.
+    """
+
+    version: int
+    n_samples: int
+    replication: int
+    ttl_s: float
+    workers: dict  # worker_id -> (host, port)
+    buckets: tuple  # tuple[tuple[str, ...], ...]
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    def bucket_of(self, index: int) -> int:
+        """The contiguous range (bucket) a sample id falls in."""
+        if not 0 <= index < self.n_samples:
+            raise IndexError(
+                f"sample index {index} out of range [0, {self.n_samples})"
+            )
+        return index * self.n_buckets // self.n_samples
+
+    def replicas(self, index: int) -> tuple:
+        """Worker ids holding ``index``, primary first."""
+        return self.buckets[self.bucket_of(index)]
+
+    def address(self, worker_id: str) -> tuple:
+        return tuple(self.workers[worker_id])
+
+    def assignments(self) -> dict:
+        """``{worker_id: [bucket, ...]}`` — the inverse view (reports)."""
+        out: dict[str, list[int]] = {wid: [] for wid in self.workers}
+        for b, replicas in enumerate(self.buckets):
+            for wid in replicas:
+                out[wid].append(b)
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "n_samples": self.n_samples,
+            "replication": self.replication,
+            "ttl_s": self.ttl_s,
+            "workers": {
+                wid: {"host": h, "port": p}
+                for wid, (h, p) in sorted(self.workers.items())
+            },
+            "buckets": [list(replicas) for replicas in self.buckets],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "RoutingTable":
+        return cls(
+            version=int(obj["version"]),
+            n_samples=int(obj["n_samples"]),
+            replication=int(obj["replication"]),
+            ttl_s=float(obj["ttl_s"]),
+            workers={
+                wid: (w["host"], int(w["port"]))
+                for wid, w in obj["workers"].items()
+            },
+            buckets=tuple(tuple(r) for r in obj["buckets"]),
+        )
+
+
+def build_routing_table(
+    workers: dict,
+    n_samples: int,
+    *,
+    replication: int = 2,
+    n_buckets: int = 32,
+    version: int = 0,
+    ttl_s: float = 5.0,
+) -> RoutingTable:
+    """Assign ``n_buckets`` contiguous sample ranges to worker replicas.
+
+    ``workers`` maps worker ids to ``(host, port)``.  Each bucket gets
+    ``min(replication, len(workers))`` *distinct* workers — with fewer
+    workers than the replication factor the table degrades rather than
+    fails (a 1-worker cluster is valid, just not fault-tolerant).
+
+    Assignment is load-bounded (see the module docstring): workers at
+    their fair share are passed over on the clockwise walk; a late
+    bucket that cannot fill its replica set under the bound (every
+    remaining worker saturated) relaxes the bound rather than staying
+    under-replicated.
+    """
+    if replication < 1:
+        raise ValueError("replication must be >= 1")
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    if not workers:
+        raise ValueError("cannot build a routing table with no workers")
+    ring: list[tuple[int, str]] = []
+    for wid in workers:
+        for v in range(_VNODES):
+            ring.append((_hash64(f"{wid}#{v}"), wid))
+    ring.sort()
+    points = [h for h, _ in ring]
+    want = min(replication, len(workers))
+    cap = -(-n_buckets * want // len(workers))  # ceil: the ideal share
+    load: dict[str, int] = {wid: 0 for wid in workers}
+    buckets = []
+    for b in range(n_buckets):
+        start = bisect.bisect_left(points, _hash64(f"bucket:{b}")) % len(ring)
+        replicas: list[str] = []
+        for bounded in (True, False):
+            for off in range(len(ring)):
+                wid = ring[(start + off) % len(ring)][1]
+                if wid in replicas or (bounded and load[wid] >= cap):
+                    continue
+                replicas.append(wid)
+                load[wid] += 1
+                if len(replicas) == want:
+                    break
+            if len(replicas) == want:
+                break
+        buckets.append(tuple(replicas))
+    return RoutingTable(
+        version=version,
+        n_samples=n_samples,
+        replication=replication,
+        ttl_s=ttl_s,
+        workers=dict(workers),
+        buckets=tuple(buckets),
+    )

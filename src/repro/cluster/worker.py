@@ -1,0 +1,182 @@
+"""A cluster data-plane worker: ``DataServer`` + lease maintenance.
+
+:class:`ClusterWorker` owns a :class:`~repro.serve.server.DataServer`
+(the unchanged data plane — clients read samples from it directly) and a
+background control loop against the dispatcher:
+
+* on :meth:`start` it registers, receiving a worker id (or re-asserting
+  one passed in — restarts keep their identity and just bump the
+  incarnation);
+* it then heartbeats at ``lease_s / 3``, so one dropped heartbeat never
+  expires a healthy lease;
+* a heartbeat answered with ``known: false`` means the dispatcher swept
+  this worker's lease (long GC pause, partition, dispatcher restart) —
+  the worker immediately re-registers under its old id;
+* a dispatcher that is *down* (connect refused / timeout) is survived:
+  the loop keeps probing every heartbeat interval and re-registers when
+  the dispatcher returns.  The data plane keeps serving throughout — an
+  unreachable control plane never interrupts reads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.dispatcher import dispatcher_call
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController
+from repro.serve.server import DataServer
+from repro.storage.cache import SampleCache
+from repro.tune.stats import StatsRegistry
+
+__all__ = ["ClusterWorker"]
+
+
+class ClusterWorker:
+    """One worker process: a ``DataServer`` kept registered with a dispatcher.
+
+    Parameters
+    ----------
+    source:
+        The ``SampleSource`` this worker serves (every worker in a cluster
+        must serve the same dataset; the dispatcher enforces matching
+        lengths).
+    dispatcher:
+        ``(host, port)`` of the :class:`~repro.cluster.dispatcher.Dispatcher`.
+    worker_id:
+        Pass a previously granted id to re-register a restarted worker
+        under its stable identity; ``None`` asks the dispatcher to mint
+        one.
+    advertise_host:
+        The address clients should dial, as published in the routing
+        table.  Defaults to the server's bind host — override when
+        binding ``0.0.0.0``.
+    cache / admission / service_delay_s / max_connections / stats:
+        Forwarded to the :class:`DataServer` data plane.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        dispatcher: tuple[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_id: str | None = None,
+        advertise_host: str | None = None,
+        cache: SampleCache | None = None,
+        admission: AdmissionController | None = None,
+        service_delay_s: float = 0.0,
+        max_connections: int = 32,
+        control_timeout_s: float = 5.0,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.dispatcher = dispatcher
+        self.control_timeout_s = control_timeout_s
+        self.server = DataServer(
+            source,
+            host=host,
+            port=port,
+            cache=cache,
+            admission=admission,
+            service_delay_s=service_delay_s,
+            max_connections=max_connections,
+            stats=stats,
+        )
+        self.stats = self.server.stats
+        self.worker_id = worker_id
+        self.advertise_host = advertise_host
+        self.incarnation = 0
+        self.heartbeat_s = 1.0  # replaced by the dispatcher's grant
+        self._stop = threading.Event()
+        self._loop_thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    # -- lease maintenance -------------------------------------------------
+
+    def _register(self) -> None:
+        """One registration attempt; raises OSError if the dispatcher is down."""
+        host, port = self.dispatcher
+        grant = dispatcher_call(
+            host,
+            port,
+            protocol.OP_REGISTER,
+            {
+                "worker_id": self.worker_id,
+                "host": self.advertise_host or self.server.host,
+                "port": self.server.port,
+                "n_samples": len(self.server.source),
+            },
+            timeout_s=self.control_timeout_s,
+        )
+        self.worker_id = str(grant["worker_id"])
+        self.incarnation = int(grant.get("incarnation", 0))
+        self.heartbeat_s = float(grant["heartbeat_s"])
+        self.stats.add("worker.registrations")
+
+    def _heartbeat_once(self) -> None:
+        """One control-loop tick: renew the lease, re-register as needed."""
+        host, port = self.dispatcher
+        try:
+            if self.worker_id is None:
+                self._register()
+                return
+            reply = dispatcher_call(
+                host,
+                port,
+                protocol.OP_HEARTBEAT,
+                {"worker_id": self.worker_id},
+                timeout_s=self.control_timeout_s,
+            )
+            if not reply.get("known", False):
+                # lease was swept while we were away: rejoin, same identity
+                self.stats.add("worker.reregistrations")
+                self._register()
+            else:
+                self.stats.add("worker.heartbeats")
+        except (OSError, RuntimeError):
+            # dispatcher down or mid-restart: the data plane keeps serving;
+            # we keep probing at the heartbeat cadence until it returns
+            self.stats.add("worker.heartbeat_failures")
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_s):
+            self._heartbeat_once()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterWorker":
+        """Start serving, register with the dispatcher, begin heartbeating.
+
+        The initial registration is best-effort: a dispatcher that is not
+        up yet is retried from the heartbeat loop, and the data plane
+        serves direct connections meanwhile.
+        """
+        self.server.start()
+        try:
+            self._register()
+        except (OSError, RuntimeError):
+            self.stats.add("worker.heartbeat_failures")
+        self._stop.clear()
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="repro-worker-lease", daemon=True
+        )
+        self._loop_thread.start()
+        return self
+
+    def close(self, drain: bool = True, timeout_s: float = 10.0) -> None:
+        """Stop heartbeating (the lease lapses) and shut the data plane."""
+        self._stop.set()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=timeout_s)
+            self._loop_thread = None
+        self.server.close(drain=drain, timeout_s=timeout_s)
+
+    def __enter__(self) -> "ClusterWorker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

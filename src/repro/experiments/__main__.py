@@ -12,8 +12,8 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import (
-    chaos, claims, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-    serving, tables, tiering, time_to_accuracy, tuning,
+    chaos, claims, cluster, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
+    fig12, serving, tables, tiering, time_to_accuracy, tuning,
 )
 
 _RUNNERS = {
@@ -32,6 +32,7 @@ _RUNNERS = {
     "chaos": lambda: chaos.run(),
     "tuning": lambda: tuning.run(),
     "serving": lambda: serving.run(),
+    "cluster": lambda: cluster.run(),
     "tiering": lambda: tiering.run(),
 }
 

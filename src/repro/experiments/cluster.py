@@ -1,0 +1,192 @@
+"""Cluster chaos experiment: replicated serving under worker loss and overload.
+
+A robustness exhibit for the reproduction itself (companion to
+:mod:`repro.experiments.chaos`, which injects faults *below* one source;
+here the faults are whole-worker).  Three scenarios over one small
+DeepCAM-style dataset served by a dispatcher-routed worker fleet with
+replication 2:
+
+* **clean** — the reference epoch through the cluster, no failures;
+* **worker killed mid-epoch** — one worker is hard-killed (no drain)
+  partway through the epoch.  The invariant is the headline claim of the
+  cluster layer: the completed epoch is **bit-identical** to the clean
+  one and *zero* samples are quarantined — the loss is visible only in
+  the failover counters;
+* **overloaded replica** — one worker runs an aggressive admission
+  policy and sheds almost every read with ``BUSY``.  Clients must
+  observe sheds and re-route to the healthy replica: again bit-identical
+  batches, zero quarantined, ``cluster.busy_sheds > 0``.
+
+Run via ``python -m repro.experiments cluster``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import ClusterSource, ClusterWorker, Dispatcher
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.experiments.harness import ExperimentResult
+from repro.pipeline import DataLoader, ListSource
+from repro.robust import RetryingSource, RetryPolicy
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+
+__all__ = ["run"]
+
+
+class _KillSwitch:
+    """Source decorator that fires ``action()`` once, ``after`` reads in."""
+
+    def __init__(self, inner, after: int, action) -> None:
+        self.inner = inner
+        self.after = after
+        self.action = action
+        self.count = 0
+        self.fired = False
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def read(self, index: int) -> bytes:
+        self.count += 1
+        if not self.fired and self.count > self.after:
+            self.fired = True
+            self.action()
+        return self.inner.read(index)
+
+
+def _identical(a, b) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x[0], y[0]) and np.array_equal(x[1], y[1])
+        for x, y in zip(a, b)
+    )
+
+
+def run(
+    n_samples: int = 16,
+    n_workers: int = 3,
+    replication: int = 2,
+    kill_after: int = 5,
+    batch_size: int = 4,
+    num_workers: int = 2,
+    seed: int = 0,
+    quiet: bool = False,
+) -> ExperimentResult:
+    """Run the three cluster scenarios and assert their invariants."""
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(n_samples, cfg, seed=seed)
+    blobs = [plugin.encode(s.data, s.label) for s in ds]
+
+    def start_cluster(admissions=None):
+        dispatcher = Dispatcher(
+            lease_s=0.5, replication=replication, n_buckets=16, seed=seed
+        ).start()
+        workers = [
+            ClusterWorker(
+                ListSource(blobs),
+                dispatcher=dispatcher.address,
+                admission=(admissions or {}).get(i),
+            ).start()
+            for i in range(n_workers)
+        ]
+        return dispatcher, workers
+
+    def stop_cluster(dispatcher, workers):
+        for w in workers:
+            w.close(drain=False, timeout_s=2.0)
+        dispatcher.close(drain=False, timeout_s=2.0)
+
+    def run_epoch(source, policy="skip"):
+        # skip policy: a surviving cluster must *not* need it — quarantine
+        # staying empty is the assertion, not a crutch
+        retrying = RetryingSource(
+            source,
+            RetryPolicy(max_attempts=4, base_delay_s=0.001, max_delay_s=0.05),
+            seed=seed,
+        )
+        loader = DataLoader(
+            retrying,
+            plugin,
+            batch_size=batch_size,
+            shuffle=True,
+            seed=seed,
+            num_workers=num_workers,
+            bad_sample_policy=policy,
+        )
+        batches = list(loader.batches(0))
+        return batches, retrying, loader
+
+    result = ExperimentResult(
+        exhibit="Cluster",
+        title="replicated serving under worker loss and overload",
+        headers=[
+            "scenario", "batches", "failovers", "busy sheds", "quarantined",
+            "identical to clean",
+        ],
+    )
+
+    # -- clean reference ---------------------------------------------------
+    dispatcher, workers = start_cluster()
+    try:
+        cluster = ClusterSource(dispatcher.address, timeout_s=2.0, seed=seed)
+        clean, _, _ = run_epoch(cluster)
+        cluster.close()
+    finally:
+        stop_cluster(dispatcher, workers)
+    result.add("clean", len(clean), 0, 0, 0, "—")
+
+    # -- worker hard-killed mid-epoch --------------------------------------
+    dispatcher, workers = start_cluster()
+    try:
+        cluster = ClusterSource(dispatcher.address, timeout_s=2.0, seed=seed)
+        victim = workers[0]
+        killer = _KillSwitch(
+            cluster, kill_after, lambda: victim.close(drain=False, timeout_s=2.0)
+        )
+        killed, retrying, loader = run_epoch(killer)
+        snap = dict(cluster.stats.snapshot())
+        failovers = snap.get("cluster.failovers", (0, 0.0))[0]
+        cluster.close()
+    finally:
+        stop_cluster(dispatcher, workers)
+    kill_ok = _identical(clean, killed)
+    quarantined = len(loader.quarantine)
+    result.add(
+        f"kill w0 after {kill_after} reads",
+        len(killed), failovers, 0, quarantined,
+        "yes" if kill_ok else "NO",
+    )
+    result.findings["kill_identical"] = float(kill_ok)
+    result.findings["kill_failovers"] = float(failovers)
+    result.findings["kill_quarantined"] = float(quarantined)
+    result.findings["kill_aborts"] = float(retrying.stats.aborts)
+
+    # -- one replica shedding under overload -------------------------------
+    shedding = AdmissionController(
+        AdmissionPolicy(rate_per_client=0.1, burst=1.0)
+    )
+    dispatcher, workers = start_cluster(admissions={0: shedding})
+    try:
+        cluster = ClusterSource(dispatcher.address, timeout_s=2.0, seed=seed)
+        busy, retrying, loader = run_epoch(cluster)
+        snap = dict(cluster.stats.snapshot())
+        sheds = snap.get("cluster.busy_sheds", (0, 0.0))[0]
+        cluster.close()
+    finally:
+        stop_cluster(dispatcher, workers)
+    busy_ok = _identical(clean, busy)
+    busy_quarantined = len(loader.quarantine)
+    result.add(
+        "w0 sheds (admission)",
+        len(busy), 0, sheds, busy_quarantined,
+        "yes" if busy_ok else "NO",
+    )
+    result.findings["busy_identical"] = float(busy_ok)
+    result.findings["busy_sheds"] = float(sheds)
+    result.findings["busy_quarantined"] = float(busy_quarantined)
+
+    if not quiet:
+        print(result.render())
+    return result

@@ -13,6 +13,12 @@ replaces it with the most recent good sample so batch geometry is
 preserved.  Either way the failure is quarantined
 (:class:`~repro.robust.quarantine.QuarantineLog`) with its error and
 epoch, so a completed run still reports exactly which samples were bad.
+
+Graceful degradation: an error tagged ``degraded = True`` (a cluster
+brown-out — :class:`~repro.cluster.client.NoReplicaError`, raised when
+every replica of a sample's range is dead or shedding) is additionally
+counted as ``loader.degraded`` in :attr:`DataLoader.stats`, so a run
+report distinguishes "the service browned out" from "the data is bad".
 """
 
 from __future__ import annotations
@@ -185,6 +191,11 @@ class DataLoader:
         pending_l: list[np.ndarray] = []
         for item in self.executor.run(order.tolist(), epoch=epoch, on_error=on_error):
             if isinstance(item, FailedItem):
+                if getattr(item.error, "degraded", False):
+                    # cluster brown-out (every replica down/shedding), not
+                    # data corruption — count it so operators can tell a
+                    # degraded epoch from a corrupt dataset
+                    self.stats.add("loader.degraded")
                 if self.bad_sample_policy == "substitute" and last_good is not None:
                     self.quarantine.record(
                         item.index, epoch, item.error, "substituted"

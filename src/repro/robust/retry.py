@@ -31,6 +31,11 @@ class RetryPolicy:
     delay.  ``timeout_s`` bounds the whole read — attempts plus backoff —
     in wall-clock seconds; when the budget cannot fit another delay the
     read aborts with the last error instead of sleeping past it.
+
+    An exception carrying a ``retry_after_s`` attribute (the server's
+    admission-control shed hint, :class:`~repro.serve.client.ServerBusyError`)
+    raises the floor of the next delay to that hint — the server knows
+    when the next token lands; sleeping less would just be shed again.
     """
 
     max_attempts: int = 3
@@ -142,6 +147,9 @@ class RetryingSource:
                 if attempt + 1 >= policy.max_attempts:
                     break
                 delay = policy.delay(attempt, self._rng)
+                hint = getattr(exc, "retry_after_s", None)
+                if hint:  # server-suggested backoff floors the schedule
+                    delay = max(delay, float(hint))
                 if deadline is not None and self._clock() + delay > deadline:
                     break  # budget exhausted: abort rather than overshoot
                 self.stats.retries += 1

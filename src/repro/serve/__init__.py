@@ -22,15 +22,21 @@ pieces — containers, :class:`~repro.storage.cache.SampleCache`,
 See ``docs/serving.md`` for the wire format and failure-mode contract.
 """
 
-from repro.serve.client import RemoteOpError, RemoteSource
+from repro.serve.admission import AdmissionController, AdmissionPolicy, BusyError
+from repro.serve.client import RemoteOpError, RemoteSource, ServerBusyError
 from repro.serve.coordination import EpochCoordinator, ShardPlan
 from repro.serve.protocol import FrameCorruptError, ProtocolError
-from repro.serve.server import DataServer
+from repro.serve.server import DataServer, FrameServer
 
 __all__ = [
+    "FrameServer",
     "DataServer",
     "RemoteSource",
     "RemoteOpError",
+    "ServerBusyError",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BusyError",
     "ShardPlan",
     "EpochCoordinator",
     "ProtocolError",

@@ -1,0 +1,202 @@
+"""Server-side admission control: per-client token buckets + in-flight cap.
+
+An overloaded worker must *shed* load, not queue it without bound: a
+request the server cannot serve soon is cheaper to refuse immediately
+(the client re-routes to a replica or backs off) than to let it occupy a
+connection slot until it times out — timeouts are indistinguishable from
+a dead server and trigger failover storms.  This is the data-service
+overload story (tf.data service workers behave the same way): refusal is
+a *first-class, retryable* response (``ST_BUSY``), never an error.
+
+Two independent limits, both optional:
+
+* **per-client token bucket** — each client (keyed by peer address) may
+  sustain ``rate_per_client`` READs/s with bursts up to ``burst``;
+  beyond that its requests shed with a ``retry_after_s`` hint telling it
+  exactly when the next token lands.  This is the fairness knob: one
+  greedy client cannot starve the others.
+* **global in-flight cap** — at most ``max_inflight`` READs may be in
+  service at once across all connections; beyond that *any* request
+  sheds.  This is the overload knob: it bounds worker memory and queue
+  delay regardless of how many clients are behaving individually.
+
+Control-plane ops (INFO/HEALTH/ROUTE/…) are never shed — an overloaded
+worker must still be observable and drainable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["BusyError", "AdmissionPolicy", "TokenBucket", "AdmissionController"]
+
+#: idle buckets are dropped once the table grows past this many clients
+_MAX_TRACKED_CLIENTS = 4096
+
+
+class BusyError(Exception):
+    """The request was shed by admission control (retryable, not a fault).
+
+    ``retry_after_s`` is the server's backoff hint — for a token-bucket
+    shed it is exactly the time until the client's next token; for an
+    in-flight shed it is a small constant.  ``reason`` is ``"tokens"``
+    or ``"inflight"``.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float, reason: str) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission limits for one server.
+
+    ``rate_per_client`` / ``burst`` configure each client's token bucket
+    (``rate_per_client=None`` disables per-client limiting); ``max_inflight``
+    caps concurrent in-service READs (``None`` disables the cap).
+    ``shed_retry_s`` is the ``retry_after_s`` hint on an in-flight shed.
+    """
+
+    rate_per_client: float | None = None
+    burst: float = 8.0
+    max_inflight: int | None = None
+    shed_retry_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.rate_per_client is not None and self.rate_per_client <= 0:
+            raise ValueError("rate_per_client must be positive (or None)")
+        if self.burst < 1.0:
+            raise ValueError("burst must be >= 1 token")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None)")
+        if self.shed_retry_s <= 0:
+            raise ValueError("shed_retry_s must be positive")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    Not thread-safe on its own — the owning :class:`AdmissionController`
+    serializes access (one lock for the whole table keeps the hot path at
+    a single acquire).
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last_refill")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a new client may burst immediately
+        self.last_refill = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token.  Returns 0.0 on success, else seconds until
+        the next token would be available (the ``retry_after_s`` hint)."""
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Decide, per READ, whether this server should serve or shed.
+
+    Usage (the server's read path)::
+
+        admission.admit(peer)      # raises BusyError on shed
+        try:
+            ... serve the read ...
+        finally:
+            admission.release()
+
+    Counters (``sheds``, ``sheds_by_reason``, ``admitted``) feed the
+    server's STATS report so overload is visible before it is fatal.
+    """
+
+    def __init__(
+        self, policy: AdmissionPolicy, *, clock=time.monotonic
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[object, TokenBucket] = {}
+        self._inflight = 0
+        self.admitted = 0
+        self.sheds = 0
+        self.sheds_by_reason: dict[str, int] = {}
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def _shed(self, reason: str, retry_after_s: float) -> BusyError:
+        self.sheds += 1
+        self.sheds_by_reason[reason] = self.sheds_by_reason.get(reason, 0) + 1
+        return BusyError(
+            f"request shed ({reason}); retry in {retry_after_s * 1e3:.1f} ms",
+            retry_after_s=retry_after_s,
+            reason=reason,
+        )
+
+    def admit(self, client: object) -> None:
+        """Admit one READ from ``client`` or raise :class:`BusyError`.
+
+        The in-flight slot is taken on success and must be returned with
+        :meth:`release` — the caller's ``finally`` block, never skipped.
+        """
+        policy = self.policy
+        now = self._clock()
+        with self._lock:
+            if (
+                policy.max_inflight is not None
+                and self._inflight >= policy.max_inflight
+            ):
+                raise self._shed("inflight", policy.shed_retry_s)
+            if policy.rate_per_client is not None:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    if len(self._buckets) >= _MAX_TRACKED_CLIENTS:
+                        self._evict_idle(now)
+                    bucket = self._buckets[client] = TokenBucket(
+                        policy.rate_per_client, policy.burst, now
+                    )
+                wait = bucket.try_take(now)
+                if wait > 0.0:
+                    raise self._shed("tokens", wait)
+            self._inflight += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        """Return the in-flight slot taken by a successful :meth:`admit`."""
+        with self._lock:
+            self._inflight -= 1
+
+    def _evict_idle(self, now: float) -> None:
+        """Drop the longest-idle half of the bucket table (caller locks)."""
+        by_idle = sorted(
+            self._buckets.items(), key=lambda kv: kv[1].last_refill
+        )
+        for key, _ in by_idle[: len(by_idle) // 2]:
+            del self._buckets[key]
+
+    def report(self) -> dict:
+        """JSON-safe snapshot for the server's STATS response."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "admitted": self.admitted,
+                "sheds": self.sheds,
+                "sheds_by_reason": dict(self.sheds_by_reason),
+                "tracked_clients": len(self._buckets),
+                "rate_per_client": self.policy.rate_per_client,
+                "burst": self.policy.burst,
+                "max_inflight": self.policy.max_inflight,
+            }

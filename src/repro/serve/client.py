@@ -11,12 +11,23 @@ existing data path composes unchanged around a network hop::
 Failure semantics (what makes that composition sound):
 
 * a dropped/broken connection raises ``ConnectionError``/``OSError`` and
-  the next ``read()`` transparently reconnects — so a wrapping
+  the next ``read()`` transparently reconnects — with capped exponential
+  backoff and seeded jitter between attempts, so a dead server is probed
+  at a bounded rate instead of hammered in a hot loop; a wrapping
   :class:`~repro.robust.retry.RetryingSource` turns transport blips into
   clean re-reads;
+* every operation carries a wall-clock deadline (``op_timeout_s``,
+  distinct from the per-I/O socket timeout): a stalled server that
+  trickles bytes cannot wedge a prefetch worker past the loader's retry
+  budget — the op aborts with ``TimeoutError`` when the budget is spent;
 * a response frame whose body fails the wire CRC raises
   :class:`~repro.core.encoding.container.CorruptSampleError` (retryable,
   quarantinable) — corrupted sample bytes are *never* returned;
+* an ``ST_BUSY`` response (admission-control shed) raises
+  :class:`ServerBusyError` — a retryable ``OSError`` carrying the
+  server's ``retry_after_s`` backoff hint, which ``RetryingSource``
+  honours and :class:`~repro.cluster.client.ClusterSource` answers by
+  re-routing to a replica;
 * server-side errors are re-raised faithfully: ``IndexError`` stays
   ``IndexError`` (never retried into an infinite loop),
   ``CorruptSampleError`` stays corrupt, transient server I/O failures
@@ -31,17 +42,37 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 import numpy as np
 
 from repro.core.encoding.container import CorruptSampleError
 from repro.serve import protocol
+from repro.tune.stats import StatsRegistry
 
-__all__ = ["RemoteSource", "RemoteOpError"]
+__all__ = ["RemoteSource", "RemoteOpError", "ServerBusyError"]
 
 
 class RemoteOpError(RuntimeError):
     """The server reported an error the client cannot map to a local type."""
+
+
+class ServerBusyError(OSError):
+    """The server shed this request under admission control.
+
+    A retryable ``OSError`` (so the default :class:`RetryingSource`
+    policy covers it) carrying the server's backoff hint as
+    ``retry_after_s`` and the shed ``reason`` (``"tokens"`` /
+    ``"inflight"``).  The connection stays usable — being shed is not a
+    transport fault.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float = 0.0, reason: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
 
 
 #: server-reported exception type → faithful local re-raise
@@ -63,18 +94,52 @@ class RemoteSource:
     Parameters
     ----------
     host / port:
-        The serving :class:`~repro.serve.server.DataServer`.
+        The serving :class:`~repro.serve.server.DataServer` (or any
+        :class:`~repro.serve.server.FrameServer`).
     timeout_s:
-        Socket timeout for connect and per-frame I/O; expiry raises
-        ``TimeoutError`` (retryable by :class:`RetryingSource`).
+        Socket timeout for connect and each individual frame I/O.
+    op_timeout_s:
+        Wall-clock budget for one whole operation — connect (including
+        reconnect backoff), send, and the complete response frame.
+        Defaults to ``timeout_s``; expiry raises ``TimeoutError``
+        (retryable by :class:`RetryingSource`).
+    reconnect_backoff_s / reconnect_max_s:
+        Reconnect pacing after a failed connect attempt: attempt ``k``
+        waits ``reconnect_backoff_s * 2**(k-1)`` (capped at
+        ``reconnect_max_s``) with ±50% seeded jitter before dialing
+        again.  A successful connect resets the schedule.
+    seed:
+        Seeds the jitter RNG so chaos replays stay deterministic.
+    stats:
+        Optional :class:`StatsRegistry` receiving ``remote.reconnects``,
+        ``remote.connect_failures`` and ``remote.busy`` counters; a
+        private one is created otherwise and exposed as :attr:`stats`.
     """
 
-    def __init__(self, host: str, port: int, *, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        op_timeout_s: float | None = None,
+        reconnect_backoff_s: float = 0.05,
+        reconnect_max_s: float = 2.0,
+        seed: int = 0,
+        stats: StatsRegistry | None = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.op_timeout_s = timeout_s if op_timeout_s is None else op_timeout_s
+        self.reconnect_backoff_s = reconnect_backoff_s
+        self.reconnect_max_s = reconnect_max_s
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._rng = np.random.default_rng(seed)
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
+        self._connect_failures = 0  # consecutive, resets on success
+        self._connect_not_before = 0.0  # monotonic backoff gate
         self._n: int | None = None
         self._info: dict | None = None
         with self._lock:
@@ -83,16 +148,47 @@ class RemoteSource:
 
     # -- connection management --------------------------------------------
 
-    def _connect(self) -> socket.socket:
-        sock = socket.create_connection(
-            (self.host, self.port), timeout=self.timeout_s
-        )
+    def _connect(self, deadline: float) -> socket.socket:
+        """Dial the server, pacing attempts by the backoff schedule."""
+        wait = self._connect_not_before - time.monotonic()
+        if wait > 0:
+            if time.monotonic() + wait > deadline:
+                raise TimeoutError(
+                    f"reconnect backoff ({wait:.3f}s) exceeds the op "
+                    f"deadline for {self.host}:{self.port}"
+                )
+            time.sleep(wait)
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port),
+                timeout=min(self.timeout_s, max(deadline - time.monotonic(), 0.001)),
+            )
+        except OSError:
+            self._connect_failures += 1
+            self.stats.add("remote.connect_failures")
+            backoff = min(
+                self.reconnect_backoff_s * 2.0 ** (self._connect_failures - 1),
+                self.reconnect_max_s,
+            )
+            # ±50% seeded jitter de-synchronizes a thundering herd
+            backoff *= 0.5 + self._rng.random()
+            self._connect_not_before = time.monotonic() + backoff
+            raise
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if self._connect_failures:
+            self.stats.add("remote.reconnects")
+        self._connect_failures = 0
+        self._connect_not_before = 0.0
         return sock
 
-    def _ensure(self) -> socket.socket:
+    @property
+    def reconnect_attempts(self) -> int:
+        """Consecutive failed connect attempts (0 while connected)."""
+        return self._connect_failures
+
+    def _ensure(self, deadline: float) -> socket.socket:
         if self._sock is None:
-            self._sock = self._connect()
+            self._sock = self._connect(deadline)
         return self._sock
 
     def _drop(self) -> None:
@@ -118,15 +214,31 @@ class RemoteSource:
     def _round_trip(self, op: int, body: bytes, *, context=None) -> bytes:
         """One request/response exchange.  Caller holds the lock.
 
+        The whole exchange shares one ``op_timeout_s`` wall-clock budget;
+        each socket wait is additionally capped by ``timeout_s``.
         Transport failures close the socket (the next call reconnects) and
         propagate as ``OSError``; a CRC-damaged response surfaces as
-        :class:`CorruptSampleError` without dropping the (still
+        :class:`CorruptSampleError`, and an ``ST_BUSY`` shed as
+        :class:`ServerBusyError`, both without dropping the (still
         synchronized) connection.
         """
-        sock = self._ensure()
+        deadline = time.monotonic() + self.op_timeout_s
+        sock = self._ensure(deadline)
         try:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"op deadline spent before the request was sent "
+                    f"({self.op_timeout_s}s)"
+                )
+            sock.settimeout(min(self.timeout_s, remaining))
             sock.sendall(protocol.pack_frame(op, body))
-            frame = protocol.recv_frame(sock, frame_timeout_s=self.timeout_s)
+            frame = protocol.recv_frame(
+                sock,
+                frame_timeout_s=min(
+                    self.timeout_s, max(deadline - time.monotonic(), 0.001)
+                ),
+            )
         except protocol.FrameCorruptError:
             raise CorruptSampleError(
                 "response frame failed wire CRC",
@@ -142,12 +254,24 @@ class RemoteSource:
                 f"server {self.host}:{self.port} closed the connection"
             )
         kind, payload = frame
+        if kind == protocol.ST_BUSY:
+            self._raise_busy(payload)
         if kind == protocol.ST_ERROR:
             self._raise_remote(payload, context)
         if kind != protocol.ST_OK:
             self._drop()
             raise protocol.ProtocolError(f"unexpected response kind {kind:#x}")
         return payload
+
+    def _raise_busy(self, payload: bytes) -> None:
+        detail = protocol.unpack_json(payload)
+        self.stats.add("remote.busy")
+        raise ServerBusyError(
+            f"server {self.host}:{self.port} shed the request "
+            f"({detail.get('reason', '?')})",
+            retry_after_s=float(detail.get("retry_after_s", 0.0)),
+            reason=str(detail.get("reason", "")),
+        )
 
     def _raise_remote(self, payload: bytes, context) -> None:
         detail = protocol.unpack_json(payload)
@@ -164,6 +288,16 @@ class RemoteSource:
 
     def _request_json(self, op: int) -> dict:
         return protocol.unpack_json(self._round_trip(op, b""))
+
+    def request(self, op: int, body: bytes = b"", *, context=None) -> bytes:
+        """One locked request/response exchange (cluster control plane)."""
+        with self._lock:
+            return self._round_trip(op, body, context=context)
+
+    def request_json(self, op: int, obj: dict | None = None) -> dict:
+        """A JSON-bodied exchange: ``obj`` out, parsed JSON object back."""
+        body = b"" if obj is None else protocol.pack_json(obj)
+        return protocol.unpack_json(self.request(op, body))
 
     # -- SampleSource protocol --------------------------------------------
 
@@ -188,11 +322,13 @@ class RemoteSource:
         assert self._info is not None
         return dict(self._info)
 
-    def stats(self) -> dict:
+    def stats_report(self) -> dict:
         """Live server-side counter snapshot (``STATS`` op)."""
         with self._lock:
             return self._request_json(protocol.OP_STATS)
 
+    # back-compat alias: pre-cluster callers used ``stats()`` for the
+    # server snapshot; ``stats`` is now the client-side StatsRegistry
     def health(self) -> dict:
         """Liveness/drain/progress report (``HEALTH`` op)."""
         with self._lock:

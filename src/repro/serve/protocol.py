@@ -26,11 +26,27 @@ Request bodies::
     HEALTH (empty)                    → OK body = JSON liveness report
     EPOCH  u32 rank | u64 epoch       → OK body = u32 count | count × u64
 
+The cluster control plane (:mod:`repro.cluster`) adds four JSON-bodied
+ops — control traffic is rare, so compactness matters less than being
+able to evolve the schemas:
+
+    REGISTER  JSON worker announcement → OK body = JSON lease grant
+    HEARTBEAT JSON lease renewal       → OK body = JSON lease state
+    ROUTE     JSON (may be empty)      → OK body = JSON routing table
+    LEASE     JSON admin action        → OK body = JSON membership view
+
 Error responses carry ``kind = ST_ERROR`` and a JSON body
 ``{"error": <exception type name>, "message": ..., "section": ...?}`` so
 the client can re-raise a faithful local exception (``IndexError`` stays
 ``IndexError``, ``CorruptSampleError`` stays corrupt-and-quarantinable,
 transient server I/O errors stay retryable ``OSError``).
+
+A third response kind, ``ST_BUSY``, is the admission-control shed: the
+server is alive and the stream is in sync, but this request was refused
+under overload.  The JSON body carries ``{"retry_after_s": ..., "reason":
+...}``; clients surface it as a retryable
+:class:`~repro.serve.client.ServerBusyError` and either back off or
+re-route to a replica (:class:`~repro.cluster.client.ClusterSource`).
 
 Failure taxonomy — load-bearing for the retry stack:
 
@@ -58,8 +74,13 @@ __all__ = [
     "OP_STATS",
     "OP_HEALTH",
     "OP_EPOCH",
+    "OP_REGISTER",
+    "OP_HEARTBEAT",
+    "OP_ROUTE",
+    "OP_LEASE",
     "ST_OK",
     "ST_ERROR",
+    "ST_BUSY",
     "MAX_BODY_BYTES",
     "ProtocolError",
     "FrameCorruptError",
@@ -83,14 +104,35 @@ OP_INFO = 0x02
 OP_STATS = 0x03
 OP_HEALTH = 0x04
 OP_EPOCH = 0x05
+#: cluster control plane (JSON bodies; see repro.cluster)
+OP_REGISTER = 0x06
+OP_HEARTBEAT = 0x07
+OP_ROUTE = 0x08
+OP_LEASE = 0x09
 
 #: response status codes (high bit set so a stray request/response mixup
 #: is caught immediately instead of being misparsed)
 ST_OK = 0x80
 ST_ERROR = 0x81
+#: admission-control shed: request refused under overload, retryable,
+#: stream still in sync (JSON body: retry_after_s, reason)
+ST_BUSY = 0x82
 
 KINDS = frozenset(
-    {OP_READ, OP_INFO, OP_STATS, OP_HEALTH, OP_EPOCH, ST_OK, ST_ERROR}
+    {
+        OP_READ,
+        OP_INFO,
+        OP_STATS,
+        OP_HEALTH,
+        OP_EPOCH,
+        OP_REGISTER,
+        OP_HEARTBEAT,
+        OP_ROUTE,
+        OP_LEASE,
+        ST_OK,
+        ST_ERROR,
+        ST_BUSY,
+    }
 )
 
 #: sanity bound on one frame body — far above any encoded sample, far

@@ -1,17 +1,31 @@
-"""Threaded TCP sample server.
+"""Threaded TCP frame servers: the generic lifecycle and the sample server.
 
-``DataServer`` exposes any :class:`~repro.pipeline.sources.SampleSource`
-over the :mod:`repro.serve.protocol` wire format — the tf.data-service
-shape (dispatcher+worker collapsed into one process): trainer clients
-fetch preprocessed/encoded samples over the network instead of reading
-node-local storage.
+:class:`FrameServer` is the reusable machinery — bind/accept/drain, one
+bounded handler thread per connection, per-op accounting — speaking the
+:mod:`repro.serve.protocol` frame format.  Two services are built on it:
 
-Design points:
+* :class:`DataServer` (here) — the worker data plane: serves any
+  :class:`~repro.pipeline.sources.SampleSource` to trainer clients, with
+  verify-before-cache, shard-aware epoch coordination, and optional
+  admission control (:mod:`repro.serve.admission`);
+* :class:`~repro.cluster.dispatcher.Dispatcher` — the cluster control
+  plane: worker registration, heartbeat leases, and routing tables.
+
+Design points shared by both:
 
 * **One thread per connection, bounded.**  The accept loop takes a slot
   from a semaphore *before* accepting, so at ``max_connections`` the
   server simply stops accepting and surplus clients queue in the kernel
   listen backlog — back-pressure instead of unbounded thread growth.
+* **Graceful drain.**  ``close()`` stops accepting, lets every in-flight
+  request finish, then closes the connections; ``close(drain=False)``
+  aborts immediately.
+* **Per-op accounting** in a :class:`~repro.tune.stats.StatsRegistry` —
+  the same registry the autotuner reads, so a serving deployment is
+  observable with the same tooling.
+
+``DataServer``-specific points:
+
 * **Shared cache with verify-before-cache.**  Pass a
   :class:`~repro.storage.cache.SampleCache` and every miss is fetched
   from the inner source, checksum-verified, and only then cached — one
@@ -21,13 +35,10 @@ Design points:
   caller its deterministic per-epoch shard from the server's
   :class:`~repro.serve.coordination.EpochCoordinator`, so disjoint
   clients jointly cover the dataset exactly once per epoch.
-* **Graceful drain.**  ``close()`` stops accepting, lets every in-flight
-  request finish, then closes the connections; ``close(drain=False)``
-  aborts immediately.
-* **Per-op accounting** in a :class:`~repro.tune.stats.StatsRegistry`
-  (``serve.read`` latency, ``serve.read.bytes``, per-op counters,
-  ``serve.errors``, connection totals) — the same registry the autotuner
-  reads, so a serving deployment is observable with the same tooling.
+* **Load shedding.**  With an :class:`~repro.serve.admission.AdmissionController`
+  attached, an over-budget READ is answered with a retryable ``ST_BUSY``
+  frame instead of queueing unboundedly — clients back off or re-route
+  to a replica (see docs/serving.md, "Cluster mode").
 """
 
 from __future__ import annotations
@@ -40,11 +51,12 @@ from time import perf_counter
 from repro.core.encoding.container import verify_sample
 from repro.pipeline.sources import CachedSource, SampleSource
 from repro.serve import protocol
+from repro.serve.admission import AdmissionController, BusyError
 from repro.serve.coordination import EpochCoordinator, ShardPlan
 from repro.storage.cache import SampleCache
 from repro.tune.stats import StatsRegistry
 
-__all__ = ["DataServer"]
+__all__ = ["FrameServer", "DataServer"]
 
 #: how often an idle connection re-checks the drain flag
 _POLL_S = 0.25
@@ -55,86 +67,56 @@ _OP_NAMES = {
     protocol.OP_STATS: "stats",
     protocol.OP_HEALTH: "health",
     protocol.OP_EPOCH: "epoch",
+    protocol.OP_REGISTER: "register",
+    protocol.OP_HEARTBEAT: "heartbeat",
+    protocol.OP_ROUTE: "route",
+    protocol.OP_LEASE: "lease",
 }
 
 
-class DataServer:
-    """Serve a ``SampleSource`` to many trainer clients over TCP.
+class FrameServer:
+    """Bounded threaded TCP server speaking the frame protocol.
+
+    Subclasses implement :meth:`_dispatch`; everything else — lifecycle,
+    back-pressure, drain, error frames, accounting — is shared.
 
     Parameters
     ----------
-    source:
-        Where container blobs come from (any ``SampleSource``; compose
-        with :mod:`repro.robust` decorators for a fault-tolerant backend).
     host / port:
         Bind address; ``port=0`` picks an ephemeral port (read it back
         from :attr:`address` after :meth:`start`).
-    cache:
-        Optional shared :class:`SampleCache` fronting the source, with
-        verify-before-cache applied to every miss.
-    verify:
-        ``None`` (default) verifies exactly when a cache is present —
-        the verify-before-cache contract: a miss is checksum-verified
-        before it is stored, so one corrupt read can never poison other
-        clients' epochs.  Pass ``True`` to also verify uncached reads, or
-        ``False`` to disable verification entirely (non-container blobs).
     max_connections:
         Concurrent connection bound; surplus clients wait in the listen
         backlog (back-pressure), they are not refused.
-    world_size / seed:
-        Shard plan geometry for ``EPOCH`` coordination.
     stats:
         Optional shared :class:`StatsRegistry`; a private one is created
         otherwise and exposed as :attr:`stats`.
-    service_delay_s:
-        Deterministic extra delay applied to every ``READ`` — the
-        serving-side counterpart of the discrete-event simulator's link
-        and storage latencies, for studying client scaling on hosts whose
-        loopback has none (see ``benchmarks/bench_serve_throughput.py``).
-        Concurrent connections overlap these waits; a serial server would
-        not.  Default 0 (off).
     """
+
+    #: stat-name prefix for the per-op counters ("serve.read", …)
+    stats_prefix = "serve"
+    #: thread-name prefix for accept/handler threads
+    thread_name = "repro-serve"
 
     def __init__(
         self,
-        source: SampleSource,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        cache: SampleCache | None = None,
-        verify: bool | None = None,
         max_connections: int = 32,
         backlog: int = 128,
-        world_size: int = 1,
-        seed: int = 0,
         stats: StatsRegistry | None = None,
-        service_delay_s: float = 0.0,
         frame_timeout_s: float = 30.0,
     ) -> None:
         if max_connections < 1:
             raise ValueError("max_connections must be >= 1")
-        self._inner = source
-        if verify is None:
-            verify = cache is not None  # verify-before-cache by default
-        self._verified = verify
-        if cache is not None:
-            source = CachedSource(source, cache, verify=verify)
-            verify = False  # the fill path handles it
-        self.source = source
-        self.cache = cache
-        self.verify = verify
         self.host = host
         self.port = port
         self.max_connections = max_connections
         self.backlog = backlog
-        self.service_delay_s = service_delay_s
         self.frame_timeout_s = frame_timeout_s
-        self.coordinator = EpochCoordinator(
-            ShardPlan(len(source), world_size=world_size, seed=seed)
-        )
         self.stats = stats if stats is not None else StatsRegistry()
         self._stats_lock = threading.Lock()  # counters shared across handlers
-        self._read_lock = threading.Lock()  # serializes uncached source reads
         self._slots = threading.Semaphore(max_connections)
         self._active = 0
         self._served_connections = 0
@@ -147,7 +129,7 @@ class DataServer:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self) -> "DataServer":
+    def start(self) -> "FrameServer":
         """Bind, listen, and start accepting in a background thread."""
         if self._listen is not None:
             raise RuntimeError("server already started")
@@ -159,7 +141,9 @@ class DataServer:
         self._listen.settimeout(_POLL_S)
         self.port = self._listen.getsockname()[1]
         self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-serve-accept", daemon=True
+            target=self._accept_loop,
+            name=f"{self.thread_name}-accept",
+            daemon=True,
         )
         self._accept_thread.start()
         return self
@@ -172,6 +156,10 @@ class DataServer:
     @property
     def active_connections(self) -> int:
         return self._active
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def close(self, drain: bool = True, timeout_s: float = 10.0) -> None:
         """Stop the server.
@@ -206,7 +194,7 @@ class DataServer:
         for t in handlers:
             t.join(timeout=timeout_s)
 
-    def __enter__(self) -> "DataServer":
+    def __enter__(self) -> "FrameServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
@@ -231,7 +219,7 @@ class DataServer:
                 self._slots.release()
                 return
             try:
-                conn, _peer = listen.accept()
+                conn, peer = listen.accept()
             except socket.timeout:
                 self._slots.release()
                 continue  # idle poll: re-check the closing flag
@@ -241,8 +229,8 @@ class DataServer:
             conn.settimeout(_POLL_S)
             t = threading.Thread(
                 target=self._serve_connection,
-                args=(conn,),
-                name="repro-serve-conn",
+                args=(conn, peer),
+                name=f"{self.thread_name}-conn",
                 daemon=True,
             )
             t.serve_conn = conn  # type: ignore[attr-defined]  # for abort
@@ -252,8 +240,8 @@ class DataServer:
                 self._served_connections += 1
             t.start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        self._record("serve.connections")
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        self._record(f"{self.stats_prefix}.connections")
         try:
             with conn:
                 while not self._draining:
@@ -264,12 +252,12 @@ class DataServer:
                     except socket.timeout:
                         continue  # idle poll: re-check the drain flag
                     except (protocol.ProtocolError, OSError):
-                        self._record("serve.errors")
+                        self._record(f"{self.stats_prefix}.errors")
                         return  # stream broken: drop the connection
                     except protocol.FrameCorruptError:
                         # request damaged in flight but stream in sync:
                         # tell the client so it can retry the op
-                        self._record("serve.errors")
+                        self._record(f"{self.stats_prefix}.errors")
                         self._send_error(
                             conn, "FrameCorruptError", "request frame CRC mismatch"
                         )
@@ -278,14 +266,17 @@ class DataServer:
                         return  # clean EOF between requests
                     kind, body = frame
                     try:
-                        response = self._dispatch(kind, body)
+                        response = self._timed_dispatch(kind, body, peer)
+                    except BusyError as exc:
+                        self._record(f"{self.stats_prefix}.busy")
+                        response = self._busy_frame(exc)
                     except Exception as exc:  # never kill the handler
-                        self._record("serve.errors")
+                        self._record(f"{self.stats_prefix}.errors")
                         response = self._error_frame(exc)
                     try:
                         conn.sendall(response)
                     except OSError:
-                        self._record("serve.errors")
+                        self._record(f"{self.stats_prefix}.errors")
                         return
         finally:
             self._slots.release()
@@ -293,43 +284,172 @@ class DataServer:
                 self._active -= 1
                 self._handlers.discard(threading.current_thread())
 
-    # -- request dispatch --------------------------------------------------
-
-    def _dispatch(self, kind: int, body: bytes) -> bytes:
+    def _timed_dispatch(self, kind: int, body: bytes, peer) -> bytes:
         name = _OP_NAMES.get(kind)
         if name is None:
             raise ValueError(f"unsupported op {kind:#x}")
         t0 = perf_counter()
         try:
-            if kind == protocol.OP_READ:
-                return self._op_read(body)
-            if kind == protocol.OP_INFO:
-                return protocol.pack_frame(
-                    protocol.ST_OK, protocol.pack_json(self.info())
-                )
-            if kind == protocol.OP_STATS:
-                return protocol.pack_frame(
-                    protocol.ST_OK, protocol.pack_json(self.stats_report())
-                )
-            if kind == protocol.OP_HEALTH:
-                return protocol.pack_frame(
-                    protocol.ST_OK, protocol.pack_json(self.health())
-                )
-            return self._op_epoch(body)
+            return self._dispatch(kind, body, peer)
         finally:
-            self._record(f"serve.{name}", perf_counter() - t0)
+            self._record(f"{self.stats_prefix}.{name}", perf_counter() - t0)
 
-    def _op_read(self, body: bytes) -> bytes:
+    # -- request dispatch (subclass responsibility) ------------------------
+
+    def _dispatch(self, kind: int, body: bytes, peer) -> bytes:
+        """Serve one request frame; return the complete response frame.
+
+        ``peer`` is the connection's remote ``(host, port)`` — the
+        admission-control client key.  Raising :class:`BusyError` sheds
+        the request with an ``ST_BUSY`` frame; any other exception becomes
+        an ``ST_ERROR`` frame.
+        """
+        raise NotImplementedError
+
+    # -- error / shed responses --------------------------------------------
+
+    def _error_frame(self, exc: Exception) -> bytes:
+        payload = {"error": type(exc).__name__, "message": str(exc)}
+        section = getattr(exc, "section", None)
+        if section is not None:
+            payload["section"] = section
+        return protocol.pack_frame(protocol.ST_ERROR, protocol.pack_json(payload))
+
+    def _busy_frame(self, exc: BusyError) -> bytes:
+        return protocol.pack_frame(
+            protocol.ST_BUSY,
+            protocol.pack_json(
+                {"retry_after_s": exc.retry_after_s, "reason": exc.reason}
+            ),
+        )
+
+    def _send_error(self, conn: socket.socket, error: str, message: str) -> None:
+        try:
+            conn.sendall(
+                protocol.pack_frame(
+                    protocol.ST_ERROR,
+                    protocol.pack_json({"error": error, "message": message}),
+                )
+            )
+        except OSError:
+            pass
+
+
+class DataServer(FrameServer):
+    """Serve a ``SampleSource`` to many trainer clients over TCP.
+
+    Parameters
+    ----------
+    source:
+        Where container blobs come from (any ``SampleSource``; compose
+        with :mod:`repro.robust` decorators for a fault-tolerant backend).
+    cache:
+        Optional shared :class:`SampleCache` fronting the source, with
+        verify-before-cache applied to every miss.
+    verify:
+        ``None`` (default) verifies exactly when a cache is present —
+        the verify-before-cache contract: a miss is checksum-verified
+        before it is stored, so one corrupt read can never poison other
+        clients' epochs.  Pass ``True`` to also verify uncached reads, or
+        ``False`` to disable verification entirely (non-container blobs).
+    world_size / seed:
+        Shard plan geometry for ``EPOCH`` coordination.
+    admission:
+        Optional :class:`AdmissionController`; over-budget READs are
+        answered with a retryable ``ST_BUSY`` frame (load shedding)
+        instead of queueing without bound.  Control-plane ops are never
+        shed.
+    service_delay_s:
+        Deterministic extra delay applied to every ``READ`` — the
+        serving-side counterpart of the discrete-event simulator's link
+        and storage latencies, for studying client scaling on hosts whose
+        loopback has none (see ``benchmarks/bench_serve_throughput.py``).
+        Concurrent connections overlap these waits; a serial server would
+        not.  Default 0 (off).
+
+    Other parameters are inherited from :class:`FrameServer`.
+    """
+
+    def __init__(
+        self,
+        source: SampleSource,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: SampleCache | None = None,
+        verify: bool | None = None,
+        max_connections: int = 32,
+        backlog: int = 128,
+        world_size: int = 1,
+        seed: int = 0,
+        stats: StatsRegistry | None = None,
+        admission: AdmissionController | None = None,
+        service_delay_s: float = 0.0,
+        frame_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(
+            host=host,
+            port=port,
+            max_connections=max_connections,
+            backlog=backlog,
+            stats=stats,
+            frame_timeout_s=frame_timeout_s,
+        )
+        self._inner = source
+        if verify is None:
+            verify = cache is not None  # verify-before-cache by default
+        self._verified = verify
+        if cache is not None:
+            source = CachedSource(source, cache, verify=verify)
+            verify = False  # the fill path handles it
+        self.source = source
+        self.cache = cache
+        self.verify = verify
+        self.admission = admission
+        self.service_delay_s = service_delay_s
+        self._read_lock = threading.Lock()  # serializes uncached source reads
+        self.coordinator = EpochCoordinator(
+            ShardPlan(len(source), world_size=world_size, seed=seed)
+        )
+
+    # -- request dispatch --------------------------------------------------
+
+    def _dispatch(self, kind: int, body: bytes, peer) -> bytes:
+        if kind == protocol.OP_READ:
+            return self._op_read(body, peer)
+        if kind == protocol.OP_INFO:
+            return protocol.pack_frame(
+                protocol.ST_OK, protocol.pack_json(self.info())
+            )
+        if kind == protocol.OP_STATS:
+            return protocol.pack_frame(
+                protocol.ST_OK, protocol.pack_json(self.stats_report())
+            )
+        if kind == protocol.OP_HEALTH:
+            return protocol.pack_frame(
+                protocol.ST_OK, protocol.pack_json(self.health())
+            )
+        if kind == protocol.OP_EPOCH:
+            return self._op_epoch(body)
+        raise ValueError(f"unsupported op {kind:#x}")
+
+    def _op_read(self, body: bytes, peer) -> bytes:
         index = protocol.unpack_read(body)
-        if self.service_delay_s > 0:
-            time.sleep(self.service_delay_s)  # outside every lock
-        if self.cache is not None:
-            blob = self.source.read(index)  # cache is internally locked
-        else:
-            with self._read_lock:  # sources need not be thread-safe
-                blob = self.source.read(index)
-            if self.verify:
-                verify_sample(blob, sample_id=index)
+        if self.admission is not None:
+            self.admission.admit(peer)  # raises BusyError on shed
+        try:
+            if self.service_delay_s > 0:
+                time.sleep(self.service_delay_s)  # outside every lock
+            if self.cache is not None:
+                blob = self.source.read(index)  # cache is internally locked
+            else:
+                with self._read_lock:  # sources need not be thread-safe
+                    blob = self.source.read(index)
+                if self.verify:
+                    verify_sample(blob, sample_id=index)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
         self._record("serve.read.bytes", float(len(blob)))
         return protocol.pack_frame(protocol.ST_OK, blob)
 
@@ -353,7 +473,7 @@ class DataServer:
         }
 
     def health(self) -> dict:
-        return {
+        out = {
             "status": "draining" if self._draining else "ok",
             "active_connections": self._active,
             "max_connections": self.max_connections,
@@ -363,6 +483,9 @@ class DataServer:
             },
             "stragglers": self.coordinator.stragglers(),
         }
+        if self.admission is not None:
+            out["admission"] = self.admission.report()
+        return out
 
     def stats_report(self) -> dict:
         with self._stats_lock:
@@ -382,24 +505,6 @@ class DataServer:
                 "used_bytes": self.cache.used_bytes,
                 "capacity_bytes": self.cache.capacity_bytes,
             }
+        if self.admission is not None:
+            out["admission"] = self.admission.report()
         return out
-
-    # -- error responses ---------------------------------------------------
-
-    def _error_frame(self, exc: Exception) -> bytes:
-        payload = {"error": type(exc).__name__, "message": str(exc)}
-        section = getattr(exc, "section", None)
-        if section is not None:
-            payload["section"] = section
-        return protocol.pack_frame(protocol.ST_ERROR, protocol.pack_json(payload))
-
-    def _send_error(self, conn: socket.socket, error: str, message: str) -> None:
-        try:
-            conn.sendall(
-                protocol.pack_frame(
-                    protocol.ST_ERROR,
-                    protocol.pack_json({"error": error, "message": message}),
-                )
-            )
-        except OSError:
-            pass

@@ -196,7 +196,7 @@ class TestServerClient:
                 src.read(1)
                 health = src.health()
                 assert health["status"] == "ok"
-                stats = src.stats()
+                stats = src.stats_report()
                 assert stats["counters"]["serve.read"]["n"] >= 1
                 assert stats["cache"]["misses"] >= 1
 

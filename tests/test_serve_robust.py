@@ -14,6 +14,7 @@ reuse :class:`~repro.robust.faults.FaultInjector` around a real
 
 import socket
 import threading
+import time
 
 import pytest
 
@@ -22,7 +23,7 @@ from repro.core.plugins import DeepcamDeltaPlugin
 from repro.datasets import deepcam
 from repro.pipeline import DataLoader, ListSource
 from repro.robust import FaultInjector, FaultPlan, RetryingSource, RetryPolicy
-from repro.serve import DataServer, RemoteSource, protocol
+from repro.serve import DataServer, RemoteSource, ServerBusyError, protocol
 
 
 @pytest.fixture(scope="module")
@@ -43,7 +44,11 @@ class ScriptedServer:
     * ``"corrupt"`` — flip a body byte, leave the CRC (payload damaged,
       stream still in sync);
     * ``"truncate"`` — send half the frame, then close (stream broken);
-    * ``"drop"`` — close without responding.
+    * ``"drop"`` — close without responding;
+    * ``"stall"`` — consume the request and answer nothing, connection
+      held open (a wedged server trickling no bytes);
+    * ``"busy"`` — answer with an admission-control ``ST_BUSY`` shed
+      (``retry_after_s=0.05``).
     """
 
     def __init__(self, blobs, behaviors):
@@ -118,6 +123,15 @@ class ScriptedServer:
                     return
                 elif behavior == "drop":
                     return
+                elif behavior == "stall":
+                    continue
+                elif behavior == "busy":
+                    conn.sendall(protocol.pack_frame(
+                        protocol.ST_BUSY,
+                        protocol.pack_json(
+                            {"retry_after_s": 0.05, "reason": "tokens"}
+                        ),
+                    ))
                 else:  # pragma: no cover - script typo guard
                     raise AssertionError(behavior)
 
@@ -182,6 +196,134 @@ class TestWireFaults:
             src = _fast_retry(RemoteSource(*server.address))
             with pytest.raises(CorruptSampleError):
                 src.read(1)
+            src.inner.close()
+
+
+class TestReconnectBackoff:
+    def test_connect_failures_are_counted_and_surfaced(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, []) as server:
+            src = RemoteSource(
+                *server.address,
+                reconnect_backoff_s=0.001,
+                reconnect_max_s=0.002,
+            )
+        # server is gone: the open socket dies first (EOF, not a connect
+        # failure), then every dial is refused and counted
+        with pytest.raises(OSError):
+            src.read(0)
+        assert src.reconnect_attempts == 0
+        with pytest.raises(OSError):
+            src.read(0)
+        with pytest.raises(OSError):
+            src.read(0)
+        assert src.reconnect_attempts == 2
+        snap = dict(src.stats.snapshot())
+        assert snap["remote.connect_failures"][0] == 2
+        src.close()
+
+    def test_backoff_gate_defers_to_op_deadline_without_sleeping(self, blobs):
+        """A huge pending backoff aborts the op immediately — it must not
+        block a prefetch worker for the whole backoff."""
+        _, raw = blobs
+        with ScriptedServer(raw, []) as server:
+            src = RemoteSource(
+                *server.address,
+                reconnect_backoff_s=30.0,
+                op_timeout_s=0.5,
+            )
+        with pytest.raises(OSError):
+            src.read(0)  # EOF on the handshake connection
+        with pytest.raises(OSError):
+            src.read(0)  # refused dial arms the ≥15 s backoff gate
+        t0 = time.monotonic()
+        with pytest.raises(TimeoutError):
+            src.read(0)  # gate exceeds the 0.5 s budget: abort, not sleep
+        assert time.monotonic() - t0 < 0.5
+        src.close()
+
+    def test_reconnect_success_resets_the_schedule(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, []) as server:
+            host, port = server.address
+            src = RemoteSource(
+                host, port, reconnect_backoff_s=0.001, reconnect_max_s=0.002
+            )
+        with pytest.raises(OSError):
+            src.read(0)
+        with pytest.raises(OSError):
+            src.read(0)
+        assert src.reconnect_attempts >= 1
+        with DataServer(ListSource(raw), host=host, port=port):
+            assert src.read(0) == raw[0]
+            assert src.reconnect_attempts == 0
+            snap = dict(src.stats.snapshot())
+            assert snap["remote.reconnects"][0] == 1
+            src.close()
+
+
+class TestOpDeadline:
+    def test_stalled_server_aborts_at_op_deadline_not_socket_timeout(
+        self, blobs
+    ):
+        """``op_timeout_s`` is the budget that matters: a server that
+        accepts and goes silent must not wedge the client for the (much
+        longer) socket timeout."""
+        _, raw = blobs
+        with ScriptedServer(raw, ["stall", "ok"]) as server:
+            src = RemoteSource(
+                *server.address, timeout_s=30.0, op_timeout_s=0.3
+            )
+            t0 = time.monotonic()
+            with pytest.raises(OSError):  # socket.timeout is an OSError
+                src.read(0)
+            elapsed = time.monotonic() - t0
+            assert 0.2 <= elapsed < 2.0
+            src.close()
+
+    def test_deadline_timeout_is_retryable(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["stall", "ok"]) as server:
+            src = _fast_retry(
+                RemoteSource(*server.address, op_timeout_s=0.3)
+            )
+            assert src.read(4) == raw[4]
+            assert src.stats.retries == 1
+            src.inner.close()
+
+
+class TestBusyHandling:
+    def test_busy_raises_server_busy_error_with_hint(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["busy"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(ServerBusyError) as exc_info:
+                src.read(2)
+            assert exc_info.value.retry_after_s == pytest.approx(0.05)
+            assert exc_info.value.reason == "tokens"
+            # being shed is not a transport fault: same connection serves
+            # the retry
+            assert src.read(2) == raw[2]
+            assert server.connections == 1
+            assert dict(src.stats.snapshot())["remote.busy"][0] == 1
+            src.close()
+
+    def test_retry_delay_is_floored_by_the_shed_hint(self, blobs):
+        """RetryPolicy honours retry_after_s: sleeping less than the
+        server's token-refill estimate would just be shed again."""
+        _, raw = blobs
+        sleeps = []
+        with ScriptedServer(raw, ["busy", "ok"]) as server:
+            src = RetryingSource(
+                RemoteSource(*server.address),
+                RetryPolicy(
+                    max_attempts=3, base_delay_s=0.0001, max_delay_s=0.0002
+                ),
+                sleep=sleeps.append,
+            )
+            assert src.read(1) == raw[1]
+            assert src.stats.retries == 1
+            assert sleeps == [pytest.approx(0.05)]
             src.inner.close()
 
 

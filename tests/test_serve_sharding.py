@@ -86,6 +86,53 @@ class TestEpochCoordinator:
         coord = EpochCoordinator(plan)
         assert np.array_equal(coord.begin_epoch(1, 2), plan.shard(1, 2))
 
+    def test_same_epoch_rerequest_is_idempotent(self):
+        """A retried ``EPOCH`` call (client reconnect, retry decorator)
+        must hand back the identical shard and leave progress unchanged."""
+        coord = EpochCoordinator(ShardPlan(24, world_size=3, seed=11))
+        first = coord.begin_epoch(1, 4)
+        again = coord.begin_epoch(1, 4)
+        assert np.array_equal(first, again)
+        assert coord.progress() == {1: 4}
+        assert coord.min_epoch() == 4
+        assert coord.stragglers() == []
+
+    def test_out_of_order_epoch_begins(self):
+        """Epoch requests need not arrive in order (a restarted rank
+        replays an earlier epoch): each call returns that epoch's exact
+        shard, and progress tracks the *latest request*, not the max."""
+        plan = ShardPlan(20, world_size=2, seed=3)
+        coord = EpochCoordinator(plan)
+        assert np.array_equal(coord.begin_epoch(0, 5), plan.shard(0, 5))
+        # rank 0 drops back to epoch 2 — a restart-from-checkpoint replay
+        assert np.array_equal(coord.begin_epoch(0, 2), plan.shard(0, 2))
+        coord.begin_epoch(1, 5)
+        assert coord.progress() == {0: 2, 1: 5}
+        assert coord.min_epoch() == 2
+        assert coord.stragglers() == [0]
+
+    def test_rank_that_disappears_mid_epoch_reads_as_straggler(self):
+        """A rank that stops requesting epochs (crashed trainer) pins
+        ``min_epoch`` and shows up in ``stragglers()`` so operators see
+        the stall, while surviving ranks keep advancing unobstructed."""
+        plan = ShardPlan(30, world_size=3, seed=8)
+        coord = EpochCoordinator(plan)
+        for rank in range(3):
+            coord.begin_epoch(rank, 0)
+        assert coord.stragglers() == []  # everyone level: no stragglers
+        # rank 2 dies; ranks 0 and 1 run ahead for several epochs
+        for epoch in (1, 2, 3):
+            for rank in (0, 1):
+                shard = coord.begin_epoch(rank, epoch)
+                assert np.array_equal(shard, plan.shard(rank, epoch))
+        assert coord.min_epoch() == 0
+        assert coord.stragglers() == [2]
+        assert coord.progress() == {0: 3, 1: 3, 2: 0}
+        # the dead rank's shard is never redistributed — coverage per
+        # epoch is the plan's contract, so its slice stays reserved
+        union = np.concatenate([plan.shard(r, 3) for r in range(3)])
+        assert sorted(union.tolist()) == list(range(30))
+
     def test_thread_safety_smoke(self):
         import threading
 
