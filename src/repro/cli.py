@@ -40,9 +40,15 @@ for the common dataset chores:
   samples between them, then report ``status`` (per-level hit rates and
   counters), ``plan`` (the pending migration moves) or ``migrate`` (one
   more applied cycle).
+* ``graph``     — the preprocessing-graph compiler (``repro.graph``):
+  ``show`` prints a workload's declared preprocessing DAG (nodes,
+  attributes, derived conflict edges); ``optimize`` compiles the naive
+  and optimized plans side by side with the pass trace and cost terms,
+  and with ``--check`` differentially executes both over the record
+  file, exiting non-zero unless every surviving sample is bit-identical.
 
 ``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``,
-``fetch``, ``cluster`` and ``tiers`` accept ``--json`` for
+``fetch``, ``cluster``, ``tiers`` and ``graph`` accept ``--json`` for
 machine-readable output.
 """
 
@@ -179,12 +185,30 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _pipeline_counters(args, blobs) -> dict:
+    """Run one graph-compiled epoch and collect ``pipeline.*`` counters."""
+    from repro.pipeline import DataLoader, ListSource
+
+    plugin = _make_plugin(args.workload, args.representation)
+    loader = DataLoader(
+        ListSource(blobs), plugin, batch_size=2, shuffle=False, graph=True
+    )
+    for _ in loader.batches(0):
+        pass
+    return {
+        name: {"count": n, "seconds": seconds}
+        for name, (n, seconds) in sorted(loader.stats.snapshot().items())
+        if name.startswith("pipeline.")
+    }
+
+
 def cmd_stats(args) -> int:
     from repro.core.encoding.delta import LINE_CONST, LINE_DELTA, LINE_RAW
 
     rows = []
     records = []
-    for i, blob in enumerate(_iter_samples(args.input, args.gzip)):
+    blobs = list(_iter_samples(args.input, args.gzip))
+    for i, blob in enumerate(blobs):
         codec, payload, _, _ = container.unpack_sample(blob)
         if codec == "delta":
             modes = np.concatenate([c.line_modes for c in payload])
@@ -221,15 +245,31 @@ def cmd_stats(args) -> int:
         else:
             rows.append([i, "raw", "-", f"{len(blob)}B"])
             records.append({"sample": i, "codec": "raw", "bytes": len(blob)})
+    pipeline = None
+    if args.pipeline:
+        if not args.workload:
+            raise SystemExit("--pipeline needs --workload")
+        pipeline = _pipeline_counters(args, blobs)
     if args.json:
         out = {"input": args.input, "samples": records}
         if args.tiers:
             out["tiers"] = _probe_tiers(args).status()
+        if pipeline is not None:
+            out["pipeline"] = pipeline
         print(json.dumps(out, indent=2))
         return 0
     print_table(["sample", "codec", "structure", "size detail"], rows)
     if args.tiers:
         _print_tier_status(_probe_tiers(args).status())
+    if pipeline is not None:
+        print_table(
+            ["stage", "items", "seconds"],
+            [
+                [name.removeprefix("pipeline."), c["count"],
+                 f"{c['seconds']:.4f}"]
+                for name, c in pipeline.items()
+            ],
+        )
     return 0
 
 
@@ -727,6 +767,80 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_graph(args) -> int:
+    from repro.conformance import check_graph_equivalence
+    from repro.graph import compile_graph
+    from repro.pipeline import ListSource
+
+    blobs = list(_iter_samples(args.input, args.gzip))
+    if not blobs:
+        raise SystemExit("no records in input")
+    plugin = _make_plugin(args.workload, args.representation)
+    kwargs = {}
+    if args.holdout:
+        if not isinstance(plugin, DeepcamDeltaPlugin):
+            raise SystemExit(
+                "--holdout needs the deepcam 'plugin' representation"
+            )
+        kwargs["holdout"] = args.holdout
+    graph = plugin.declare_preprocessing(ListSource(blobs), **kwargs)
+
+    if args.action == "show":
+        if args.json:
+            print(json.dumps(graph.to_json(), indent=2))
+            return 0
+        print(graph.describe())
+        print("edges:")
+        for a, b in graph.edges():
+            print(f"  {a} -> {b}")
+        return 0
+
+    naive = compile_graph(graph, optimize=False)
+    optimized = compile_graph(graph, optimize=True)
+    report = None
+    if args.check:
+        # the legacy-decode comparison only holds for the plugin's own
+        # default declaration (a holdout changes which samples survive)
+        legacy = None if args.holdout else plugin
+        report = check_graph_equivalence(
+            graph, epochs=args.epochs, legacy_plugin=legacy
+        )
+
+    if args.json:
+        out = {
+            "workload": args.workload,
+            "representation": args.representation,
+            "samples": len(blobs),
+            "naive": naive.to_json(),
+            "optimized": optimized.to_json(),
+        }
+        if report is not None:
+            out["check"] = {
+                "ok": report.ok,
+                "impls": report.impls,
+                "epochs": args.epochs,
+                "mismatches": [str(m) for m in report.mismatches],
+            }
+        print(json.dumps(out, indent=2))
+    else:
+        print(naive.describe())
+        print()
+        print(optimized.describe())
+        if report is not None:
+            verdict = (
+                "bit-identical" if report.ok
+                else f"{len(report.mismatches)} MISMATCH(ES)"
+            )
+            print()
+            print(
+                f"check: {len(blobs)} sample(s) x {args.epochs} epoch(s) "
+                f"across {'/'.join(report.impls)}: {verdict}"
+            )
+            for m in report.mismatches:
+                print(f"  {m}", file=sys.stderr)
+    return 0 if report is None or report.ok else 1
+
+
 def cmd_vectors(args) -> int:
     from repro.conformance import generate_vectors, verify_vectors
     from repro.conformance.vectors import DEFAULT_SEED
@@ -971,6 +1085,13 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--tiers", action="store_true",
                     help="also probe a tier hierarchy over the file and "
                          "report its hit rates and migration counters")
+    st.add_argument("--pipeline", action="store_true",
+                    help="also run one graph-compiled epoch over the file "
+                         "and report per-stage pipeline.* time counters")
+    st.add_argument("--workload", choices=("cosmoflow", "deepcam"),
+                    help="workload for --pipeline")
+    st.add_argument("--representation", choices=("base", "plugin"),
+                    default="plugin", help="representation for --pipeline")
     _add_tier_probe_args(st)
     st.add_argument("--json", action="store_true",
                     help="machine-readable output")
@@ -1168,6 +1289,30 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--json", action="store_true",
                    help="machine-readable output")
     f.set_defaults(func=cmd_fuzz)
+
+    gr = sub.add_parser(
+        "graph",
+        help="show or optimize a workload's declared preprocessing graph",
+    )
+    gr.add_argument("action", choices=("show", "optimize"))
+    gr.add_argument("--workload", choices=("cosmoflow", "deepcam"),
+                    required=True)
+    gr.add_argument("--representation", choices=("base", "plugin"),
+                    default="plugin")
+    gr.add_argument("--input", required=True)
+    gr.add_argument("--gzip", action="store_true")
+    gr.add_argument("--holdout", type=float, default=0.0,
+                    help="declare a training-split filter (deepcam plugin "
+                         "only) the optimizer hoists to a prefilter")
+    gr.add_argument("--check", action="store_true",
+                    help="with optimize: differentially execute naive vs "
+                         "optimized (and the legacy decode path) over the "
+                         "record file; non-zero exit on any bit mismatch")
+    gr.add_argument("--epochs", type=int, default=2,
+                    help="epochs the --check executes")
+    gr.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    gr.set_defaults(func=cmd_graph)
 
     ti = sub.add_parser(
         "tiers", help="probe a record file through a tier hierarchy"

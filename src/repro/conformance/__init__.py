@@ -28,6 +28,7 @@ from repro.conformance.differential import (
     ConformanceError,
     Mismatch,
     check_delta_case,
+    check_graph_equivalence,
     check_lut_case,
     delta_decode_outputs,
     lut_decode_outputs,
@@ -48,6 +49,7 @@ __all__ = [
     "FuzzReport",
     "Mismatch",
     "check_delta_case",
+    "check_graph_equivalence",
     "check_lut_case",
     "decode_delta_reference",
     "decode_lut_reference",

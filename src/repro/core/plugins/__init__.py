@@ -11,6 +11,7 @@ from repro.core.plugins.deepcam import (
     DeepcamBaselinePlugin,
     DeepcamDeltaPlugin,
     channel_stats,
+    holdout_filter,
 )
 
 __all__ = [
@@ -24,5 +25,6 @@ __all__ = [
     "DeepcamBaselinePlugin",
     "DeepcamDeltaPlugin",
     "channel_stats",
+    "holdout_filter",
     "log_transform",
 ]

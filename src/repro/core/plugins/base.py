@@ -85,6 +85,58 @@ class SamplePlugin(abc.ABC):
             return self.decode_gpu(blob, device)
         return self.decode_cpu(blob)
 
+    # ------------------------------------------------------------------
+    # preprocessing-graph hooks (repro.graph)
+    # ------------------------------------------------------------------
+
+    def decode_raw(
+        self, blob: bytes, device: SimulatedGpu | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode to the representation's *native* tensor.
+
+        Graph decode nodes use this: any preprocessing the legacy
+        :meth:`decode` bakes in is instead declared as elementwise graph
+        nodes so the optimizer can fuse and cost it.  Plugins whose
+        decode has no built-in preprocessing inherit this default.
+        """
+        return self.decode(blob, device)
+
+    def decode_fused(
+        self,
+        blob: bytes,
+        func=None,
+        device: SimulatedGpu | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Native decode with an elementwise chain fused in.
+
+        ``func`` is the composed chain from
+        :func:`repro.graph.compiler.compose_steps`.  The default applies
+        it as one pass over the decoded tensor (the delta codec's
+        post-transform fusion); representations that can do better —
+        the LUT codec applies it to table entries before the gather —
+        override this.  Implementations must stay bit-identical to
+        running the chain after :meth:`decode_raw`.
+        """
+        tensor, label = self.decode_raw(blob, device)
+        if func is not None:
+            tensor = func(tensor)
+        return tensor, label
+
+    def declare_preprocessing(self, source, verify_reads: bool = False):
+        """Declare this plugin's preprocessing as an optimizable graph.
+
+        The default is the minimal ``read → decode`` chain; plugins with
+        real preprocessing override this to expose it node by node
+        (which is what lets the compiler re-derive the paper's fused
+        decode instead of special-casing it).
+        """
+        from repro.graph.ir import PipelineGraph
+
+        graph = PipelineGraph(name=self.name)
+        graph.read(source, verify=verify_reads)
+        graph.decode(self)
+        return graph
+
     @abc.abstractmethod
     def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
         """Encode one representative sample and report its cost footprint."""

@@ -60,6 +60,29 @@ class CosmoflowBaselinePlugin(SamplePlugin):
     def decode_gpu(self, blob, device):  # pragma: no cover - API completeness
         raise NotImplementedError("the baseline preprocesses on the CPU only")
 
+    def decode_raw(self, blob: bytes, device=None):
+        """Native decode: the stored int16 counts, before ``log1p``."""
+        codec, data, label, _ = container.unpack_sample(blob)
+        if codec != "raw":
+            raise ValueError(f"baseline plugin got a {codec!r} container")
+        return data, label
+
+    def declare_preprocessing(self, source, verify_reads: bool = False):
+        """``read → decode(int16) → log1p`` — preprocessing as graph nodes.
+
+        The raw container has no table to fold operators into, so fusion
+        only saves op dispatch (``fused_cost_hint`` stays 1.0): the cost
+        model correctly sees no decode win for the baseline, which is
+        the paper's point.
+        """
+        from repro.graph.ir import PipelineGraph
+
+        graph = PipelineGraph(name="cosmoflow-base")
+        graph.read(source, verify=verify_reads)
+        graph.decode(self, fusable=True, fused_cost_hint=1.0)
+        graph.elementwise("log1p", log_transform, cost_hint=1.0)
+        return graph
+
     def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
         blob = self.encode(data, label)
         decoded_bytes = int(data.size) * 4  # FP32 log-transformed tensor
@@ -113,6 +136,63 @@ class CosmoflowLutPlugin(SamplePlugin):
         enc, label = self._unpack(blob)
         func = log_transform if self.apply_log else None
         return k_lut_decode(device, enc, table_func=func, out_dtype=np.float16), label
+
+    #: nominal table-entries-to-voxels ratio used as the fused-step cost
+    #: hint: the paper's samples have a few hundred unique groups per
+    #: multi-million-voxel volume, so an operator fused into the table is
+    #: orders of magnitude cheaper than a full pass (ranking hint only)
+    _TABLE_FRACTION = 1.0 / 64.0
+
+    def decode_raw(self, blob: bytes, device=None):
+        """Native decode: one gather to the stored int16 counts."""
+        enc, label = self._unpack(blob)
+        if self.placement == "gpu" and device is not None:
+            return (
+                k_lut_decode(device, enc, table_func=None, out_dtype=None),
+                label,
+            )
+        return decode_sample(enc), label
+
+    def decode_fused(self, blob: bytes, func=None, device=None):
+        """Fused decode: the composed chain runs over *table entries*.
+
+        Elementwise operators commute bit-exactly with the gather
+        (``f(table)[keys] == f(table[keys])`` element for element), so
+        applying the chain to a few hundred table values before one
+        gather produces the identical tensor at a fraction of the work —
+        the paper's ``log1p``+FP16 reordering, derived generically.
+        """
+        if func is None:
+            return self.decode_raw(blob, device)
+        enc, label = self._unpack(blob)
+        if self.placement == "gpu" and device is not None:
+            return (
+                k_lut_decode(device, enc, table_func=func, out_dtype=None),
+                label,
+            )
+        from repro.core.encoding.lut import apply_to_tables
+
+        fused = apply_to_tables(enc, func)
+        return decode_sample(fused), label
+
+    def declare_preprocessing(self, source, verify_reads: bool = False):
+        """``read → decode(int16) → [log1p] → fp16`` as graph nodes.
+
+        The legacy ``decode`` hand-fuses ``log1p``+FP16 into the table;
+        here the same stages are *declared* and the optimizer's fusion
+        pass re-derives that plan (the compiled optimized graph and the
+        hand-written path are bit-identical — asserted against the
+        golden vectors).
+        """
+        from repro.graph.ir import PipelineGraph
+
+        graph = PipelineGraph(name=f"cosmoflow-lut-{self.placement}")
+        graph.read(source, verify=verify_reads)
+        graph.decode(self, fusable=True, fused_cost_hint=self._TABLE_FRACTION)
+        if self.apply_log:
+            graph.elementwise("log1p", log_transform, cost_hint=1.0)
+        graph.cast("fp16", np.float16)
+        return graph
 
     def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
         blob = self.encode(data, label)

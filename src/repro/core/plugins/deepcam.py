@@ -32,7 +32,35 @@ from repro.core.encoding.delta_decode_fast import decode_image_fast
 from repro.core.encoding.delta_fast import encode_image_fast
 from repro.core.plugins.base import SampleCost, SamplePlugin
 
-__all__ = ["DeepcamBaselinePlugin", "DeepcamDeltaPlugin", "channel_stats"]
+__all__ = [
+    "DeepcamBaselinePlugin",
+    "DeepcamDeltaPlugin",
+    "channel_stats",
+    "holdout_filter",
+]
+
+
+def holdout_filter(fraction: float, seed: int = 0):
+    """Deterministic per-index holdout predicate (training-split style).
+
+    Drops ~``fraction`` of samples by a seeded hash of the sample index —
+    stable across epochs, runs, and machines, and reading *only* the
+    index, which is what lets the graph optimizer hoist it all the way
+    out of the executor (dropped samples are never read or decoded).
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError("holdout fraction must be in [0, 1)")
+    cut = int(fraction * 10_000)
+
+    def predicate(item) -> bool:
+        import hashlib
+
+        digest = hashlib.blake2b(
+            f"{seed}:{item.index}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % 10_000 >= cut
+
+    return predicate
 
 
 def channel_stats(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -127,6 +155,41 @@ class DeepcamDeltaPlugin(SamplePlugin):
     ) -> tuple[np.ndarray, np.ndarray]:
         channels, label = self._unpack(blob)
         return k_delta_decode(device, channels), label
+
+    def declare_preprocessing(
+        self,
+        source,
+        verify_reads: bool = False,
+        cast=None,
+        holdout: float | None = None,
+        holdout_seed: int = 0,
+    ):
+        """Declare the DeepCAM chain as an optimizable graph.
+
+        Normalization is fused into the *encoder*, so the native decode
+        is the whole value path; ``cast`` optionally declares a dtype
+        cast (e.g. FP32 for an FP32-only model) that fusion folds into
+        the decode's post-transform, and ``holdout`` declares a
+        training-split filter.  The filter is deliberately declared
+        *after* decode — where a user naturally writes it — and the
+        reordering pass hoists it before the read, so held-out samples
+        cost no storage bytes and no decode cycles.
+        """
+        from repro.graph.ir import PipelineGraph
+
+        graph = PipelineGraph(name=f"deepcam-delta-{self.placement}")
+        graph.read(source, verify=verify_reads)
+        graph.decode(self, fusable=True, fused_cost_hint=1.0)
+        if cast is not None:
+            graph.cast("cast", cast)
+        if holdout:
+            graph.filter(
+                "holdout",
+                holdout_filter(holdout, holdout_seed),
+                selectivity=1.0 - holdout,
+                reads=("index",),
+            )
+        return graph
 
     def measure(self, data: np.ndarray, label: np.ndarray) -> SampleCost:
         blob = self.encode(data, label)

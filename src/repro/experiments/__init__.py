@@ -17,6 +17,7 @@ from repro.experiments import (
     fig10,
     fig11,
     fig12,
+    graph,
     harness,
     serving,
     tables,
@@ -37,6 +38,7 @@ __all__ = [
     "fig10",
     "fig11",
     "fig12",
+    "graph",
     "harness",
     "serving",
     "tables",

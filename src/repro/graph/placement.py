@@ -1,0 +1,108 @@
+"""Cost-model-driven placement: CPU vs the simulated accelerator.
+
+The existing :func:`repro.tune.costmodel.predict_throughput` already
+knows what a representation costs under either placement — the missing
+piece was scoring a *compiled plan* rather than the bare representation.
+With ``predict_throughput(..., plan=...)`` the plan reshapes the
+per-sample cost (unfused elementwise passes, late filters, hoisted
+work), so candidate rewrites of the same graph rank against each other,
+and the placement chooser below picks where the decode node should run
+by asking the same model with the CPU-placed and GPU-placed cost rows.
+
+``choose_placement`` annotates the plan's decode node (``node.device``)
+so recompiling or re-lowering honors the decision, and returns the full
+ranking for logs/experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plugins.base import SampleCost
+from repro.graph.compiler import CompiledPlan
+from repro.simulate.machine import MachineSpec
+from repro.simulate.trainsim import WorkloadSpec
+from repro.tune.costmodel import Prediction, TuneConfig, predict_throughput
+
+__all__ = ["PlacementDecision", "score_plan", "choose_placement"]
+
+
+@dataclass
+class PlacementDecision:
+    """Outcome of a placement query: the choice plus the full ranking."""
+
+    placement: str
+    ranked: list[tuple[str, Prediction]]  # best first
+
+    def to_json(self) -> dict:
+        return {
+            "placement": self.placement,
+            "ranked": [
+                {
+                    "placement": name,
+                    "steady_samples_per_s": p.steady_samples_per_s,
+                    "bottleneck": p.bottleneck,
+                }
+                for name, p in self.ranked
+            ],
+        }
+
+
+def score_plan(
+    plan: CompiledPlan,
+    machine: MachineSpec,
+    workload: WorkloadSpec,
+    cost: SampleCost,
+    config: TuneConfig,
+    samples_per_gpu: int = 2048,
+) -> Prediction:
+    """Predicted node throughput of one compiled plan (convenience)."""
+    return predict_throughput(
+        machine, workload, cost, config, samples_per_gpu, plan=plan
+    )
+
+
+def choose_placement(
+    plan: CompiledPlan,
+    machine: MachineSpec,
+    workload: WorkloadSpec,
+    costs_by_placement: dict[str, SampleCost],
+    samples_per_gpu: int = 2048,
+    batch_size: int = 4,
+    **knobs,
+) -> PlacementDecision:
+    """Pick CPU vs GPU decode for a plan's decode node by predicted rate.
+
+    ``costs_by_placement`` maps ``"cpu"``/``"gpu"`` to the measured
+    :class:`SampleCost` of the representation under that placement (the
+    same rows :func:`repro.tune.search.workload_space` builds).  The
+    winning placement is written onto the plan's decode node.
+    """
+    if not costs_by_placement:
+        raise ValueError("need at least one placement candidate")
+    unknown = set(costs_by_placement) - {"cpu", "gpu"}
+    if unknown:
+        raise ValueError(f"placements must be cpu/gpu, got {sorted(unknown)}")
+    ranked: list[tuple[str, Prediction]] = []
+    for placement in sorted(costs_by_placement):
+        config = TuneConfig(
+            plugin=placement,
+            placement=placement,
+            batch_size=batch_size,
+            **knobs,
+        )
+        pred = predict_throughput(
+            machine,
+            workload,
+            costs_by_placement[placement],
+            config,
+            samples_per_gpu,
+            plan=plan,
+        )
+        ranked.append((placement, pred))
+    ranked.sort(key=lambda kv: kv[1].steady_samples_per_s, reverse=True)
+    best = ranked[0][0]
+    decode = plan.graph.find("decode")
+    if decode is not None:
+        decode.device = best
+    return PlacementDecision(placement=best, ranked=ranked)

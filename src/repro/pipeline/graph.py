@@ -1,6 +1,22 @@
-"""Linear operator pipeline with per-stage time attribution."""
+"""Linear operator pipeline with per-stage time attribution.
+
+This is the *execution* layer: an ordered op chain applied to one sample
+index.  Chains come either from the legacy ``DataLoader`` constructor or
+from a compiled preprocessing graph
+(:func:`repro.graph.compiler.compile_graph`), which is where fusion and
+reordering decisions are made — the pipeline just runs what it is given,
+skipping the remaining stages of an item a filter stage dropped.
+
+Timing is safe under the threaded executor: each worker thread
+accumulates into its *own* :class:`~repro.util.timing.Stopwatch`
+(registered once per thread), and readers merge the per-worker
+accumulators on demand — so stage totals are not racy and no lock sits
+on the per-sample hot path.
+"""
 
 from __future__ import annotations
+
+import threading
 
 from repro.pipeline.ops import Op, PipelineItem
 from repro.util.timing import Stopwatch
@@ -12,9 +28,9 @@ class Pipeline:
     """An ordered chain of operators applied to one sample index.
 
     The paper's plugins slot into DALI pipelines; here the chain is explicit
-    and every stage's wall-clock time is accumulated in :attr:`stopwatch`,
+    and every stage's wall-clock time is accumulated per worker thread,
     giving the functional analogue of the CPU-timeline breakdowns in
-    Figures 9/12.
+    Figures 9/12 (merged view via :attr:`stopwatch`/:meth:`stage_times`).
     """
 
     def __init__(self, ops: list[Op]) -> None:
@@ -24,16 +40,68 @@ class Pipeline:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate stage names in pipeline: {names}")
         self.ops = list(ops)
-        self.stopwatch = Stopwatch()
+        self._tls = threading.local()
+        self._watches: list[Stopwatch] = []
+        self._watch_lock = threading.Lock()
+        self._flushed: dict[str, tuple[int, float]] = {}
+
+    def _thread_watch(self) -> Stopwatch:
+        """This thread's private stopwatch (created and registered once)."""
+        watch = getattr(self._tls, "watch", None)
+        if watch is None:
+            watch = Stopwatch()
+            with self._watch_lock:
+                self._watches.append(watch)
+            self._tls.watch = watch
+        return watch
+
+    @property
+    def stopwatch(self) -> Stopwatch:
+        """Merged view of every worker's accumulators (a fresh copy)."""
+        merged = Stopwatch()
+        with self._watch_lock:
+            watches = list(self._watches)
+        for watch in watches:
+            merged.merge(watch)
+        return merged
 
     def run(self, index: int, epoch: int = 0) -> PipelineItem:
-        """Process one sample through every stage."""
+        """Process one sample through every stage.
+
+        A stage that sets ``item.meta['dropped']`` (a compiled filter)
+        short-circuits the remaining stages — the item comes back marked
+        and the loader drops it from the epoch.
+        """
         item = PipelineItem(index=index, meta={"epoch": epoch})
+        watch = self._thread_watch()
         for op in self.ops:
-            with self.stopwatch.measure(op.name):
+            with watch.measure(op.name):
                 item = op(item)
+            if item.meta.get("dropped"):
+                break
         return item
 
     def stage_times(self) -> dict[str, float]:
-        """Accumulated seconds per stage since construction."""
+        """Accumulated seconds per stage since construction (all workers)."""
         return dict(self.stopwatch.totals)
+
+    def flush_stage_stats(self, stats) -> dict[str, float]:
+        """Publish per-stage deltas since the last flush into a registry.
+
+        Adds a ``pipeline.<stage>`` counter per stage to ``stats``
+        (count = items through the stage, total = seconds), so stage
+        attribution shows up in ``repro stats --json`` next to the
+        executor/loader counters instead of living only on this object.
+        Returns the seconds flushed per stage.
+        """
+        merged = self.stopwatch
+        flushed: dict[str, float] = {}
+        for name, total in merged.totals.items():
+            n = merged.counts.get(name, 0)
+            last_n, last_total = self._flushed.get(name, (0, 0.0))
+            dn, dt = n - last_n, total - last_total
+            if dn > 0 or dt > 0:
+                stats.stat(f"pipeline.{name}").add(dt, dn)
+                self._flushed[name] = (n, total)
+                flushed[name] = dt
+        return flushed

@@ -83,6 +83,20 @@ class DataLoader:
         :class:`~repro.serve.coordination.ShardPlan` assigned to this rank
         (the shard is already shuffled, so ``shuffle`` is ignored when
         this is set).
+    graph:
+        Execute a compiled preprocessing graph instead of the legacy
+        linear chain.  ``True`` compiles the plugin's own
+        ``declare_preprocessing()`` declaration; a
+        :class:`~repro.graph.ir.PipelineGraph` compiles that graph.
+        Hoisted prefilters are applied to the epoch order (held-out
+        samples are never read), in-chain filters drop items silently
+        (no quarantine), and ``extra_ops`` still append after the
+        compiled stages.  ``__len__`` ignores filters — an epoch with
+        prefilters yields fewer batches than ``len(loader)``.
+    optimize_graph:
+        With ``graph``: run the optimizer passes (default) or compile
+        the declaration verbatim (the naive plan, for differential
+        comparisons).
     """
 
     def __init__(
@@ -101,6 +115,8 @@ class DataLoader:
         verify_reads: bool = False,
         stats: StatsRegistry | None = None,
         order_fn=None,
+        graph=None,
+        optimize_graph: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -120,9 +136,24 @@ class DataLoader:
         self.order_fn = order_fn
         self.stats = stats if stats is not None else StatsRegistry()
         self.quarantine = QuarantineLog()
-        ops: list[Op] = [ReadOp(source, verify=verify_reads), DecodeOp(plugin, device)]
-        ops.extend(extra_ops or [])
-        self.pipeline = Pipeline(ops)
+        if graph is not None and graph is not False:
+            from repro.graph.compiler import compile_graph
+
+            if graph is True:
+                graph = plugin.declare_preprocessing(
+                    source, verify_reads=verify_reads
+                )
+            self.plan = compile_graph(
+                graph, optimize=optimize_graph, device=device
+            )
+            self.pipeline = self.plan.pipeline(extra_ops)
+        else:
+            self.plan = None
+            ops: list[Op] = [
+                ReadOp(source, verify=verify_reads), DecodeOp(plugin, device)
+            ]
+            ops.extend(extra_ops or [])
+            self.pipeline = Pipeline(ops)
         self.executor = PrefetchExecutor(
             self.pipeline,
             num_workers=num_workers,
@@ -161,12 +192,20 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def epoch_order(self, epoch: int) -> np.ndarray:
-        """The (possibly shuffled) traversal order for one epoch."""
+        """The (possibly shuffled) traversal order for one epoch.
+
+        When a compiled plan hoisted prefilters, they apply here — the
+        executor never sees a held-out index, so a reordered filter
+        saves the read, not just the downstream stages.
+        """
         if self.order_fn is not None:
-            return np.asarray(self.order_fn(epoch), dtype=np.int64)
-        order = np.arange(len(self.source))
-        if self.shuffle:
-            make_rng(self.seed + epoch).shuffle(order)
+            order = np.asarray(self.order_fn(epoch), dtype=np.int64)
+        else:
+            order = np.arange(len(self.source))
+            if self.shuffle:
+                make_rng(self.seed + epoch).shuffle(order)
+        if self.plan is not None:
+            order = self.plan.filter_order(order, epoch)
         return order
 
     def batches(self, epoch: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
@@ -182,6 +221,9 @@ class DataLoader:
             yield from self._batches(epoch)
         finally:
             self.stats.add("loader.epoch", perf_counter() - t_start)
+            # per-stage wall-clock attribution lands in the registry as
+            # ``pipeline.<stage>`` counters (repro stats --json)
+            self.pipeline.flush_stage_stats(self.stats)
 
     def _batches(self, epoch: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         order = self.epoch_order(epoch)
@@ -206,6 +248,11 @@ class DataLoader:
                     self.quarantine.record(item.index, epoch, item.error, "skipped")
                     continue
             else:
+                if item.meta.get("dropped"):
+                    # filtered by an in-chain graph filter: policy, not
+                    # failure — drop silently, no quarantine
+                    self.stats.add("loader.filtered")
+                    continue
                 last_good = item
                 pending_t.append(item.tensor)
                 pending_l.append(item.label)

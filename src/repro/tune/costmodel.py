@@ -190,6 +190,7 @@ def predict_throughput(
     cost: SampleCost,
     config: TuneConfig,
     samples_per_gpu: int,
+    plan=None,
 ) -> Prediction:
     """Predict node throughput (samples/s) for ``config``.
 
@@ -198,9 +199,18 @@ def predict_throughput(
     allreduce formula — replacing the event simulation with a bottleneck
     ``min``.  ``tests/test_tune.py`` holds the two within 15 % on the
     tuned configurations.
+
+    ``plan`` optionally scores a compiled preprocessing plan
+    (:class:`repro.graph.compiler.CompiledPlan`, duck-typed on
+    ``sample_cost``): the plan reshapes ``cost`` — unfused elementwise
+    passes, filters left after decode, per-epoch work — so candidate
+    rewrites of the same graph rank against each other and ``tune()``
+    can pick the best compiled plan.
     """
     if samples_per_gpu < 1:
         raise ValueError("samples_per_gpu must be >= 1")
+    if plan is not None:
+        cost = plan.sample_cost(cost, workload.sample_elems)
     m = machine
     P = m.gpus_per_node
     B = config.batch_size

@@ -137,6 +137,7 @@ class Trial:
     config: TuneConfig
     prediction: Prediction
     simulated_samples_per_s: float | None = None
+    plan: str | None = None  # compiled-plan key when tuning over plans
 
     @property
     def predicted(self) -> float:
@@ -171,6 +172,7 @@ class TuneResult:
         def trial_dict(t: Trial) -> dict:
             return {
                 "config": vars(t.config).copy(),
+                "plan": t.plan,
                 "predicted_samples_per_s": t.predicted,
                 "cold_samples_per_s": t.prediction.cold_samples_per_s,
                 "bottleneck": t.prediction.bottleneck,
@@ -255,6 +257,7 @@ def tune(
     validate: bool = True,
     epochs: int = 3,
     sim_samples_cap: int = 96,
+    plans: dict | None = None,
 ) -> TuneResult:
     """Coordinate-descent search for the fastest pipeline configuration.
 
@@ -262,9 +265,19 @@ def tune(
     both derive from it).  With ``validate=True`` the winning trial also
     gets a simulated throughput, so callers can check the cost model's
     prediction against the what-if evaluation.
+
+    ``plans`` optionally adds a compiled-plan axis: a mapping of name →
+    :class:`~repro.graph.compiler.CompiledPlan` (e.g. naive vs optimized
+    lowerings of the same preprocessing graph).  Each trial is scored
+    with ``predict_throughput(..., plan=...)`` so the search picks the
+    best plan jointly with the other knobs; the winner's key lands in
+    ``Trial.plan``.  (The DES validation scores the bare representation
+    — plan cost reshaping is a cost-model-only view.)
     """
     rng = make_rng(seed)
     axes = _axes(machine, space)
+    if plans:
+        axes["plan"] = tuple(plans)
     wl = space.workload
 
     memo: dict[tuple, Trial] = {}
@@ -273,11 +286,17 @@ def tune(
         key = tuple(sorted(knobs.items()))
         trial = memo.get(key)
         if trial is None:
-            config = space.config(batch_size=batch_size, **knobs)
+            plan_name = knobs.get("plan")
+            config_knobs = {k: v for k, v in knobs.items() if k != "plan"}
+            config = space.config(batch_size=batch_size, **config_knobs)
             pred = predict_throughput(
-                machine, wl, space.costs[config.plugin], config, samples_per_gpu
+                machine, wl, space.costs[config.plugin], config,
+                samples_per_gpu,
+                plan=plans[plan_name] if plan_name is not None else None,
             )
-            trial = memo[key] = Trial(config=config, prediction=pred)
+            trial = memo[key] = Trial(
+                config=config, prediction=pred, plan=plan_name
+            )
         return trial
 
     knobs = {

@@ -293,3 +293,92 @@ class TestTiers:
         data = json.loads(capsys.readouterr().out)
         assert data["tiers"]["hit_rate"] > 0.0
         assert len(data["samples"]) == 8
+
+
+class TestGraphCommand:
+    @pytest.fixture()
+    def cosmo_file(self, tmp_path):
+        out = tmp_path / "c.tfr"
+        main(["generate", "--workload", "cosmoflow", "--representation",
+              "plugin", "--count", "3", "--size", "8", "--output",
+              str(out)])
+        return out
+
+    @pytest.fixture()
+    def deepcam_file(self, tmp_path):
+        out = tmp_path / "d.tfr"
+        main(["generate", "--workload", "deepcam", "--representation",
+              "plugin", "--count", "6", "--size", "16", "--output",
+              str(out)])
+        return out
+
+    def test_show_lists_stages_and_edges(self, cosmo_file, capsys):
+        capsys.readouterr()
+        assert main(["graph", "show", "--workload", "cosmoflow",
+                     "--input", str(cosmo_file)]) == 0
+        text = capsys.readouterr().out
+        assert "decode" in text and "log1p" in text and "fp16" in text
+        assert "edges:" in text and "->" in text
+
+    def test_show_json(self, cosmo_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["graph", "show", "--workload", "cosmoflow",
+                     "--input", str(cosmo_file), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = [n["name"] for n in data["nodes"]]
+        assert "read" in names and "log1p" in names
+
+    def test_optimize_check_cosmoflow(self, cosmo_file, capsys):
+        capsys.readouterr()
+        assert main(["graph", "optimize", "--workload", "cosmoflow",
+                     "--input", str(cosmo_file), "--check"]) == 0
+        text = capsys.readouterr().out
+        assert "bit-identical" in text
+        assert "naive/optimized/legacy" in text
+        assert "fused" in text  # pass trace mentions the fusion
+
+    def test_optimize_check_deepcam_holdout(self, deepcam_file, capsys):
+        capsys.readouterr()
+        assert main(["graph", "optimize", "--workload", "deepcam",
+                     "--input", str(deepcam_file), "--holdout", "0.5",
+                     "--check"]) == 0
+        text = capsys.readouterr().out
+        assert "bit-identical" in text
+        assert "holdout" in text  # filter shows up in the trace
+
+    def test_optimize_json_has_cost_terms(self, cosmo_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["graph", "optimize", "--workload", "cosmoflow",
+                     "--input", str(cosmo_file), "--check", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["check"]["ok"] is True
+        assert data["check"]["mismatches"] == []
+        naive = data["naive"]["cost_terms"]
+        opt = data["optimized"]["cost_terms"]
+        assert opt["extra_passes"] < naive["extra_passes"]
+        assert data["optimized"]["optimized"] is True
+
+    def test_holdout_rejected_for_cosmoflow(self, cosmo_file):
+        with pytest.raises(SystemExit):
+            main(["graph", "optimize", "--workload", "cosmoflow",
+                  "--input", str(cosmo_file), "--holdout", "0.5"])
+
+    def test_stats_pipeline_counters(self, cosmo_file, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["stats", "--input", str(cosmo_file), "--pipeline",
+                     "--workload", "cosmoflow", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        stages = data["pipeline"]
+        assert "pipeline.read" in stages and "pipeline.decode" in stages
+        assert stages["pipeline.decode"]["count"] == 3
+        assert stages["pipeline.decode"]["seconds"] >= 0.0
+
+    def test_stats_pipeline_needs_workload(self, cosmo_file):
+        with pytest.raises(SystemExit):
+            main(["stats", "--input", str(cosmo_file), "--pipeline"])

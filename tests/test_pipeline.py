@@ -751,3 +751,177 @@ class TestFailedItemSerialization:
             assert rec["index"] == 1
             assert rec["error"]
             assert "Traceback" in rec["traceback"]
+
+
+class TestOpRoundTrips:
+    """Satellite: dtype round-trips and augmentation determinism."""
+
+    def test_cast_op_fp16_fp32_round_trip_is_lossless(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        item = PipelineItem(index=0, blob=blobs[0])
+        item = DecodeOp(plugin)(item)
+        original = item.tensor.copy()
+        assert original.dtype == np.float16
+        item = CastOp(np.float32)(item)
+        assert item.tensor.dtype == np.float32
+        item = CastOp(np.float16)(item)
+        # every FP16 value survives the FP32 round trip bit-for-bit
+        assert item.tensor.tobytes() == original.tobytes()
+
+    def test_cast_op_int_round_trip_is_lossless(self):
+        t = np.arange(-300, 300, dtype=np.int16)
+        item = PipelineItem(index=0, tensor=t.copy())
+        item = CastOp(np.int32)(item)
+        item = CastOp(np.int16)(item)
+        assert item.tensor.tobytes() == t.tobytes()
+
+    def test_cast_op_same_dtype_does_not_copy(self):
+        t = np.ones(4, dtype=np.float32)
+        out = CastOp(np.float32)(PipelineItem(index=0, tensor=t))
+        assert out.tensor is t  # astype(copy=False) short-circuits
+
+    def test_flip_deterministic_across_runs_and_instances(self, deepcam_blobs):
+        """The flip seed derives from (epoch, index) only — two fresh op
+        instances agree per epoch, and reruns of the same epoch schedule
+        are bit-identical."""
+        plugin, blobs = deepcam_blobs
+        for epoch in range(3):
+            outs = []
+            for _ in range(2):  # fresh op instance each run
+                op = RandomFlipOp(probability=0.5)
+                item = PipelineItem(
+                    index=2, blob=blobs[2], meta={"epoch": epoch}
+                )
+                item = op(DecodeOp(plugin)(item))
+                outs.append((item.tensor.tobytes(), item.label.tobytes()))
+            assert outs[0] == outs[1]
+
+    def test_flip_decision_varies_with_epoch(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        op = RandomFlipOp(probability=0.5)
+        flips = set()
+        for epoch in range(8):
+            item = PipelineItem(index=1, blob=blobs[1], meta={"epoch": epoch})
+            item = op(DecodeOp(plugin)(item))
+            flips.add(bool(item.meta.get("flipped")))
+        assert flips == {True, False}  # epoch enters the seed
+
+
+class TestLabelTransformWithBadSamplePolicy:
+    """Satellite: LabelTransformOp composes with every bad-sample policy —
+    transformed labels for survivors, quarantine unaffected."""
+
+    def _loader(self, deepcam_blobs, policy):
+        plugin, blobs = deepcam_blobs
+        bad = list(blobs)
+        bad[2] = b"not a container"
+        return DataLoader(
+            ListSource(bad), plugin, batch_size=1, shuffle=False,
+            bad_sample_policy=policy,
+            extra_ops=[LabelTransformOp(lambda l: l.astype(np.float32) * 2)],
+        )
+
+    def test_skip_policy_transforms_survivors(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = self._loader(deepcam_blobs, "skip")
+        labels = [l[0] for _, l in dl.batches(0)]
+        assert len(labels) == 4  # sample 2 skipped
+        assert dl.quarantine.ids() == [2]
+        for got, i in zip(labels, [0, 1, 3, 4]):
+            _, want = plugin.decode(blobs[i])
+            assert np.array_equal(got, want.astype(np.float32) * 2)
+
+    def test_substitute_policy_reuses_transformed_label(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = self._loader(deepcam_blobs, "substitute")
+        labels = [l[0] for _, l in dl.batches(0)]
+        assert len(labels) == 5  # geometry preserved
+        # slot 2 repeats the transformed label of sample 1
+        assert np.array_equal(labels[2], labels[1])
+        _, want = plugin.decode(blobs[1])
+        assert np.array_equal(labels[2], want.astype(np.float32) * 2)
+
+    def test_raise_policy_propagates_with_index(self, deepcam_blobs):
+        dl = self._loader(deepcam_blobs, "raise")
+        with pytest.raises(Exception) as ei:
+            list(dl.batches(0))
+        assert ei.value.sample_index == 2
+
+
+class TestThreadSafeStageTimes:
+    """Satellite: per-worker stopwatch accumulation merged on read."""
+
+    def test_counts_exact_under_threaded_executor(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        order = [i % 5 for i in range(40)]
+        list(PrefetchExecutor(pipe, num_workers=4, prefetch_depth=4).run(order))
+        merged = pipe.stopwatch
+        assert merged.counts["read"] == len(order)
+        assert merged.counts["decode"] == len(order)
+        assert merged.totals["decode"] > 0.0
+
+    def test_counts_exact_under_raw_thread_hammer(self, deepcam_blobs):
+        import threading
+
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        per_thread = 25
+
+        def hammer():
+            for i in range(per_thread):
+                pipe.run(i % 5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert pipe.stopwatch.counts["read"] == 6 * per_thread
+        assert pipe.stage_times()["read"] > 0.0
+
+    def test_stopwatch_property_returns_fresh_merged_copy(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        pipe.run(0)
+        a = pipe.stopwatch
+        pipe.run(1)
+        b = pipe.stopwatch
+        assert a is not b
+        assert a.counts["read"] == 1  # snapshot unaffected by later runs
+        assert b.counts["read"] == 2
+
+    def test_flush_stage_stats_publishes_deltas(self, deepcam_blobs):
+        from repro.tune.stats import StatsRegistry
+
+        plugin, blobs = deepcam_blobs
+        pipe = Pipeline([ReadOp(ListSource(blobs)), DecodeOp(plugin)])
+        stats = StatsRegistry()
+        for i in range(3):
+            pipe.run(i)
+        pipe.flush_stage_stats(stats)
+        snap = stats.snapshot()
+        assert snap["pipeline.read"][0] == 3
+        assert snap["pipeline.decode"][1] > 0.0
+        # second flush publishes only the delta
+        pipe.run(3)
+        pipe.run(4)
+        pipe.flush_stage_stats(stats)
+        snap = stats.snapshot()
+        assert snap["pipeline.read"][0] == 5
+        # nothing new: a further flush adds nothing
+        flushed = pipe.flush_stage_stats(stats)
+        assert flushed == {}
+        assert stats.snapshot()["pipeline.read"][0] == 5
+
+    def test_loader_publishes_pipeline_counters(self, deepcam_blobs):
+        plugin, blobs = deepcam_blobs
+        dl = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=0,
+                        num_workers=2)
+        list(dl.batches(0))
+        snap = dl.stats.snapshot()
+        assert snap["pipeline.read"][0] == 5
+        assert snap["pipeline.decode"][0] == 5
+        assert snap["pipeline.decode"][1] > 0.0
+        list(dl.batches(1))
+        assert dl.stats.snapshot()["pipeline.read"][0] == 10
