@@ -296,6 +296,80 @@ class ClusterSource:
             attempts=attempts,
         )
 
+    def read_batch_slots(self, indices) -> list:
+        """Batched cluster read: route per replica, fail over per slot.
+
+        Indices are grouped by their first-choice replica (same rotated
+        routing as :meth:`read`) and each group travels in one
+        ``READ_BATCH`` round-trip.  Any index whose group or slot fails —
+        a dead/shedding replica, a corrupt copy — is retried through the
+        scalar :meth:`read` failover path, so the batch plane can only
+        ever *add* round-trip amortization, never weaken the failover
+        contract.  Each slot holds the blob or the exception the scalar
+        path finally raised.
+        """
+        indices = [int(i) for i in indices]
+        n = len(self)
+        for index in indices:
+            if not 0 <= index < n:
+                raise IndexError(
+                    f"sample index {index} out of range [0, {n})"
+                )
+        if not indices:
+            return []
+        try:
+            table = self._refresh_table()
+        except (OSError, RuntimeError):
+            self.stats.add("cluster.route_errors")
+            with self._lock:
+                assert self._table is not None
+                table = self._table
+        # first-choice replica per index, skipping suspects
+        groups: dict[str, list[tuple[int, int]]] = {}
+        for pos, index in enumerate(indices):
+            replicas = table.replicas(index)
+            offset = (index + self._salt) % len(replicas)
+            ordered = replicas[offset:] + replicas[:offset]
+            chosen = next(
+                (w for w in ordered if not self._is_suspect(w)), ordered[0]
+            )
+            groups.setdefault(chosen, []).append((pos, index))
+        slots: list = [None] * len(indices)
+        fallback: list[tuple[int, int]] = []
+        for worker_id, members in groups.items():
+            batch = [index for _, index in members]
+            try:
+                conn = self._connection(worker_id, table.address(worker_id))
+                replies = conn.read_batch_slots(batch)
+            except (OSError, TimeoutError):
+                self.stats.add("cluster.failovers")
+                self._mark_suspect(worker_id)
+                fallback.extend(members)
+                continue
+            except Exception:  # noqa: BLE001 — e.g. old server: no READ_BATCH
+                fallback.extend(members)
+                continue
+            for (pos, index), reply in zip(members, replies):
+                if isinstance(reply, Exception):
+                    fallback.append((pos, index))
+                else:
+                    self.stats.add("cluster.reads")
+                    slots[pos] = reply
+        for pos, index in fallback:
+            try:
+                slots[pos] = self.read(index)
+            except Exception as exc:  # noqa: BLE001 — slot-isolated
+                slots[pos] = exc
+        return slots
+
+    def read_batch(self, indices) -> list[bytes]:
+        """Strict batched read: every blob, or the first slot's error."""
+        slots = self.read_batch_slots(indices)
+        for slot in slots:
+            if isinstance(slot, Exception):
+                raise slot
+        return slots
+
     # -- lifecycle / reports -----------------------------------------------
 
     def close(self) -> None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -46,7 +47,17 @@ from repro.conformance.reference import (
 )
 from repro.core.encoding import container
 from repro.core.encoding.delta import DeltaCodecConfig, encode_image
-from repro.core.encoding.lut import LutCodecConfig, apply_to_tables, encode_sample
+from repro.core.encoding.delta_decode_fast import (
+    decode_image_fast,
+    decode_images_fast,
+)
+from repro.core.encoding.lut import (
+    LutCodecConfig,
+    apply_to_tables,
+    decode_sample,
+    decode_samples,
+    encode_sample,
+)
 from repro.util.rng import make_rng
 
 __all__ = [
@@ -199,6 +210,67 @@ def _lut_cases(seed: int) -> list[dict]:
     return cases
 
 
+def _pack_blob_list(blobs: list[bytes]) -> bytes:
+    """Concatenate container blobs with u32-LE length prefixes.
+
+    The on-disk form of a *batched* golden case: one ``.bin`` file
+    holding every member of the batch, in order.
+    """
+    return b"".join(struct.pack("<I", len(b)) + b for b in blobs)
+
+
+def _unpack_blob_list(data: bytes) -> list[bytes]:
+    """Inverse of :func:`_pack_blob_list` (strict: no trailing bytes)."""
+    blobs: list[bytes] = []
+    off = 0
+    while off < len(data):
+        if off + 4 > len(data):
+            raise ValueError("truncated batch blob length prefix")
+        (n,) = struct.unpack_from("<I", data, off)
+        off += 4
+        if off + n > len(data):
+            raise ValueError("truncated batch blob payload")
+        blobs.append(data[off:off + n])
+        off += n
+    return blobs
+
+
+def _batch_cases(seed: int) -> list[dict]:
+    """Frozen batched-decode cases: several same-shape samples per case.
+
+    The expected array is the *stack* of the per-sample reference
+    decodes; verification additionally runs the vectorized batched
+    decoders (one line pass / one table gather across all members) and
+    the scalar loop, so a future change that breaks cross-sample state
+    in the batched paths fails against frozen ground truth.
+    """
+    cases = []
+
+    rng = make_rng(seed + 201)
+    images = [_smooth_image(rng, 10, 36, scale=1e-2) for _ in range(3)]
+    images.append(np.repeat(
+        rng.normal(0, 1, (10, 1)).astype(np.float32), 36, axis=1
+    ))  # an all-CONST member: per-member mode mix inside one batch
+    cases.append({
+        "name": "batch-delta", "codec": "delta-batch",
+        "note": "4 same-shape delta samples decoded in one line pass",
+        "images": images, "config": DeltaCodecConfig(),
+    })
+
+    rng = make_rng(seed + 202)
+    vols = [
+        rng.integers(0, 5, (3, 6, 6)).astype(np.int16),
+        rng.integers(-40, 40, (3, 6, 6)).astype(np.int16),
+        rng.integers(0, 2, (3, 6, 6)).astype(np.int16),
+    ]
+    cases.append({
+        "name": "batch-lut", "codec": "lut-batch",
+        "note": "3 same-shape LUT samples decoded by one stacked gather",
+        "volumes": vols, "config": LutCodecConfig(),
+    })
+    return cases
+
+
 def _expected_for(case: dict) -> tuple[bytes, np.ndarray]:
     """(container blob, expected decoded array) for one case definition.
 
@@ -206,6 +278,18 @@ def _expected_for(case: dict) -> tuple[bytes, np.ndarray]:
     from the *reference* decoder, never from the vectorized paths.
     """
     label = np.zeros(1, dtype=np.int8)
+    if case["codec"] == "delta-batch":
+        encs = [encode_image(img, case["config"]) for img in case["images"]]
+        blob = _pack_blob_list(
+            [container.pack_delta_sample([e], label) for e in encs]
+        )
+        return blob, np.stack([decode_delta_reference(e) for e in encs])
+    if case["codec"] == "lut-batch":
+        encs = [encode_sample(v, case["config"]) for v in case["volumes"]]
+        blob = _pack_blob_list(
+            [container.pack_lut_sample(e, label) for e in encs]
+        )
+        return blob, np.stack([decode_lut_reference(e) for e in encs])
     if case["codec"] == "delta":
         enc = encode_image(case["image"], case["config"])
         blob = container.pack_delta_sample([enc], label)
@@ -237,7 +321,7 @@ def generate_vectors(
         )
     out_dir.mkdir(parents=True, exist_ok=True)
     entries = []
-    for case in _delta_cases(seed) + _lut_cases(seed):
+    for case in _delta_cases(seed) + _lut_cases(seed) + _batch_cases(seed):
         blob, expected = _expected_for(case)
         npy = _npy_bytes(expected)
         name = case["name"]
@@ -256,7 +340,7 @@ def generate_vectors(
             "expected_shape": list(expected.shape),
             "config": (
                 delta_config_to_dict(cfg)
-                if case["codec"] == "delta"
+                if case["codec"].startswith("delta")
                 else lut_config_to_dict(cfg)
             ),
             "transform": case.get("transform"),
@@ -342,6 +426,9 @@ def _verify_case(
         fail("expected array does not match manifest dtype/shape")
         return res
 
+    if entry["codec"] in ("delta-batch", "lut-batch"):
+        return _verify_batch_case(res, entry, blob, expected, fail)
+
     try:
         codec, payload, _, _ = container.unpack_sample(blob)
     except ValueError as exc:
@@ -365,6 +452,51 @@ def _verify_case(
         fail(f"decode failed: {exc!r}")
         return res
     # every implementation against the frozen expectation, bit for bit
+    outputs = {"expected": expected, **outputs}
+    for m in compare_against(outputs, against="expected"):
+        fail(str(m))
+    return res
+
+
+def _verify_batch_case(
+    res: VectorCaseResult, entry: dict, blob: bytes, expected: np.ndarray,
+    fail,
+) -> VectorCaseResult:
+    """Verify one batched case: scalar loop and vectorized batch decode
+    must both reproduce the frozen stacked expectation bit-for-bit."""
+    inner_codec = entry["codec"].split("-")[0]
+    try:
+        encs = []
+        for member in _unpack_blob_list(blob):
+            codec, payload, _, _ = container.unpack_sample(member)
+            if codec != inner_codec:
+                raise ValueError(
+                    f"batch member codec {codec!r} != {inner_codec!r}"
+                )
+            encs.append(payload[0] if codec == "delta" else payload)
+    except ValueError as exc:
+        fail(f"batch unpack failed: {exc}")
+        return res
+    try:
+        if inner_codec == "delta":
+            outputs = {
+                "reference": np.stack(
+                    [decode_delta_reference(e) for e in encs]
+                ),
+                "scalar": np.stack([decode_image_fast(e) for e in encs]),
+                "batched": np.stack(decode_images_fast(encs)),
+            }
+        else:
+            outputs = {
+                "reference": np.stack(
+                    [decode_lut_reference(e) for e in encs]
+                ),
+                "scalar": np.stack([decode_sample(e) for e in encs]),
+                "batched": np.stack(decode_samples(encs)),
+            }
+    except Exception as exc:
+        fail(f"batched decode failed: {exc!r}")
+        return res
     outputs = {"expected": expected, **outputs}
     for m in compare_against(outputs, against="expected"):
         fail(str(m))

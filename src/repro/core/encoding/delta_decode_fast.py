@@ -16,6 +16,13 @@ exploits the shared segment grid exactly like the vectorized encoder:
 This mirrors the GPU implementation the paper describes — independent
 lines in parallel, segment tasks within a line in sequence — and the test
 suite asserts bit-identical FP16 output against the reference decoder.
+
+Because every line is decoded independently, the same pass extends across
+*samples*: :func:`decode_images_fast` concatenates the payloads of several
+same-shape images and runs the identical mode-grouped walk over all
+``N × H`` lines at once — the batch plane's multi-sample decode.  Single-
+image and batched decode share :func:`_decode_lines` verbatim, which is
+what makes bit-identity between them structural rather than incidental.
 """
 
 from __future__ import annotations
@@ -33,24 +40,24 @@ from repro.core.encoding.delta import (
 from repro.util.bitpack import unpack_fields
 from repro.util.fp16 import dequantize_magnitude
 
-__all__ = ["decode_image_fast"]
+__all__ = ["decode_image_fast", "decode_images_fast"]
 
 
-def decode_image_fast(
-    enc: DeltaEncodedImage, out: np.ndarray | None = None
+def _decode_lines(
+    buf: np.ndarray,
+    starts: np.ndarray,
+    modes: np.ndarray,
+    W: int,
+    cfg,
+    out: np.ndarray,
 ) -> np.ndarray:
-    """Vectorized equivalent of :func:`delta.decode_image` (FP16 output)."""
-    H, W = enc.shape
-    cfg = enc.config
-    if out is None:
-        out = np.empty((H, W), dtype=np.float16)
-    elif out.shape != (H, W) or out.dtype != np.float16:
-        raise ValueError("out buffer must be float16 with the encoded shape")
+    """Decode ``len(starts)`` independent lines out of one byte buffer.
 
-    buf = np.frombuffer(enc.payload, dtype=np.uint8)
-    starts = enc.line_offsets[:-1].astype(np.int64)
-    modes = enc.line_modes
-
+    ``starts[i]`` is the absolute offset of line ``i``'s record in
+    ``buf``; lines may come from one image or many (the caller only has
+    to make the offsets absolute).  ``out`` is the ``(L, W)`` float16
+    destination.
+    """
     # CONST lines: one FP32 head each
     const_rows = np.flatnonzero(modes == LINE_CONST)
     if const_rows.size:
@@ -115,3 +122,73 @@ def decode_image_fast(
         prev = vals[:, -1].copy()
     out[delta_rows] = line.astype(np.float16)
     return out
+
+
+def decode_image_fast(
+    enc: DeltaEncodedImage, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorized equivalent of :func:`delta.decode_image` (FP16 output)."""
+    H, W = enc.shape
+    if out is None:
+        out = np.empty((H, W), dtype=np.float16)
+    elif out.shape != (H, W) or out.dtype != np.float16:
+        raise ValueError("out buffer must be float16 with the encoded shape")
+    buf = np.frombuffer(enc.payload, dtype=np.uint8)
+    starts = enc.line_offsets[:-1].astype(np.int64)
+    return _decode_lines(buf, starts, enc.line_modes, W, enc.config, out)
+
+
+def decode_images_fast(
+    encs: list, outs: list | None = None
+) -> list[np.ndarray]:
+    """Decode several same-shape images in one vectorized NumPy pass.
+
+    All images must share one ``(H, W)`` shape and codec config; their
+    payloads are concatenated once and all ``N × H`` lines run through
+    the single-image column walk together, so the per-call NumPy
+    dispatch overhead is paid once per *batch* instead of once per
+    image.  Mixed shapes or configs raise ``ValueError`` — callers
+    (``decode_batch`` in the plugins) fall back to the scalar loop.
+
+    With ``outs=None`` the returned arrays are views into one contiguous
+    ``(N·H, W)`` float16 block (no per-image copies); passing ``outs``
+    (e.g. channel slices of per-sample volumes) fills them instead.
+    """
+    if not encs:
+        return []
+    H, W = encs[0].shape
+    cfg = encs[0].config
+    for enc in encs:
+        if enc.shape != (H, W) or enc.config != cfg:
+            raise ValueError(
+                "decode_images_fast requires one shared shape and config"
+            )
+    if outs is not None and len(outs) != len(encs):
+        raise ValueError("outs must have one destination per image")
+    N = len(encs)
+    payloads = [np.frombuffer(enc.payload, dtype=np.uint8) for enc in encs]
+    if N == 1:
+        buf = payloads[0]
+        bases = [0]
+    else:
+        sizes = np.array([p.size for p in payloads], dtype=np.int64)
+        bases = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        buf = np.concatenate(payloads)
+    starts = np.concatenate(
+        [
+            enc.line_offsets[:-1].astype(np.int64) + int(base)
+            for enc, base in zip(encs, bases)
+        ]
+    )
+    modes = np.concatenate([enc.line_modes for enc in encs])
+    flat = np.empty((N * H, W), dtype=np.float16)
+    _decode_lines(buf, starts, modes, W, cfg, flat)
+    if outs is None:
+        return [flat[i * H : (i + 1) * H] for i in range(N)]
+    for i, out in enumerate(outs):
+        if out.shape != (H, W) or out.dtype != np.float16:
+            raise ValueError(
+                "out buffers must be float16 with the encoded shape"
+            )
+        out[...] = flat[i * H : (i + 1) * H]
+    return outs

@@ -95,6 +95,24 @@ class PrefetchExecutor:
         was blocked on the next in-order item — the starvation signal
         the adaptive tuner acts on).  All updates happen on the consumer
         thread, so the counters are exact with any worker count.
+    fetch_batch_size:
+        Batch mode: with ``B > 1`` the work unit becomes a *group* of up
+        to ``B`` consecutive epoch indices processed by one
+        :meth:`Pipeline.run_batch` call — one batched fetch
+        (``read_batch_slots``: one wire round-trip / one seek pass per
+        group) and one vectorized multi-sample decode.  Items still come
+        back one by one, in order, with per-slot failures delivered
+        exactly like scalar-mode failures; ``prefetch_depth`` counts
+        *groups* in flight.  Results are bit-identical to scalar mode
+        by the batch plane's contract.
+    decode_processes:
+        With batch mode, ``> 0`` offloads each group's decode to a pool
+        of worker *processes* (escaping the GIL for decoders that hold
+        it).  The pool lives for one :meth:`run` call; the plugin and
+        blobs must pickle (ours do), simulated-GPU decodes stay
+        in-process, and any pool failure falls back to in-process
+        decode — batching and pooling can only change speed, never
+        results.
     """
 
     def __init__(
@@ -103,15 +121,23 @@ class PrefetchExecutor:
         num_workers: int = 2,
         prefetch_depth: int = 4,
         stats: StatsRegistry | None = None,
+        fetch_batch_size: int = 1,
+        decode_processes: int = 0,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         if prefetch_depth < 1:
             raise ValueError("prefetch_depth must be >= 1")
+        if fetch_batch_size < 1:
+            raise ValueError("fetch_batch_size must be >= 1")
+        if decode_processes < 0:
+            raise ValueError("decode_processes must be >= 0")
         self.pipeline = pipeline
         self.num_workers = num_workers
         self.prefetch_depth = prefetch_depth
         self.stats = stats
+        self.fetch_batch_size = fetch_batch_size
+        self.decode_processes = decode_processes
 
     def run(
         self, indices: Sequence[int], epoch: int = 0, on_error: str = "raise"
@@ -125,6 +151,9 @@ class PrefetchExecutor:
         """
         if on_error not in ("raise", "yield"):
             raise ValueError(f"on_error must be 'raise' or 'yield', got {on_error!r}")
+        if self.fetch_batch_size > 1:
+            yield from self._run_batched(list(indices), epoch, on_error)
+            return
         st = self.stats
         if self.num_workers == 0:
             # synchronous: the consumer *is* the producer, so the whole
@@ -153,6 +182,130 @@ class PrefetchExecutor:
                 yield item
             return
         yield from self._run_threaded(list(indices), epoch, on_error)
+
+    def _run_batched(
+        self, indices: list[int], epoch: int, on_error: str
+    ) -> Iterator[PipelineItem | FailedItem]:
+        """Batch mode: groups of indices through ``Pipeline.run_batch``.
+
+        Same machinery as the scalar paths (order-preserving, per-item
+        failure delivery, consumer-side stats), but the producer-side
+        unit of work is a whole group: one batched fetch + one
+        vectorized decode per group.  The admission window counts
+        groups, so memory is bounded at
+        ``prefetch_depth * fetch_batch_size`` samples.
+        """
+        B = self.fetch_batch_size
+        groups = [indices[i:i + B] for i in range(0, len(indices), B)]
+        pool = None
+        if self.decode_processes > 0:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=self.decode_processes)
+        st = self.stats
+        s_items = st.stat("executor.items") if st is not None else None
+        s_wait = st.stat("executor.wait") if st is not None else None
+        s_failed = st.stat("executor.failed") if st is not None else None
+        s_groups = st.stat("executor.groups") if st is not None else None
+
+        def consume(group, results, waited):
+            # deliver one group's results item by item, updating the
+            # same counters the scalar paths keep (per *item*, with the
+            # group's cost split evenly across its members)
+            share = waited / len(results) if results else 0.0
+            for idx, result in zip(group, results):
+                if isinstance(result, Exception):
+                    item = FailedItem(index=int(idx), error=result)
+                else:
+                    item = result
+                if isinstance(item, FailedItem):
+                    if s_failed is not None:
+                        s_failed.add()
+                    if on_error == "raise":
+                        exc = item.error
+                        exc.sample_index = item.index  # type: ignore[attr-defined]
+                        raise exc
+                elif s_items is not None:
+                    s_items.add(share)
+                yield item
+
+        try:
+            if self.num_workers == 0:
+                for group in groups:
+                    t0 = perf_counter()
+                    results = self.pipeline.run_batch(
+                        group, epoch, decode_pool=pool
+                    )
+                    dt = perf_counter() - t0
+                    if s_groups is not None:
+                        s_groups.add(dt)
+                        s_wait.add(dt)
+                    yield from consume(group, results, dt)
+                return
+
+            work: queue.Queue = queue.Queue()
+            done: dict[int, tuple[list, float]] = {}
+            done_lock = threading.Condition()
+            window = threading.Semaphore(self.prefetch_depth)
+            for pos, group in enumerate(groups):
+                work.put((pos, group))
+            for _ in range(self.num_workers):
+                work.put(_SENTINEL)
+
+            def worker() -> None:
+                while True:
+                    window.acquire()
+                    task = work.get()
+                    if task is _SENTINEL:
+                        window.release()
+                        return
+                    pos, group = task
+                    t0 = perf_counter()
+                    try:
+                        results = self.pipeline.run_batch(
+                            group, epoch, decode_pool=pool
+                        )
+                    except Exception as exc:  # noqa: BLE001 — whole group
+                        results = [exc] * len(group)
+                    busy = perf_counter() - t0
+                    with done_lock:
+                        done[pos] = (results, busy)
+                        done_lock.notify_all()
+
+            threads = [
+                threading.Thread(target=worker, daemon=True)
+                for _ in range(self.num_workers)
+            ]
+            for t in threads:
+                t.start()
+            try:
+                for pos in range(len(groups)):
+                    with done_lock:
+                        if pos not in done:
+                            t0 = perf_counter()
+                            while pos not in done:
+                                done_lock.wait()
+                            if s_wait is not None:
+                                s_wait.add(perf_counter() - t0)
+                        results, busy = done.pop(pos)
+                    window.release()
+                    if s_groups is not None:
+                        s_groups.add(busy)
+                    yield from consume(groups[pos], results, busy)
+            finally:
+                try:
+                    while True:
+                        work.get_nowait()
+                except queue.Empty:
+                    pass
+                for _ in range(self.num_workers):
+                    work.put(_SENTINEL)
+                    window.release()
+                for t in threads:
+                    t.join(timeout=5.0)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     def _run_threaded(
         self, indices: list[int], epoch: int, on_error: str

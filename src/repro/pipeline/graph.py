@@ -24,6 +24,11 @@ from repro.util.timing import Stopwatch
 __all__ = ["Pipeline"]
 
 
+def _pool_decode(plugin, blobs):
+    """Decode a blob batch in a worker process (module-level: picklable)."""
+    return plugin.decode_batch(blobs, None)
+
+
 class Pipeline:
     """An ordered chain of operators applied to one sample index.
 
@@ -80,6 +85,139 @@ class Pipeline:
             if item.meta.get("dropped"):
                 break
         return item
+
+    def run_batch(
+        self, indices, epoch: int = 0, decode_pool=None
+    ) -> list:
+        """Process a group of samples, vectorizing read and decode.
+
+        Returns one entry per index, aligned with ``indices``: the
+        processed :class:`PipelineItem`, or the ``Exception`` that sample
+        raised (slot-isolated — one bad sample never sinks its
+        batch-mates; the executor wraps exceptions into ``FailedItem``).
+
+        Chains of the standard ``ReadOp → DecodeOp → extras`` shape take
+        the batch plane: one :func:`~repro.pipeline.sources.read_batch_slots`
+        fetch (amortizing locks/seeks/wire round-trips) and one
+        :meth:`~repro.core.plugins.base.SamplePlugin.decode_batch` call
+        (vectorized multi-sample decode, bit-identical to the scalar
+        loop by contract).  Any other chain — compiled graph plans
+        included — falls back to per-item :meth:`run`, so batching never
+        changes results, only amortization.
+
+        ``decode_pool`` (a ``concurrent.futures`` executor) offloads the
+        batched decode to a worker process to escape the GIL; it is only
+        used for CPU-placed decodes (a simulated device's accounting
+        lives in this process) and falls back in-process on any pool
+        failure.
+        """
+        from repro.pipeline.ops import DecodeOp, ReadOp
+        from repro.pipeline.sources import read_batch_slots
+
+        ops = self.ops
+        results: list = [None] * len(indices)
+        batchable = (
+            len(ops) >= 2
+            and type(ops[0]) is ReadOp
+            and type(ops[1]) is DecodeOp
+        )
+        if not batchable:
+            for j, idx in enumerate(indices):
+                try:
+                    results[j] = self.run(int(idx), epoch)
+                except Exception as exc:  # noqa: BLE001 — slot-isolated
+                    results[j] = exc
+            return results
+
+        read_op, decode_op = ops[0], ops[1]
+        watch = self._thread_watch()
+        items = [
+            PipelineItem(index=int(idx), meta={"epoch": epoch})
+            for idx in indices
+        ]
+
+        # --- read: one batched fetch, per-slot failures stay in their slot
+        with watch.measure(read_op.name):
+            slots = read_batch_slots(
+                read_op.source, [item.index for item in items]
+            )
+            live: list[int] = []
+            for j, (item, slot) in enumerate(zip(items, slots)):
+                if isinstance(slot, Exception):
+                    results[j] = slot
+                    continue
+                if read_op.verify:
+                    from repro.core.encoding.container import verify_sample
+
+                    try:
+                        verify_sample(slot, sample_id=item.index)
+                    except Exception as exc:  # noqa: BLE001 — slot-isolated
+                        results[j] = exc
+                        continue
+                item.blob = slot
+                item.meta["stored_bytes"] = len(slot)
+                live.append(j)
+        if len(items) > 1:
+            # stage counts mean "items through the stage", batched or not
+            watch.counts[read_op.name] += len(items) - 1
+
+        # --- decode: one vectorized multi-sample call
+        if live:
+            blobs = [items[j].blob for j in live]
+            with watch.measure(decode_op.name):
+                pairs = None
+                try:
+                    if decode_pool is not None and decode_op.device is None:
+                        pairs = decode_pool.submit(
+                            _pool_decode, decode_op.plugin,
+                            [bytes(b) for b in blobs],
+                        ).result()
+                    else:
+                        pairs = decode_op.plugin.decode_batch(
+                            blobs, decode_op.device
+                        )
+                except Exception:  # noqa: BLE001 — isolate via scalar loop
+                    pairs = None
+                decoded: list[int] = []
+                if pairs is not None:
+                    for j, (tensor, label) in zip(live, pairs):
+                        items[j].tensor = tensor
+                        items[j].label = label
+                        items[j].blob = None
+                        decoded.append(j)
+                else:
+                    # batch decode failed somewhere: the scalar loop pins
+                    # the failure to exactly the sample that raised
+                    for j in live:
+                        try:
+                            tensor, label = decode_op.plugin.decode(
+                                items[j].blob, decode_op.device
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            results[j] = exc
+                            continue
+                        items[j].tensor = tensor
+                        items[j].label = label
+                        items[j].blob = None
+                        decoded.append(j)
+            if pairs is not None and len(blobs) > 1:
+                watch.counts[decode_op.name] += len(blobs) - 1
+            live = decoded
+
+        # --- remaining stages: per item (augment/label/cast are scalar)
+        for j in live:
+            item = items[j]
+            try:
+                for op in ops[2:]:
+                    with watch.measure(op.name):
+                        item = op(item)
+                    if item.meta.get("dropped"):
+                        break
+            except Exception as exc:  # noqa: BLE001 — slot-isolated
+                results[j] = exc
+                continue
+            results[j] = item
+        return results
 
     def stage_times(self) -> dict[str, float]:
         """Accumulated seconds per stage since construction (all workers)."""

@@ -97,6 +97,21 @@ class DataLoader:
         With ``graph``: run the optimizer passes (default) or compile
         the declaration verbatim (the naive plan, for differential
         comparisons).
+    batched_fetch:
+        Drive the executor in batch mode: ``batch_size`` becomes the
+        fetch/decode granularity, so each training batch costs one
+        batched read (one wire round-trip against a remote source) and
+        one vectorized multi-sample decode instead of ``batch_size``
+        scalar round-trips.  Bit-identical to the scalar path by the
+        batch plane's contract (``check_batch_equivalence``); failure
+        semantics (``bad_sample_policy``, quarantine, degraded
+        accounting) are unchanged because batch failures are delivered
+        per slot.  See docs/batching.md.
+    decode_processes:
+        With ``batched_fetch``: offload each group's decode to this
+        many worker processes (escapes the GIL for CPU-heavy decodes;
+        ignored for simulated-GPU placements, which keep their
+        accounting in-process).
     """
 
     def __init__(
@@ -117,6 +132,8 @@ class DataLoader:
         order_fn=None,
         graph=None,
         optimize_graph: bool = True,
+        batched_fetch: bool = False,
+        decode_processes: int = 0,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -154,23 +171,36 @@ class DataLoader:
             ]
             ops.extend(extra_ops or [])
             self.pipeline = Pipeline(ops)
+        self.batched_fetch = bool(batched_fetch)
         self.executor = PrefetchExecutor(
             self.pipeline,
             num_workers=num_workers,
             prefetch_depth=prefetch_depth,
             stats=self.stats,
+            fetch_batch_size=batch_size if self.batched_fetch else 1,
+            decode_processes=decode_processes if self.batched_fetch else 0,
         )
 
     def reconfigure(
-        self, num_workers: int | None = None, prefetch_depth: int | None = None
+        self,
+        num_workers: int | None = None,
+        prefetch_depth: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         """Swap in a new executor with different worker/queue settings.
 
         The pipeline, stats registry and quarantine log are kept, so an
         online tuner (:class:`repro.tune.AdaptiveController`) can change
         these knobs between epochs without losing accumulated state.
-        Takes effect from the next :meth:`batches` call.
+        ``batch_size`` also retunes the fetch granularity when the
+        loader was built with ``batched_fetch=True`` (how ``tune()``'s
+        chosen batch size takes effect).  Takes effect from the next
+        :meth:`batches` call.
         """
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError("batch_size must be >= 1")
+            self.batch_size = batch_size
         self.executor = PrefetchExecutor(
             self.pipeline,
             num_workers=(
@@ -182,6 +212,8 @@ class DataLoader:
                 else prefetch_depth
             ),
             stats=self.stats,
+            fetch_batch_size=self.batch_size if self.batched_fetch else 1,
+            decode_processes=self.executor.decode_processes,
         )
 
     def __len__(self) -> int:

@@ -33,16 +33,69 @@ __all__ = [
     "TierSource",
     "TfRecordSource",
     "CachedSource",
+    "read_batch",
+    "read_batch_slots",
 ]
 
 
 @runtime_checkable
 class SampleSource(Protocol):
-    """Index → container bytes."""
+    """Index → container bytes.
+
+    Only ``__len__`` and ``read`` are required.  Sources may additionally
+    implement the *batch plane* (see docs/batching.md):
+
+    * ``read_batch(indices) -> list[bytes]`` — strict: all blobs or the
+      first error, amortizing per-call overhead (one lock/seek pass, one
+      wire round-trip);
+    * ``read_batch_slots(indices) -> list[bytes | Exception]`` — per-slot:
+      each failed sample is returned *in its slot* as the exception it
+      raised, so one corrupt sample cannot sink its batch-mates.
+
+    Callers should go through the module-level :func:`read_batch` /
+    :func:`read_batch_slots` helpers, which dispatch to these methods when
+    present and otherwise fall back to a per-index loop — every source is
+    batch-readable, implementations only make it faster.
+    """
 
     def __len__(self) -> int: ...
 
     def read(self, index: int) -> bytes: ...
+
+
+def read_batch(source: "SampleSource", indices) -> list[bytes]:
+    """Batched read with loop fallback — all blobs, or the first error."""
+    method = getattr(source, "read_batch", None)
+    if callable(method):
+        return method(indices)
+    return [source.read(int(i)) for i in indices]
+
+
+def read_batch_slots(source: "SampleSource", indices) -> list:
+    """Per-slot batched read: ``blob`` or the ``Exception`` it raised.
+
+    Dispatches to ``source.read_batch_slots`` when implemented (a remote
+    source maps wire error slots here); the fallback catches per-index so
+    local sources get the same one-bad-sample-per-slot semantics.
+    """
+    method = getattr(source, "read_batch_slots", None)
+    if callable(method):
+        return method(indices)
+    strict = getattr(source, "read_batch", None)
+    if callable(strict):
+        # amortized happy path; one failure falls back to the per-index
+        # loop below, which isolates it to its slot
+        try:
+            return list(strict(indices))
+        except Exception:  # noqa: BLE001 — retried per-index for isolation
+            pass
+    slots: list = []
+    for i in indices:
+        try:
+            slots.append(source.read(int(i)))
+        except Exception as exc:  # noqa: BLE001 — slot-isolated by design
+            slots.append(exc)
+    return slots
 
 
 def _check_index(index: int, n: int, what: str) -> int:
@@ -62,6 +115,12 @@ class ListSource:
 
     def read(self, index: int) -> bytes:
         return self._blobs[_check_index(index, len(self._blobs), "sample")]
+
+    def read_batch(self, indices) -> list[bytes]:
+        n = len(self._blobs)
+        return [
+            self._blobs[_check_index(int(i), n, "sample")] for i in indices
+        ]
 
 
 class TierSource:
@@ -112,6 +171,24 @@ class TfRecordSource:
             raise ValueError("truncated record payload")
         return payload
 
+    def read_batch(self, indices) -> list[bytes]:
+        """All records under one lock acquisition (one seek pass)."""
+        n = len(self._index)
+        spans = [
+            self._index[_check_index(int(i), n, "record")] for i in indices
+        ]
+        blobs: list[bytes] = []
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "rb")
+            for offset, length in spans:
+                self._fh.seek(offset)
+                payload = self._fh.read(length)
+                if len(payload) < length:
+                    raise ValueError("truncated record payload")
+                blobs.append(payload)
+        return blobs
+
     def close(self) -> None:
         """Release the file handle (reads after this re-open it)."""
         with self._lock:
@@ -156,3 +233,18 @@ class CachedSource:
                 verify_sample(blob, sample_id=index)
             self.cache.put(index, blob)
         return blob
+
+    def read_batch(self, indices) -> list[bytes]:
+        """Hits from the cache, misses in one inner batched read."""
+        indices = [int(i) for i in indices]
+        blobs: list = [self.cache.get(i) for i in indices]
+        missing = [pos for pos, b in enumerate(blobs) if b is None]
+        if missing:
+            fetched = read_batch(self.inner, [indices[p] for p in missing])
+            for pos, blob in zip(missing, fetched):
+                index = indices[pos]
+                if self.verify:
+                    verify_sample(blob, sample_id=index)
+                self.cache.put(index, blob)
+                blobs[pos] = blob
+        return blobs

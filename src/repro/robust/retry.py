@@ -160,3 +160,68 @@ class RetryingSource:
         assert last_exc is not None
         last_exc.retry_attempts = policy.max_attempts  # type: ignore[attr-defined]
         raise last_exc
+
+    def read_batch_slots(self, indices) -> list:
+        """Batched read with retries at both granularities.
+
+        The inner batched call is retried as a whole on *whole-exchange*
+        retryable failures (a transport fault damages every slot at once
+        — e.g. a truncated ``READ_BATCH`` frame); individual failed slots
+        are then retried through the scalar :meth:`read` path with its
+        own backoff budget, so one flaky sample consumes one sample's
+        retry budget, not the batch's.
+        """
+        from repro.pipeline.sources import read_batch_slots as _slots
+
+        indices = [int(i) for i in indices]
+        if not indices:
+            return []
+        policy = self.policy
+        slots: list | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                slots = _slots(self.inner, indices)
+                break
+            except self.retryable as exc:
+                self.stats._count_error(exc)
+                if attempt + 1 >= policy.max_attempts:
+                    self.stats.aborts += 1
+                    exc.retry_attempts = policy.max_attempts  # type: ignore[attr-defined]
+                    raise
+                delay = policy.delay(attempt, self._rng)
+                hint = getattr(exc, "retry_after_s", None)
+                if hint:
+                    delay = max(delay, float(hint))
+                self.stats.retries += 1
+                if delay > 0:
+                    self._sleep(delay)
+                self.stats.backoff_seconds += delay
+        assert slots is not None
+        out: list = []
+        for index, slot in zip(indices, slots):
+            if not isinstance(slot, Exception) and self.verify:
+                try:
+                    verify_sample(slot, sample_id=index)
+                except CorruptSampleError as exc:
+                    self.stats.verify_failures += 1
+                    slot = exc
+            if isinstance(slot, Exception):
+                if isinstance(slot, self.retryable):
+                    try:
+                        slot = self.read(index)  # scalar retry budget
+                    except Exception as exc:  # noqa: BLE001 — slot-isolated
+                        slot = exc
+                else:
+                    self.stats._count_error(slot)
+            else:
+                self.stats.reads += 1
+            out.append(slot)
+        return out
+
+    def read_batch(self, indices) -> list[bytes]:
+        """Strict batched read: every blob, or the first slot's error."""
+        slots = self.read_batch_slots(indices)
+        for slot in slots:
+            if isinstance(slot, Exception):
+                raise slot
+        return slots

@@ -315,6 +315,65 @@ class RemoteSource:
                 protocol.OP_READ, protocol.pack_read(index), context=index
             )
 
+    def read_batch_slots(self, indices) -> list:
+        """Many blobs in one ``READ_BATCH`` round-trip, per-slot errors.
+
+        Returns one entry per requested index, *in request order*: the
+        container blob, or the ``Exception`` the server reported for that
+        sample (mapped through the same taxonomy as :meth:`read` — a
+        corrupt sample stays a quarantinable ``CorruptSampleError``, a
+        transient server I/O failure stays a retryable ``OSError``).
+        Whole-exchange failures — transport faults, a CRC-damaged batch
+        frame, an ``ST_BUSY`` shed — raise exactly as :meth:`read` does:
+        no slot survives a broken frame.
+        """
+        indices = [int(i) for i in indices]
+        n = len(self)
+        for index in indices:
+            if not 0 <= index < n:
+                raise IndexError(
+                    f"sample index {index} out of range [0, {n})"
+                )
+        if not indices:
+            return []
+        with self._lock:
+            body = self._round_trip(
+                protocol.OP_READ_BATCH,
+                protocol.pack_indices(np.asarray(indices, dtype=np.int64)),
+                context=tuple(indices),
+            )
+        raw = protocol.unpack_batch_reply(body)
+        if len(raw) != len(indices):
+            self._drop()  # server answered a different question: resync
+            raise protocol.ProtocolError(
+                f"READ_BATCH answered {len(raw)} slots for "
+                f"{len(indices)} indices"
+            )
+        self.stats.add("remote.read_batch", n=1)
+        slots: list = []
+        for index, (status, payload) in zip(indices, raw):
+            if status == protocol.SLOT_OK:
+                slots.append(payload.tobytes())
+            else:
+                slots.append(self._slot_exception(payload, index))
+        return slots
+
+    def read_batch(self, indices) -> list[bytes]:
+        """Strict batched read: every blob, or the first slot's error."""
+        slots = self.read_batch_slots(indices)
+        for slot in slots:
+            if isinstance(slot, Exception):
+                raise slot
+        return slots
+
+    def _slot_exception(self, payload, index) -> Exception:
+        """Map one SLOT_ERROR payload to the local exception it denotes."""
+        try:
+            self._raise_remote(bytes(payload), index)
+        except Exception as exc:  # noqa: BLE001 — returned, not swallowed
+            return exc
+        raise AssertionError("_raise_remote returned")  # pragma: no cover
+
     # -- service ops -------------------------------------------------------
 
     def info(self) -> dict:

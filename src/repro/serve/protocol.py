@@ -20,11 +20,22 @@ surfaces as a retryable
 
 Request bodies::
 
-    READ   u64 index                  → OK body = container blob
-    INFO   (empty)                    → OK body = JSON dataset/server facts
-    STATS  (empty)                    → OK body = JSON counter snapshot
-    HEALTH (empty)                    → OK body = JSON liveness report
-    EPOCH  u32 rank | u64 epoch       → OK body = u32 count | count × u64
+    READ       u64 index              → OK body = container blob
+    INFO       (empty)                → OK body = JSON dataset/server facts
+    STATS      (empty)                → OK body = JSON counter snapshot
+    HEALTH     (empty)                → OK body = JSON liveness report
+    EPOCH      u32 rank | u64 epoch   → OK body = u32 count | count × u64
+    READ_BATCH u32 count | count × u64 index
+               → OK body = u32 count | count × (u8 slot_status | u32 len | payload)
+
+``READ_BATCH`` is the batch plane: one round-trip carries many container
+blobs, amortizing per-request latency.  Each response *slot* stands alone:
+``slot_status`` is :data:`SLOT_OK` (payload = the blob) or
+:data:`SLOT_ERROR` (payload = the same JSON error object an ``ST_ERROR``
+frame would carry), so one corrupt sample quarantines by itself while the
+rest of the batch is delivered.  A whole-frame CRC failure still damages
+every slot at once — that is exactly the retryable
+:class:`FrameCorruptError` case below.
 
 The cluster control plane (:mod:`repro.cluster`) adds four JSON-bodied
 ops — control traffic is rare, so compactness matters less than being
@@ -78,13 +89,18 @@ __all__ = [
     "OP_HEARTBEAT",
     "OP_ROUTE",
     "OP_LEASE",
+    "OP_READ_BATCH",
     "ST_OK",
     "ST_ERROR",
     "ST_BUSY",
+    "SLOT_OK",
+    "SLOT_ERROR",
     "MAX_BODY_BYTES",
     "ProtocolError",
     "FrameCorruptError",
     "pack_frame",
+    "frame_parts",
+    "send_frame",
     "recv_frame",
     "pack_read",
     "unpack_read",
@@ -92,6 +108,8 @@ __all__ = [
     "unpack_epoch",
     "pack_indices",
     "unpack_indices",
+    "batch_reply_parts",
+    "unpack_batch_reply",
     "pack_json",
     "unpack_json",
 ]
@@ -109,6 +127,8 @@ OP_REGISTER = 0x06
 OP_HEARTBEAT = 0x07
 OP_ROUTE = 0x08
 OP_LEASE = 0x09
+#: batch data plane: many blobs per round-trip (see module docstring)
+OP_READ_BATCH = 0x0A
 
 #: response status codes (high bit set so a stray request/response mixup
 #: is caught immediately instead of being misparsed)
@@ -117,6 +137,10 @@ ST_ERROR = 0x81
 #: admission-control shed: request refused under overload, retryable,
 #: stream still in sync (JSON body: retry_after_s, reason)
 ST_BUSY = 0x82
+
+#: per-slot statuses inside a READ_BATCH reply body
+SLOT_OK = 0x00
+SLOT_ERROR = 0x01
 
 KINDS = frozenset(
     {
@@ -129,6 +153,7 @@ KINDS = frozenset(
         OP_HEARTBEAT,
         OP_ROUTE,
         OP_LEASE,
+        OP_READ_BATCH,
         ST_OK,
         ST_ERROR,
         ST_BUSY,
@@ -144,6 +169,7 @@ _CRC = struct.Struct("<I")
 _READ_BODY = struct.Struct("<Q")
 _EPOCH_BODY = struct.Struct("<IQ")
 _COUNT = struct.Struct("<I")
+_SLOT = struct.Struct("<BI")
 
 
 class ProtocolError(ConnectionError):
@@ -167,6 +193,56 @@ def pack_frame(kind: int, body: bytes = b"") -> bytes:
     return b"".join(
         [_HEAD.pack(MAGIC, kind, len(body)), body, _CRC.pack(_crc(body))]
     )
+
+
+def frame_parts(kind: int, parts: list) -> list:
+    """Scatter-gather frame assembly: the frame as a buffer list.
+
+    Returns ``[header, *parts, crc]`` **without concatenating** the body —
+    each element of ``parts`` (``bytes``/``memoryview``/``bytearray``) is
+    placed in the output list *by reference*, and the trailing CRC is
+    computed incrementally over the parts.  Wire-identical to
+    ``pack_frame(kind, b"".join(parts))``, but a multi-megabyte sample
+    blob is never copied into an intermediate body; hand the list to
+    :func:`send_frame` (``sendmsg``) or ``socket.sendmsg`` directly.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown frame kind {kind:#x}")
+    body_len = 0
+    crc = 0
+    for part in parts:
+        body_len += len(part)
+        crc = zlib.crc32(part, crc)
+    if body_len > MAX_BODY_BYTES:
+        raise ValueError(f"frame body of {body_len} bytes exceeds protocol cap")
+    out = [_HEAD.pack(MAGIC, kind, body_len)]
+    out.extend(parts)
+    out.append(_CRC.pack(crc & 0xFFFFFFFF))
+    return out
+
+
+def send_frame(sock: socket.socket, kind: int, parts: list) -> int:
+    """Send a frame as a scatter-gather buffer list (``sendmsg``).
+
+    The kernel gathers the buffers straight from their owners — no
+    userspace concatenation.  Handles short writes by advancing
+    memoryviews over the remaining buffers.  Returns the total bytes
+    sent (header + body + CRC).
+    """
+    bufs = [memoryview(p).cast("B") for p in frame_parts(kind, parts)]
+    total = sum(len(b) for b in bufs)
+    sent_total = 0
+    while bufs:
+        sent = sock.sendmsg(bufs[:1024])  # stay under IOV_MAX
+        sent_total += sent
+        while sent:
+            if sent >= len(bufs[0]):
+                sent -= len(bufs.pop(0))
+            else:
+                bufs[0] = bufs[0][sent:]
+                sent = 0
+    assert sent_total == total
+    return sent_total
 
 
 def _recv_exact(
@@ -276,6 +352,52 @@ def unpack_indices(body: bytes) -> np.ndarray:
             f"shard payload carries {len(payload)} bytes for {count} indices"
         )
     return np.frombuffer(payload, dtype="<u8").astype(np.int64)
+
+
+def batch_reply_parts(slots: list) -> list:
+    """Body of a ``READ_BATCH`` reply as a scatter-gather buffer list.
+
+    ``slots`` is a list of ``(slot_status, payload)`` pairs — ``SLOT_OK``
+    with the container blob, or ``SLOT_ERROR`` with a JSON error body.
+    Payload buffers enter the output list by reference (zero-copy); pass
+    the result to :func:`frame_parts`/:func:`send_frame`.
+    """
+    parts: list = [_COUNT.pack(len(slots))]
+    for status, payload in slots:
+        if status not in (SLOT_OK, SLOT_ERROR):
+            raise ValueError(f"unknown slot status {status:#x}")
+        parts.append(_SLOT.pack(status, len(payload)))
+        parts.append(payload)
+    return parts
+
+
+def unpack_batch_reply(body: bytes) -> list:
+    """Parse a ``READ_BATCH`` reply body into ``(status, payload)`` slots.
+
+    Payloads are returned as ``memoryview`` slices of ``body`` — no
+    per-slot copies; the views keep ``body`` alive, and the container
+    decoders consume buffers directly.
+    """
+    if len(body) < _COUNT.size:
+        raise ProtocolError("truncated READ_BATCH reply")
+    (count,) = _COUNT.unpack_from(body)
+    view = memoryview(body)
+    slots = []
+    pos = _COUNT.size
+    for _ in range(count):
+        if pos + _SLOT.size > len(body):
+            raise ProtocolError("READ_BATCH reply truncated mid-slot")
+        status, length = _SLOT.unpack_from(body, pos)
+        pos += _SLOT.size
+        if pos + length > len(body):
+            raise ProtocolError("READ_BATCH slot payload overruns the body")
+        slots.append((status, view[pos:pos + length]))
+        pos += length
+    if pos != len(body):
+        raise ProtocolError(
+            f"READ_BATCH reply carries {len(body) - pos} trailing bytes"
+        )
+    return slots
 
 
 def pack_json(obj: dict) -> bytes:

@@ -49,7 +49,7 @@ import time
 from time import perf_counter
 
 from repro.core.encoding.container import verify_sample
-from repro.pipeline.sources import CachedSource, SampleSource
+from repro.pipeline.sources import CachedSource, SampleSource, read_batch_slots
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, BusyError
 from repro.serve.coordination import EpochCoordinator, ShardPlan
@@ -63,6 +63,7 @@ _POLL_S = 0.25
 
 _OP_NAMES = {
     protocol.OP_READ: "read",
+    protocol.OP_READ_BATCH: "read_batch",
     protocol.OP_INFO: "info",
     protocol.OP_STATS: "stats",
     protocol.OP_HEALTH: "health",
@@ -274,7 +275,11 @@ class FrameServer:
                         self._record(f"{self.stats_prefix}.errors")
                         response = self._error_frame(exc)
                     try:
-                        conn.sendall(response)
+                        if isinstance(response, tuple):
+                            # scatter-gather frame: (kind, buffer list)
+                            protocol.send_frame(conn, response[0], response[1])
+                        else:
+                            conn.sendall(response)
                     except OSError:
                         self._record(f"{self.stats_prefix}.errors")
                         return
@@ -284,7 +289,7 @@ class FrameServer:
                 self._active -= 1
                 self._handlers.discard(threading.current_thread())
 
-    def _timed_dispatch(self, kind: int, body: bytes, peer) -> bytes:
+    def _timed_dispatch(self, kind: int, body: bytes, peer):
         name = _OP_NAMES.get(kind)
         if name is None:
             raise ValueError(f"unsupported op {kind:#x}")
@@ -296,9 +301,12 @@ class FrameServer:
 
     # -- request dispatch (subclass responsibility) ------------------------
 
-    def _dispatch(self, kind: int, body: bytes, peer) -> bytes:
-        """Serve one request frame; return the complete response frame.
+    def _dispatch(self, kind: int, body: bytes, peer):
+        """Serve one request frame; return the response.
 
+        Either a complete response frame (``bytes``) or a scatter-gather
+        pair ``(status_kind, buffer_list)`` sent via
+        :func:`~repro.serve.protocol.send_frame` without concatenation.
         ``peer`` is the connection's remote ``(host, port)`` — the
         admission-control client key.  Raising :class:`BusyError` sheds
         the request with an ``ST_BUSY`` frame; any other exception becomes
@@ -414,9 +422,11 @@ class DataServer(FrameServer):
 
     # -- request dispatch --------------------------------------------------
 
-    def _dispatch(self, kind: int, body: bytes, peer) -> bytes:
+    def _dispatch(self, kind: int, body: bytes, peer):
         if kind == protocol.OP_READ:
             return self._op_read(body, peer)
+        if kind == protocol.OP_READ_BATCH:
+            return self._op_read_batch(body, peer)
         if kind == protocol.OP_INFO:
             return protocol.pack_frame(
                 protocol.ST_OK, protocol.pack_json(self.info())
@@ -451,7 +461,59 @@ class DataServer(FrameServer):
             if self.admission is not None:
                 self.admission.release()
         self._record("serve.read.bytes", float(len(blob)))
-        return protocol.pack_frame(protocol.ST_OK, blob)
+        # scatter-gather: the blob buffer goes to sendmsg by reference
+        return (protocol.ST_OK, [blob])
+
+    def _op_read_batch(self, body: bytes, peer):
+        """Many blobs per round-trip, with per-slot error isolation.
+
+        Admission is charged once per batch (a batch is one unit of
+        server work to shed), the service delay is paid once (that is the
+        amortization the batch plane exists for), and each sample that
+        fails to read or verify becomes a ``SLOT_ERROR`` carrying the
+        same JSON payload an ``ST_ERROR`` frame would — the rest of the
+        batch is still delivered.
+        """
+        indices = protocol.unpack_indices(body)
+        if self.admission is not None:
+            self.admission.admit(peer)  # raises BusyError on shed
+        try:
+            if self.service_delay_s > 0:
+                time.sleep(self.service_delay_s)  # once per batch
+            if self.cache is not None:
+                raw = read_batch_slots(self.source, indices)
+            else:
+                with self._read_lock:  # sources need not be thread-safe
+                    raw = read_batch_slots(self.source, indices)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+        slots = []
+        n_bytes = 0
+        for index, blob in zip(indices, raw):
+            if not isinstance(blob, Exception) and self.verify:
+                try:
+                    verify_sample(blob, sample_id=int(index))
+                except Exception as exc:  # noqa: BLE001 — slot-isolated
+                    blob = exc
+            if isinstance(blob, Exception):
+                payload = {
+                    "error": type(blob).__name__,
+                    "message": str(blob),
+                }
+                section = getattr(blob, "section", None)
+                if section is not None:
+                    payload["section"] = section
+                slots.append(
+                    (protocol.SLOT_ERROR, protocol.pack_json(payload))
+                )
+                self._record("serve.read_batch.slot_errors")
+            else:
+                slots.append((protocol.SLOT_OK, blob))
+                n_bytes += len(blob)
+        self._record("serve.read.bytes", float(n_bytes))
+        self._record("serve.read_batch.samples", n=len(slots))
+        return (protocol.ST_OK, protocol.batch_reply_parts(slots))
 
     def _op_epoch(self, body: bytes) -> bytes:
         rank, epoch = protocol.unpack_epoch(body)
@@ -465,6 +527,7 @@ class DataServer(FrameServer):
         return {
             "server": "repro.serve",
             "protocol": 1,
+            "read_batch": True,  # READ_BATCH op supported
             "n_samples": len(self.source),
             "world_size": plan.world_size,
             "seed": plan.seed,

@@ -78,6 +78,18 @@ class SampleCache:
             self.stats.hits += 1
             return blob
 
+    def get_view(self, key: object) -> memoryview | None:
+        """Zero-copy lookup: a ``memoryview`` over the cached blob.
+
+        Same recency/stats semantics as :meth:`get`, but the hot path
+        (decoders, wire framing) reads straight out of the cache's buffer
+        instead of receiving an owned copy — ``view.obj`` *is* the stored
+        blob.  The view pins the payload bytes even if the entry is
+        evicted concurrently, so holders see a stable snapshot.
+        """
+        blob = self.get(key)
+        return None if blob is None else memoryview(blob)
+
     def put(self, key: object, blob: bytes) -> bool:
         """Insert a sample, evicting LRU entries to make room.
 

@@ -191,6 +191,7 @@ def predict_throughput(
     config: TuneConfig,
     samples_per_gpu: int,
     plan=None,
+    fetch_overhead_s: float = 0.0,
 ) -> Prediction:
     """Predict node throughput (samples/s) for ``config``.
 
@@ -206,11 +207,24 @@ def predict_throughput(
     passes, filters left after decode, per-epoch work — so candidate
     rewrites of the same graph rank against each other and ``tune()``
     can pick the best compiled plan.
+
+    ``fetch_overhead_s`` is the *fixed* cost of one fetch operation —
+    a data-service wire round-trip, a seek+lock pass, a cache lookup
+    barrage — paid once per batched fetch regardless of its size.  The
+    batch plane (``DataLoader(batched_fetch=True)``) issues one fetch
+    per ``batch_size`` samples, so the per-sample charge is
+    ``fetch_overhead_s / batch_size``: the amortization term that lets
+    ``tune(batch_sizes=...)`` trade queue memory against round-trip
+    overhead and pick the knee of the curve.
     """
     if samples_per_gpu < 1:
         raise ValueError("samples_per_gpu must be >= 1")
+    if fetch_overhead_s < 0:
+        raise ValueError("fetch_overhead_s must be >= 0")
     if plan is not None:
-        cost = plan.sample_cost(cost, workload.sample_elems)
+        cost = plan.sample_cost(
+            cost, workload.sample_elems, batch_size=config.batch_size
+        )
     m = machine
     P = m.gpus_per_node
     B = config.batch_size
@@ -222,7 +236,8 @@ def predict_throughput(
     hit_rate = 1.0 if dataset_bytes <= cache_bytes else cache_bytes / dataset_bytes
 
     tier = m.nvme if config.staged else m.pfs
-    read_s = read_time(tier, disk_bytes)
+    # one fixed fetch overhead per batched fetch, split across its samples
+    read_s = read_time(tier, disk_bytes) + fetch_overhead_s / B
 
     cpu_ns = workload.cpu_ns_per_elem * workload.cpu_factor(m)
     cpu_s = cost.cpu_preprocess_elems * cpu_ns * 1e-9

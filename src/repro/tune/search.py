@@ -258,6 +258,8 @@ def tune(
     epochs: int = 3,
     sim_samples_cap: int = 96,
     plans: dict | None = None,
+    batch_sizes: tuple | None = None,
+    fetch_overhead_s: float = 0.0,
 ) -> TuneResult:
     """Coordinate-descent search for the fastest pipeline configuration.
 
@@ -273,11 +275,21 @@ def tune(
     best plan jointly with the other knobs; the winner's key lands in
     ``Trial.plan``.  (The DES validation scores the bare representation
     — plan cost reshaping is a cost-model-only view.)
+
+    ``batch_sizes`` optionally adds a batch-size axis (otherwise every
+    trial uses the fixed ``batch_size``).  Pair it with
+    ``fetch_overhead_s`` — the fixed per-fetch cost the batch plane
+    amortizes (see :func:`~repro.tune.costmodel.predict_throughput`) —
+    so the search can pick the batch size where one more doubling no
+    longer buys measurable round-trip savings but still costs queue
+    memory (the footprint tie-break pushes back).
     """
     rng = make_rng(seed)
     axes = _axes(machine, space)
     if plans:
         axes["plan"] = tuple(plans)
+    if batch_sizes:
+        axes["batch_size"] = tuple(sorted({int(b) for b in batch_sizes}))
     wl = space.workload
 
     memo: dict[tuple, Trial] = {}
@@ -288,11 +300,13 @@ def tune(
         if trial is None:
             plan_name = knobs.get("plan")
             config_knobs = {k: v for k, v in knobs.items() if k != "plan"}
-            config = space.config(batch_size=batch_size, **config_knobs)
+            config_knobs.setdefault("batch_size", batch_size)
+            config = space.config(**config_knobs)
             pred = predict_throughput(
                 machine, wl, space.costs[config.plugin], config,
                 samples_per_gpu,
                 plan=plans[plan_name] if plan_name is not None else None,
+                fetch_overhead_s=fetch_overhead_s,
             )
             trial = memo[key] = Trial(
                 config=config, prediction=pred, plan=plan_name

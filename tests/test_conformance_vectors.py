@@ -25,7 +25,7 @@ def test_committed_corpus_exists_and_is_nonempty():
     cases = manifest["cases"]
     assert len(cases) >= 15
     codecs = {c["codec"] for c in cases}
-    assert codecs == {"delta", "lut"}
+    assert codecs == {"delta", "lut", "delta-batch", "lut-batch"}
     for c in cases:
         assert (VECTOR_DIR / c["blob"]).is_file()
         assert (VECTOR_DIR / c["expected"]).is_file()
@@ -50,6 +50,7 @@ def test_corpus_covers_documented_edge_cases():
         "delta-smooth", "delta-abrupt", "delta-const", "delta-singlecol",
         "delta-specials", "delta-denormal", "delta-nogate",
         "lut-u8", "lut-u16", "lut-split", "lut-fused",
+        "batch-delta", "batch-lut",
     ):
         assert required in names
 

@@ -38,7 +38,7 @@ class ScriptedServer:
     """Protocol peer that misbehaves per a script of READ behaviors.
 
     ``INFO`` is always answered honestly (the client handshakes with it);
-    each ``READ`` consumes the next scripted behavior:
+    each ``READ`` or ``READ_BATCH`` consumes the next scripted behavior:
 
     * ``"ok"`` — correct response frame (also after the script runs out);
     * ``"corrupt"`` — flip a body byte, leave the CRC (payload damaged,
@@ -108,15 +108,28 @@ class ScriptedServer:
                         ),
                     ))
                     continue
-                index = protocol.unpack_read(body)
+                if kind == protocol.OP_READ_BATCH:
+                    indices = protocol.unpack_indices(body)
+                    reply = b"".join(
+                        bytes(p)
+                        for p in protocol.batch_reply_parts([
+                            (protocol.SLOT_OK, self.blobs[int(i)])
+                            for i in indices
+                        ])
+                    )
+                    wire = protocol.pack_frame(protocol.ST_OK, reply)
+                else:
+                    index = protocol.unpack_read(body)
+                    wire = protocol.pack_frame(
+                        protocol.ST_OK, self.blobs[index]
+                    )
                 behavior = self.behaviors.pop(0) if self.behaviors else "ok"
-                payload = self.blobs[index]
-                wire = protocol.pack_frame(protocol.ST_OK, payload)
+                body_len = len(wire) - protocol._HEAD.size - protocol._CRC.size
                 if behavior == "ok":
                     conn.sendall(wire)
                 elif behavior == "corrupt":
                     buf = bytearray(wire)
-                    buf[protocol._HEAD.size + len(payload) // 2] ^= 0x20
+                    buf[protocol._HEAD.size + body_len // 2] ^= 0x20
                     conn.sendall(bytes(buf))
                 elif behavior == "truncate":
                     conn.sendall(wire[: len(wire) // 2])
@@ -371,3 +384,102 @@ class TestEndToEndFaultStack:
             remote.close()
         assert set(loader.quarantine.ids()) == bad
         assert rows == [plugin.decode(raw[i])[0].tobytes() for i in good]
+
+
+class TestBatchWireFaults:
+    """READ_BATCH under transport faults: a damaged frame hurts every
+    slot at once (and is retryable); a damaged *sample* hurts one slot."""
+
+    def test_corrupt_batch_frame_is_retryable_and_in_sync(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["corrupt"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(CorruptSampleError) as exc_info:
+                src.read_batch_slots([1, 4, 7])
+            assert exc_info.value.section == "frame"
+            assert exc_info.value.sample_id == (1, 4, 7)
+            # CRC failure leaves the stream in sync: the retry rides the
+            # same connection and every slot comes back clean
+            assert src.read_batch([1, 4, 7]) == [raw[1], raw[4], raw[7]]
+            assert server.connections == 1
+            src.close()
+
+    def test_truncated_batch_frame_breaks_stream_then_reconnects(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["truncate"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(ConnectionError):
+                src.read_batch_slots([0, 2])
+            assert src.read_batch([0, 2]) == [raw[0], raw[2]]
+            assert server.connections == 2
+            src.close()
+
+    def test_retrying_source_rides_out_batch_wire_faults(self, blobs):
+        """A whole-frame fault damages every slot at once — and the
+        whole-call retry recovers every slot at once."""
+        _, raw = blobs
+        with ScriptedServer(raw, ["corrupt", "truncate", "ok"]) as server:
+            src = _fast_retry(RemoteSource(*server.address))
+            assert src.read_batch_slots([3, 8, 5]) == [
+                raw[3], raw[8], raw[5]
+            ]
+            assert src.stats.retries == 2
+            src.inner.close()
+
+    def test_busy_shed_covers_the_whole_batch(self, blobs):
+        _, raw = blobs
+        with ScriptedServer(raw, ["busy"]) as server:
+            src = RemoteSource(*server.address)
+            with pytest.raises(ServerBusyError) as exc_info:
+                src.read_batch_slots([0, 1])
+            assert exc_info.value.retry_after_s == pytest.approx(0.05)
+            assert src.read_batch([0, 1]) == [raw[0], raw[1]]
+            assert server.connections == 1
+            src.close()
+
+    def test_corrupt_sample_quarantines_only_its_slot(self, blobs):
+        """One corrupt blob inside a READ_BATCH becomes one SLOT_ERROR:
+        the batched loader quarantines exactly that sample and decodes
+        its batch-mates bit-identically."""
+        plugin, raw = blobs
+        bad = {2}
+        flaky = FaultInjector(
+            ListSource(raw), FaultPlan(corrupt_ids=bad, seed=1)
+        )
+        with DataServer(flaky, verify=True) as server:
+            remote = RemoteSource(*server.address)
+            loader = DataLoader(
+                remote, plugin, batch_size=3, seed=5,
+                bad_sample_policy="skip", batched_fetch=True,
+            )
+            order = loader.epoch_order(0)
+            rows = []
+            for batch, _labels in loader.batches(0):
+                rows.extend(row.tobytes() for row in batch)
+            snap = dict(remote.stats.snapshot())
+            remote.close()
+        assert set(loader.quarantine.ids()) == bad
+        good = [i for i in order.tolist() if i not in bad]
+        assert rows == [plugin.decode(raw[i])[0].tobytes() for i in good]
+        # the whole epoch went over the batch plane, one frame per group
+        assert snap["remote.read_batch"][0] == -(-len(raw) // 3)
+
+    def test_truncated_batch_frame_yields_bit_identical_epoch(self, blobs):
+        """A batch frame lost mid-flight is a transport blip: the retry
+        stack replays it and the batched epoch stays bit-identical."""
+        plugin, raw = blobs
+
+        def epoch(src, batched):
+            loader = DataLoader(
+                src, plugin, batch_size=2, seed=3, batched_fetch=batched
+            )
+            return [
+                (b.tobytes(), l.tobytes()) for b, l in loader.batches(0)
+            ]
+
+        reference = epoch(ListSource(raw), False)
+        with ScriptedServer(raw, ["truncate", "corrupt"]) as server:
+            src = _fast_retry(RemoteSource(*server.address))
+            assert epoch(src, True) == reference
+            assert src.stats.retries == 2
+            src.inner.close()
