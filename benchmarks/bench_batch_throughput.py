@@ -24,6 +24,7 @@ from time import perf_counter
 
 import pytest
 
+from bench_util import record_bench
 from repro.core.plugins import DeepcamDeltaPlugin
 from repro.datasets import deepcam
 from repro.pipeline import DataLoader, ListSource
@@ -84,6 +85,15 @@ def test_batched_fetch_amortizes_the_round_trip(fixture):
         f"\nsingle client, {SERVICE_DELAY_S * 1e3:.0f} ms simulated link: "
         f"batch 1 (scalar READ) {scalar:.0f} samples/s, "
         f"batch 32 (READ_BATCH) {batched:.0f} samples/s — {speedup:.1f}x"
+    )
+    record_bench(
+        "batch",
+        {
+            "scalar_samples_per_s": round(scalar, 1),
+            "batched_samples_per_s": round(batched, 1),
+            "speedup": round(speedup, 2),
+            "service_delay_ms": SERVICE_DELAY_S * 1e3,
+        },
     )
     # speed never buys different bytes: both remote epochs reproduce the
     # all-local decode bit for bit (order differs with batch size only

@@ -22,6 +22,7 @@ ratios for every evaluated machine.
 
 import pytest
 
+from bench_util import record_bench
 from repro.core.plugins import DeepcamDeltaPlugin
 from repro.datasets import deepcam
 from repro.pipeline import ListSource
@@ -79,6 +80,16 @@ def test_promoted_working_set_2x_over_pfs(blobs, machine_name):
         f"PFS-only {pfs_only * 1e3:.1f} ms — {speedup:.0f}x "
         f"(hit rate {status['hit_rate']:.0%}, "
         f"{status['promotions']} promotions)"
+    )
+    record_bench(
+        "tiering",
+        {
+            "machine": machine_name,
+            "settled_epoch_ms": round(settled * 1e3, 4),
+            "pfs_only_ms": round(pfs_only * 1e3, 4),
+            "speedup": round(speedup, 1),
+            "hit_rate": round(status["hit_rate"], 4),
+        },
     )
     assert status["promotions"] > 0, "nothing was promoted"
     assert speedup >= MIN_SPEEDUP, (

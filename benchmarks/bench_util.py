@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark gates (no tests in this module).
+
+:func:`record_bench` establishes the ``BENCH_<name>.json`` trajectory
+convention: each gated benchmark module appends its headline metrics to
+one JSON file at the repo root, keeping a bounded history of runs.  A
+regression then shows up as a *trajectory* — this commit's number next
+to the numbers the gate saw before — rather than a single point that is
+gone when the CI log rotates.  Metrics are recorded *before* the gate
+asserts, so failing runs land in the trajectory too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["record_bench"]
+
+#: bounded history length per benchmark file
+MAX_RUNS = 50
+
+
+def record_bench(name: str, metrics: dict, *, root: str | Path | None = None) -> Path:
+    """Append one run's metrics to ``BENCH_<name>.json``; return its path.
+
+    The file lives at the repo root (override with ``root=`` or the
+    ``REPRO_BENCH_DIR`` environment variable) and holds
+    ``{"benchmark": name, "runs": [...]}`` with at most :data:`MAX_RUNS`
+    entries, oldest dropped first.  A corrupt or hand-edited file
+    restarts the trajectory instead of failing the benchmark.
+    """
+    root = Path(
+        root
+        or os.environ.get("REPRO_BENCH_DIR")
+        or Path(__file__).resolve().parent.parent
+    )
+    path = root / f"BENCH_{name}.json"
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict) and isinstance(
+                existing.get("runs"), list
+            ):
+                runs = existing["runs"]
+        except (json.JSONDecodeError, OSError):
+            pass
+    runs = (runs + [{"unix_time": round(time.time(), 3), **metrics}])[-MAX_RUNS:]
+    path.write_text(
+        json.dumps({"benchmark": name, "runs": runs}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path

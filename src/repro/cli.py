@@ -24,9 +24,19 @@ for the common dataset chores:
   count- or time-budgeted, with crash-corpus save/replay
   (``repro.conformance.fuzzer``); non-zero exit on any disagreement.
 * ``serve``     — run a :class:`repro.serve.DataServer` over a record
-  file: networked sample serving with a shared verify-before-cache,
-  bounded connections, and shard-aware epoch coordination; drains
-  gracefully on SIGINT/SIGTERM.
+  file (or, with ``--ingest-dir``, over a live ingest directory with
+  manifest-pinned epoch coordination): networked sample serving with a
+  shared verify-before-cache, bounded connections, and shard-aware
+  epoch coordination; drains gracefully on SIGINT/SIGTERM.
+* ``ingest``    — online ingestion (``repro.ingest``): ``append``
+  encodes deterministic synthetic samples into an append-only shard
+  directory (publishing snapshot manifests as it goes), ``status``
+  reports committed/torn bytes and the manifest history, ``recover``
+  truncates torn shard tails after a crash.
+* ``manifest``  — inspect the snapshot-manifest history of an ingest
+  directory: ``list`` the published chain, ``show`` one manifest,
+  ``verify`` a manifest against the shard bytes on disk (non-zero exit
+  on mismatch).
 * ``fetch``     — client of a running server: health/info/stats probes,
   sample fetches by explicit indices or by ``EPOCH``-coordinated shard,
   optional integrity verification and record-file export.
@@ -48,8 +58,8 @@ for the common dataset chores:
   file, exiting non-zero unless every surviving sample is bit-identical.
 
 ``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``,
-``fetch``, ``cluster``, ``tiers`` and ``graph`` accept ``--json`` for
-machine-readable output.
+``fetch``, ``cluster``, ``tiers``, ``graph``, ``ingest`` and
+``manifest`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -398,12 +408,30 @@ def cmd_serve(args) -> int:
     from repro.serve import DataServer
     from repro.storage.cache import SampleCache
 
-    if args.gzip:
+    coordinator = None
+    manifest_store = None
+    if args.ingest_dir:
+        if args.input:
+            raise SystemExit("pass either --input or --ingest-dir, not both")
+        from repro.ingest import (
+            LiveIngestSource,
+            ManifestEpochCoordinator,
+            ManifestStore,
+        )
+
+        source = LiveIngestSource(args.ingest_dir)
+        manifest_store = ManifestStore(args.ingest_dir)
+        coordinator = ManifestEpochCoordinator(
+            manifest_store, world_size=args.world_size, seed=args.seed
+        )
+    elif not args.input:
+        raise SystemExit("one of --input or --ingest-dir is required")
+    elif args.gzip:
         # gzip permits only sequential access: materialize, then serve
         source = ListSource(list(_iter_samples(args.input, True)))
     else:
         source = TfRecordSource(args.input)
-    if len(source) == 0:
+    if len(source) == 0 and not args.ingest_dir:
         raise SystemExit("no records in input")
     cache = (
         SampleCache(args.cache_mb * 1e6) if args.cache_mb > 0 else None
@@ -417,6 +445,8 @@ def cmd_serve(args) -> int:
         max_connections=args.max_connections,
         world_size=args.world_size,
         seed=args.seed,
+        coordinator=coordinator,
+        manifest_store=manifest_store,
         service_delay_s=args.service_delay_ms / 1e3,
     )
     server.start()
@@ -484,8 +514,15 @@ def cmd_fetch(args) -> int:
                     print(f"{key}: {val}")
             return 0
 
+        manifest_id = None
         if args.epoch is not None:
-            indices = src.epoch_shard(args.rank, args.epoch).tolist()
+            if args.manifest:
+                manifest_id, _, shard = src.epoch_shard_manifest(
+                    args.rank, args.epoch
+                )
+                indices = shard.tolist()
+            else:
+                indices = src.epoch_shard(args.rank, args.epoch).tolist()
         elif args.indices:
             try:
                 indices = [int(t) for t in args.indices.split(",") if t.strip()]
@@ -537,6 +574,8 @@ def cmd_fetch(args) -> int:
         if args.epoch is not None:
             result["epoch"] = args.epoch
             result["rank"] = args.rank
+        if manifest_id is not None:
+            result["manifest_id"] = manifest_id
         if args.output:
             result["output"] = args.output
         if args.json:
@@ -550,6 +589,230 @@ def cmd_fetch(args) -> int:
                 + (f", {bad} corrupt" if bad else "")
             )
         return 1 if bad else 0
+
+
+def cmd_ingest(args) -> int:
+    from repro.ingest import (
+        IngestWriter,
+        ManifestStore,
+        recover_directory,
+        scan_shard,
+    )
+    from repro.ingest.writer import _list_shards
+
+    root = Path(args.dir)
+
+    if args.action == "recover":
+        reports = recover_directory(root)
+        out = {
+            "shards": [
+                {
+                    "name": r.path.name,
+                    "n_records": r.n_records,
+                    "truncated_bytes": r.truncated_bytes,
+                }
+                for r in reports
+            ],
+            "truncated_bytes": sum(r.truncated_bytes for r in reports),
+        }
+        if args.json:
+            print(json.dumps(out, indent=2))
+        else:
+            for shard in out["shards"]:
+                cut = shard["truncated_bytes"]
+                print(
+                    f"{shard['name']}: {shard['n_records']} committed "
+                    f"record(s)" + (f", truncated {cut} torn byte(s)" if cut
+                                    else ", clean")
+                )
+            print(f"recovered: {out['truncated_bytes']} torn byte(s) removed")
+        return 0
+
+    if args.action == "status":
+        store = ManifestStore(root)
+        shards = []
+        for path in _list_shards(root):
+            scan = scan_shard(path)
+            shards.append(
+                {
+                    "name": path.name,
+                    "n_samples": scan.n_records,
+                    "committed_bytes": scan.valid_end,
+                    "torn_bytes": scan.torn_bytes,
+                }
+            )
+        latest = store.latest()
+        out = {
+            "dir": str(root),
+            "n_samples": sum(s["n_samples"] for s in shards),
+            "n_shards": len(shards),
+            "torn_bytes": sum(s["torn_bytes"] for s in shards),
+            "manifests": len(store.ids()),
+            "latest_manifest": None if latest is None else latest.manifest_id,
+            "published_samples": None if latest is None else latest.n_samples,
+            "shards": shards,
+        }
+        if args.json:
+            print(json.dumps(out, indent=2))
+        else:
+            print(
+                f"{out['n_samples']} committed sample(s) in "
+                f"{out['n_shards']} shard(s), {out['torn_bytes']} torn "
+                f"byte(s); {out['manifests']} manifest(s) published"
+                + (
+                    f", latest {out['latest_manifest'][:12]}… covers "
+                    f"{out['published_samples']}"
+                    if latest is not None
+                    else ""
+                )
+            )
+        return 0
+
+    # append: encode deterministic synthetic samples keyed by their
+    # global index, so an interrupted run re-invoked with the same seed
+    # continues the identical sample sequence (the CI crash smoke
+    # depends on this)
+    cfg = deepcam.DeepcamConfig(
+        height=args.height, width=args.width, n_channels=args.channels
+    )
+    plugin = DeepcamDeltaPlugin("cpu")
+    fingerprint = {
+        "dataset": "deepcam",
+        "plugin": "deepcam-delta",
+        "height": args.height,
+        "width": args.width,
+        "channels": args.channels,
+        "seed": args.seed,
+    }
+    published: list[str] = []
+    with IngestWriter(
+        root,
+        fingerprint=fingerprint,
+        shard_max_bytes=int(args.shard_max_mb * 1e6),
+    ) as writer:
+        recovered = sum(r.truncated_bytes for r in writer.recovery)
+        start = writer.n_samples
+        for i in range(start, start + args.count):
+            sample = deepcam.generate_sample(
+                cfg, seed=np.random.default_rng([args.seed, i])
+            )
+            writer.append_sample(plugin, sample.data, sample.label)
+            done = i - start + 1
+            if (
+                args.publish_every > 0
+                and done % args.publish_every == 0
+                and not args.no_publish
+            ):
+                published.append(writer.publish().manifest_id)
+        if not args.no_publish:
+            manifest = writer.publish()
+            if not published or published[-1] != manifest.manifest_id:
+                published.append(manifest.manifest_id)
+        if args.torn_tail_bytes > 0:
+            # simulate a crash mid-append: leave a partial frame on the
+            # open shard tail (repro ingest recover truncates it)
+            writer.flush()
+            with open(writer._open.path, "ab") as fh:
+                fh.write(b"\x6b" * args.torn_tail_bytes)
+        out = {
+            "appended": args.count,
+            "n_samples": writer.n_samples,
+            "n_shards": writer.n_shards,
+            "recovered_bytes": recovered,
+            "published": published,
+            "torn_tail_bytes": args.torn_tail_bytes,
+        }
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        print(
+            f"appended {out['appended']} sample(s) "
+            f"(now {out['n_samples']} across {out['n_shards']} shard(s)); "
+            f"published {len(published)} manifest(s)"
+            + (f"; recovered {recovered} torn byte(s)" if recovered else "")
+            + (
+                f"; left {args.torn_tail_bytes} torn byte(s) on the tail"
+                if args.torn_tail_bytes
+                else ""
+            )
+        )
+    return 0
+
+
+def cmd_manifest(args) -> int:
+    from repro.ingest import ManifestStore, verify_manifest
+
+    store = ManifestStore(Path(args.dir))
+
+    def resolve():
+        if args.id:
+            try:
+                return store.load(args.id)
+            except KeyError as exc:
+                raise SystemExit(str(exc))
+        latest = store.latest()
+        if latest is None:
+            raise SystemExit(f"no manifests published under {args.dir}")
+        return latest
+
+    if args.action == "list":
+        history = store.history()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {
+                            "manifest_id": m.manifest_id,
+                            "seq": m.seq,
+                            "n_samples": m.n_samples,
+                            "n_shards": len(m.shards),
+                            "parent": m.parent,
+                        }
+                        for m in history
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            rows = [
+                [str(m.seq), m.manifest_id[:16] + "…", str(m.n_samples),
+                 str(len(m.shards))]
+                for m in history
+            ]
+            print_table(["seq", "manifest", "samples", "shards"], rows)
+        return 0
+
+    if args.action == "show":
+        print(json.dumps(resolve().to_json(), indent=2))
+        return 0
+
+    # verify
+    manifest = resolve()
+    try:
+        report = verify_manifest(Path(args.dir), manifest, deep=args.deep)
+    except (ValueError, container.CorruptSampleError) as exc:
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "manifest_id": manifest.manifest_id,
+                        "ok": False,
+                        "error": str(exc),
+                    }
+                )
+            )
+        else:
+            print(f"FAIL {manifest.manifest_id[:16]}…: {exc}")
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"OK {manifest.manifest_id[:16]}… — {report['n_samples']} "
+            f"sample(s) across {report['n_shards']} shard(s)"
+            + (" (deep-verified)" if args.deep else "")
+        )
+    return 0
 
 
 def cmd_cluster(args) -> int:
@@ -1142,7 +1405,12 @@ def build_parser() -> argparse.ArgumentParser:
     sv = sub.add_parser(
         "serve", help="serve a record file to networked trainer clients"
     )
-    sv.add_argument("--input", required=True)
+    sv.add_argument("--input", default=None,
+                    help="record file to serve (or use --ingest-dir)")
+    sv.add_argument("--ingest-dir", default=None,
+                    help="serve a live repro.ingest directory instead of a "
+                         "record file; EPOCH_MANIFEST pins each epoch to "
+                         "the latest published snapshot manifest")
     sv.add_argument("--gzip", action="store_true",
                     help="input is gzip-compressed (materialized in memory)")
     sv.add_argument("--host", default="127.0.0.1")
@@ -1187,6 +1455,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fetch this rank's EPOCH-coordinated shard")
     fe.add_argument("--rank", type=int, default=0,
                     help="rank for --epoch shard requests")
+    fe.add_argument("--manifest", action="store_true",
+                    help="with --epoch: use EPOCH_MANIFEST, pinning the "
+                         "shard to the server's snapshot manifest")
     fe.add_argument("--verify", action="store_true",
                     help="integrity-check every fetched container")
     fe.add_argument("--output", default=None,
@@ -1194,6 +1465,48 @@ def build_parser() -> argparse.ArgumentParser:
     fe.add_argument("--json", action="store_true",
                     help="machine-readable output")
     fe.set_defaults(func=cmd_fetch)
+
+    ing = sub.add_parser(
+        "ingest", help="append-only online ingestion (repro.ingest)"
+    )
+    ing.add_argument("action", choices=("append", "status", "recover"))
+    ing.add_argument("--dir", required=True,
+                     help="ingest directory (shards + manifests)")
+    ing.add_argument("--count", type=int, default=16,
+                     help="samples to append")
+    ing.add_argument("--publish-every", type=int, default=0,
+                     help="publish a snapshot manifest every N appends "
+                          "(0: only once at the end)")
+    ing.add_argument("--no-publish", action="store_true",
+                     help="append without publishing any manifest")
+    ing.add_argument("--shard-max-mb", type=float, default=64.0,
+                     help="roll to a new shard past this size")
+    ing.add_argument("--height", type=int, default=48)
+    ing.add_argument("--width", type=int, default=72)
+    ing.add_argument("--channels", type=int, default=16)
+    ing.add_argument("--seed", type=int, default=0,
+                     help="content seed; sample i is generated from "
+                          "(seed, i), so re-runs continue the sequence")
+    ing.add_argument("--torn-tail-bytes", type=int, default=0,
+                     help="after appending, leave N garbage bytes on the "
+                          "open shard (crash simulation for tests/CI)")
+    ing.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    ing.set_defaults(func=cmd_ingest)
+
+    mf = sub.add_parser(
+        "manifest", help="inspect an ingest directory's snapshot manifests"
+    )
+    mf.add_argument("action", choices=("list", "show", "verify"))
+    mf.add_argument("--dir", required=True,
+                    help="ingest directory (shards + manifests)")
+    mf.add_argument("--id", default=None,
+                    help="manifest id (default: latest published)")
+    mf.add_argument("--deep", action="store_true",
+                    help="verify: also CRC-check every sample payload")
+    mf.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    mf.set_defaults(func=cmd_manifest)
 
     cl = sub.add_parser(
         "cluster", help="fault-tolerant serving fleet (dispatcher + workers)"

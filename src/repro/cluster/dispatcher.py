@@ -36,7 +36,7 @@ import time
 from repro.cluster.membership import Membership
 from repro.cluster.routing import RoutingTable, build_routing_table
 from repro.serve import protocol
-from repro.serve.coordination import EpochCoordinator, ShardPlan
+from repro.serve.coordination import EpochCoordinator
 from repro.serve.server import FrameServer
 from repro.tune.stats import StatsRegistry
 
@@ -131,7 +131,7 @@ class Dispatcher(FrameServer):
         self.membership = Membership(lease_s=lease_s, clock=clock)
         self._table: RoutingTable | None = None
         self._table_lock = threading.Lock()
-        self._coordinator: EpochCoordinator | None = None
+        self._epoch_coordinator: EpochCoordinator | None = None
         self._sweep_thread: threading.Thread | None = None
         self._sweep_stop = threading.Event()
 
@@ -185,12 +185,24 @@ class Dispatcher(FrameServer):
 
     # -- coordination ------------------------------------------------------
 
-    def _coordinator_for(self, n_samples: int) -> EpochCoordinator:
-        if self._coordinator is None:
-            self._coordinator = EpochCoordinator(
-                ShardPlan(n_samples, world_size=self.world_size, seed=self.seed)
+    def _coordinator(self) -> EpochCoordinator:
+        # dynamic: each epoch's plan is derived (once, then cached) from
+        # the fleet's announced dataset size at that moment, so a cluster
+        # over growing ingest directories re-shards per epoch while every
+        # rank of one epoch still agrees on n
+        if self._epoch_coordinator is None:
+            self._epoch_coordinator = EpochCoordinator(
+                world_size=self.world_size,
+                seed=self.seed,
+                n_samples_fn=self._epoch_n_samples,
             )
-        return self._coordinator
+        return self._epoch_coordinator
+
+    def _epoch_n_samples(self, epoch: int) -> int:
+        n_samples = self.membership.n_samples()
+        if n_samples is None:
+            raise RuntimeError("no workers registered; cannot shard an epoch")
+        return n_samples
 
     # -- request dispatch --------------------------------------------------
 
@@ -225,7 +237,7 @@ class Dispatcher(FrameServer):
             int(req["n_samples"]),
             worker_id=req.get("worker_id"),
         )
-        self._coordinator_for(record.n_samples)
+        self._coordinator()
         return self._json_ok(
             {
                 "worker_id": record.worker_id,
@@ -238,7 +250,11 @@ class Dispatcher(FrameServer):
 
     def _op_heartbeat(self, body: bytes) -> bytes:
         req = protocol.unpack_json(body)
-        known = self.membership.heartbeat(str(req["worker_id"]))
+        n_samples = req.get("n_samples")
+        known = self.membership.heartbeat(
+            str(req["worker_id"]),
+            None if n_samples is None else int(n_samples),
+        )
         return self._json_ok(
             {
                 "known": known,
@@ -279,10 +295,7 @@ class Dispatcher(FrameServer):
 
     def _op_epoch(self, body: bytes) -> bytes:
         rank, epoch = protocol.unpack_epoch(body)
-        n_samples = self.membership.n_samples()
-        if n_samples is None:
-            raise RuntimeError("no workers registered; cannot shard an epoch")
-        shard = self._coordinator_for(n_samples).begin_epoch(rank, epoch)
+        shard = self._coordinator().begin_epoch(rank, epoch)
         return protocol.pack_frame(protocol.ST_OK, protocol.pack_indices(shard))
 
     # -- reports -----------------------------------------------------------
@@ -302,7 +315,7 @@ class Dispatcher(FrameServer):
         }
 
     def health(self) -> dict:
-        coordinator = self._coordinator
+        coordinator = self._epoch_coordinator
         return {
             "status": "draining" if self._draining else "ok",
             "active_connections": self._active,

@@ -62,7 +62,7 @@ class MembershipEvent:
     """Audit-trail entry: what changed and which version it produced."""
 
     version: int
-    kind: str  # "register" | "expire" | "drain" | "force-expire"
+    kind: str  # "register" | "expire" | "drain" | "force-expire" | "resize"
     worker_id: str
     at: float = field(default=0.0)
 
@@ -157,10 +157,14 @@ class Membership:
             self._bump("register", worker_id)
             return record
 
-    def heartbeat(self, worker_id: str) -> bool:
+    def heartbeat(self, worker_id: str, n_samples: int | None = None) -> bool:
         """Renew a lease.  Returns False for unknown (expired-and-swept)
-        workers — the worker's cue to re-register.  Never bumps the
-        version: a renewal is not a membership change."""
+        workers — the worker's cue to re-register.  A plain renewal never
+        bumps the version; a heartbeat announcing a *grown* ``n_samples``
+        (online ingestion appended behind the worker) updates the record
+        and bumps it, so routing tables rebuild over the new range.
+        Shrinkage is ignored — datasets only grow, a smaller count is a
+        stale or confused worker."""
         now = self._clock()
         with self._lock:
             record = self._workers.get(worker_id)
@@ -168,6 +172,9 @@ class Membership:
                 return False
             record.lease_expires = now + self.lease_s
             record.heartbeats += 1
+            if n_samples is not None and n_samples > record.n_samples:
+                record.n_samples = int(n_samples)
+                self._bump("resize", worker_id)
             return True
 
     def sweep(self) -> list[str]:
@@ -217,11 +224,17 @@ class Membership:
             }
 
     def n_samples(self) -> int | None:
-        """The dataset size the cluster serves (None before any worker)."""
+        """The dataset size the cluster serves (None before any worker).
+
+        The *largest* announced count: while a snapshot publish rolls
+        through the fleet, workers briefly disagree and the freshest
+        view wins (stale workers answer reads past their view with a
+        retryable error until they refresh).
+        """
         with self._lock:
-            for w in self._workers.values():
-                return w.n_samples
-            return None
+            if not self._workers:
+                return None
+            return max(w.n_samples for w in self._workers.values())
 
     def snapshot(self) -> dict:
         """JSON-safe membership view for ``LEASE {"action": "status"}``."""

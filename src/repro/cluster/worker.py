@@ -128,7 +128,13 @@ class ClusterWorker:
                 host,
                 port,
                 protocol.OP_HEARTBEAT,
-                {"worker_id": self.worker_id},
+                {
+                    "worker_id": self.worker_id,
+                    # announce the served size every beat: an ingest-backed
+                    # source grows between publishes, and the dispatcher
+                    # re-shards future epochs over the grown range
+                    "n_samples": len(self.server.source),
+                },
                 timeout_s=self.control_timeout_s,
             )
             if not reply.get("known", False):

@@ -13,7 +13,8 @@ import sys
 
 from repro.experiments import (
     chaos, claims, cluster, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
-    fig12, graph, serving, tables, tiering, time_to_accuracy, tuning,
+    fig12, graph, ingestion, serving, tables, tiering, time_to_accuracy,
+    tuning,
 )
 
 _RUNNERS = {
@@ -34,6 +35,7 @@ _RUNNERS = {
     "serving": lambda: serving.run(),
     "cluster": lambda: cluster.run(),
     "tiering": lambda: tiering.run(),
+    "ingestion": lambda: ingestion.run(),
     "graph": lambda: graph.run(),
 }
 

@@ -1,0 +1,69 @@
+"""Online ingestion: append-only shards + epoch-consistent snapshots.
+
+Everything else in the repo assumes a frozen, fully-staged dataset; this
+package lets the dataset *grow while training* without giving up the
+repo's determinism contract.  The split follows the tf.data-service
+snapshot design (PAPERS.md): an append-only data plane, immutable
+content-hashed snapshot views, and coordination that pins one view per
+epoch.
+
+* :mod:`~repro.ingest.shards` — CRC-framed append shards with
+  torn-write-safe commits; crash recovery truncates a torn tail back to
+  the last committed record.
+* :mod:`~repro.ingest.manifest` — immutable content-hashed snapshot
+  manifests (:class:`Manifest`) with an atomic-publish on-disk store
+  (:class:`ManifestStore`); a manifest id alone determines every byte
+  of every sample it covers.
+* :mod:`~repro.ingest.writer` — :class:`IngestWriter`, the single
+  writer: encode-through-plugin appends, size-based shard rolling,
+  ``publish()`` snapshots, automatic crash recovery on reopen.
+* :mod:`~repro.ingest.source` — :class:`ManifestSource` (pinned,
+  bit-reproducible epochs) and :class:`LiveIngestSource` (grow-on-demand
+  committed view for a :class:`~repro.serve.server.DataServer`).
+* :mod:`~repro.ingest.coordination` —
+  :class:`ManifestEpochCoordinator`, which starts each epoch on the
+  latest published manifest so concurrent ranks (local or remote) never
+  see a torn view.
+
+See ``docs/ingestion.md`` for the append protocol, manifest format,
+recovery rules, and how this composes with serving, tiering and tuning.
+"""
+
+from repro.ingest.coordination import ManifestEpochCoordinator
+from repro.ingest.manifest import (
+    Manifest,
+    ManifestStore,
+    ShardEntry,
+    verify_manifest,
+)
+from repro.ingest.shards import (
+    AppendShard,
+    ShardRecovery,
+    ShardScan,
+    recover_shard,
+    scan_shard,
+)
+from repro.ingest.source import LiveIngestSource, ManifestSource
+from repro.ingest.writer import (
+    FingerprintMismatch,
+    IngestWriter,
+    recover_directory,
+)
+
+__all__ = [
+    "AppendShard",
+    "FingerprintMismatch",
+    "IngestWriter",
+    "LiveIngestSource",
+    "Manifest",
+    "ManifestEpochCoordinator",
+    "ManifestSource",
+    "ManifestStore",
+    "ShardEntry",
+    "ShardRecovery",
+    "ShardScan",
+    "recover_directory",
+    "recover_shard",
+    "scan_shard",
+    "verify_manifest",
+]

@@ -1,0 +1,57 @@
+"""Manifest-pinned epoch coordination: epochs start on the latest snapshot.
+
+:class:`ManifestEpochCoordinator` is the dynamic
+:class:`~repro.serve.coordination.EpochCoordinator` wired to a
+:class:`~repro.ingest.manifest.ManifestStore`: the first rank to begin
+an epoch pins the *latest published manifest* to that epoch, and every
+rank (and every replay, forever) shards exactly that manifest's sample
+count — ingestion can keep appending and publishing mid-epoch without
+ever tearing a running epoch's view.  The pinned manifest id travels to
+clients in the ``EPOCH_MANIFEST`` frame
+(:func:`repro.serve.protocol.pack_manifest_shard`), which is what makes
+an epoch bit-reproducible: replaying the id through a
+:class:`~repro.ingest.source.ManifestSource` yields the identical bytes.
+"""
+
+from __future__ import annotations
+
+from repro.ingest.manifest import Manifest, ManifestStore
+from repro.serve.coordination import EpochCoordinator
+
+__all__ = ["ManifestEpochCoordinator"]
+
+
+class ManifestEpochCoordinator(EpochCoordinator):
+    """Per-epoch shard plans pinned to published snapshot manifests."""
+
+    def __init__(
+        self, store: ManifestStore, *, world_size: int = 1, seed: int = 0
+    ) -> None:
+        self._store = store
+        self._manifests: dict[int, Manifest] = {}
+        super().__init__(
+            world_size=world_size, seed=seed, n_samples_fn=self._pin
+        )
+
+    def _pin(self, epoch: int) -> int:
+        # called under the coordinator lock, exactly once per epoch
+        manifest = self._store.latest()
+        if manifest is None:
+            raise RuntimeError(
+                "cannot start an epoch: no manifest has been published yet"
+            )
+        self._manifests[epoch] = manifest
+        return manifest.n_samples
+
+    def manifest_for(self, epoch: int) -> Manifest:
+        """The manifest pinned to one epoch (pinning it now if new)."""
+        self.plan_for(epoch)  # ensures the pin exists
+        with self._lock:
+            return self._manifests[epoch]
+
+    def pinned(self) -> dict[int, str]:
+        """Epoch → pinned manifest id, for health/observability reports."""
+        with self._lock:
+            return {
+                e: m.manifest_id for e, m in sorted(self._manifests.items())
+            }

@@ -1,0 +1,294 @@
+"""Immutable, content-hashed snapshot manifests over append-only shards.
+
+A *manifest* is the frozen view of an ingest directory at one publish
+point: the ordered shard list, each shard's committed sample count and
+byte ``end_offset``, and the codec/config fingerprint the samples were
+encoded under.  Its id is the SHA-256 of the manifest's canonical JSON
+body — no timestamps, no hostnames — so the id alone determines the
+exact byte content of every sample it covers: replaying a manifest id
+yields a bit-identical epoch forever, no matter how far ingestion has
+appended since (the snapshot idea of the tf.data service, applied to
+this repo's container shards).
+
+Manifests chain: each carries its parent's id and a monotonically
+increasing ``seq``, so the published history is an auditable hash chain
+(publishing is idempotent — a publish with nothing new appended returns
+the latest manifest unchanged instead of minting a duplicate).
+
+:class:`ManifestStore` keeps them on disk under ``<root>/manifests/``:
+one immutable ``<id>.json`` per manifest plus a ``LATEST`` pointer.
+Both are written with the write-temp-then-``os.replace`` idiom, so a
+reader never observes a torn manifest and ``publish()`` is atomic: a
+crash mid-publish leaves either the old latest or the new one, never a
+half-written view.  The store assumes a single publisher (the
+:class:`~repro.ingest.writer.IngestWriter`); readers are unrestricted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.encoding.container import verify_sample
+from repro.ingest.shards import scan_shard
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "ShardEntry",
+    "Manifest",
+    "ManifestStore",
+    "verify_manifest",
+]
+
+#: manifest schema version (bump on incompatible layout changes)
+MANIFEST_FORMAT = 1
+
+
+def _canonical(body: dict) -> bytes:
+    """The canonical byte serialization the content hash is taken over."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard frozen at a publish point.
+
+    ``end_offset`` is the byte boundary after the last committed record
+    this manifest covers — the live file may have grown past it, but the
+    manifest's view stops exactly here.
+    """
+
+    name: str
+    n_samples: int
+    end_offset: int
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n_samples": self.n_samples,
+            "end_offset": self.end_offset,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ShardEntry":
+        return cls(
+            name=str(obj["name"]),
+            n_samples=int(obj["n_samples"]),
+            end_offset=int(obj["end_offset"]),
+        )
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A frozen, content-addressed dataset view."""
+
+    manifest_id: str
+    seq: int
+    parent: str | None
+    fingerprint: dict
+    shards: tuple[ShardEntry, ...]
+
+    @property
+    def n_samples(self) -> int:
+        return sum(s.n_samples for s in self.shards)
+
+    def body(self) -> dict:
+        """The hashed portion (everything except the id itself)."""
+        return {
+            "format": MANIFEST_FORMAT,
+            "seq": self.seq,
+            "parent": self.parent,
+            "fingerprint": self.fingerprint,
+            "shards": [s.to_json() for s in self.shards],
+        }
+
+    @staticmethod
+    def compute_id(body: dict) -> str:
+        return hashlib.sha256(_canonical(body)).hexdigest()
+
+    def to_json(self) -> dict:
+        return {"manifest_id": self.manifest_id, **self.body()}
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Manifest":
+        """Parse and *verify*: the id must match the body's content hash."""
+        body = {
+            "format": int(obj["format"]),
+            "seq": int(obj["seq"]),
+            "parent": obj.get("parent"),
+            "fingerprint": dict(obj.get("fingerprint") or {}),
+            "shards": [dict(s) for s in obj["shards"]],
+        }
+        if body["format"] != MANIFEST_FORMAT:
+            raise ValueError(f"unsupported manifest format {body['format']}")
+        manifest_id = str(obj["manifest_id"])
+        actual = cls.compute_id(body)
+        if actual != manifest_id:
+            raise ValueError(
+                f"manifest id {manifest_id[:12]}… does not match its "
+                f"content hash {actual[:12]}… — the manifest was altered"
+            )
+        return cls(
+            manifest_id=manifest_id,
+            seq=body["seq"],
+            parent=body["parent"],
+            fingerprint=body["fingerprint"],
+            shards=tuple(ShardEntry.from_json(s) for s in body["shards"]),
+        )
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        seq: int,
+        parent: str | None,
+        fingerprint: dict,
+        shards: list[ShardEntry] | tuple[ShardEntry, ...],
+    ) -> "Manifest":
+        shards = tuple(shards)
+        draft = cls(
+            manifest_id="", seq=seq, parent=parent,
+            fingerprint=dict(fingerprint), shards=shards,
+        )
+        return cls(
+            manifest_id=cls.compute_id(draft.body()),
+            seq=seq,
+            parent=parent,
+            fingerprint=dict(fingerprint),
+            shards=shards,
+        )
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-temp, fsync, rename: readers see the old file or the new."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class ManifestStore:
+    """On-disk manifest history of one ingest directory."""
+
+    LATEST = "LATEST"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "manifests"
+
+    # -- publishing --------------------------------------------------------
+
+    def publish(
+        self, shards: list[ShardEntry], fingerprint: dict
+    ) -> Manifest:
+        """Freeze the given shard state into a new immutable manifest.
+
+        Idempotent: if the latest manifest already describes exactly this
+        state, it is returned unchanged (no empty manifests in the
+        chain).  The manifest file lands before the ``LATEST`` pointer
+        moves, so a crash between the two leaves a valid store.
+        """
+        latest = self.latest()
+        if (
+            latest is not None
+            and tuple(shards) == latest.shards
+            and dict(fingerprint) == latest.fingerprint
+        ):
+            return latest
+        manifest = Manifest.build(
+            seq=0 if latest is None else latest.seq + 1,
+            parent=None if latest is None else latest.manifest_id,
+            fingerprint=fingerprint,
+            shards=shards,
+        )
+        self.dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            self.dir / f"{manifest.manifest_id}.json",
+            _canonical(manifest.to_json()),
+        )
+        _atomic_write(
+            self.dir / self.LATEST,
+            _canonical({"manifest_id": manifest.manifest_id,
+                        "seq": manifest.seq}),
+        )
+        return manifest
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self, manifest_id: str) -> Manifest:
+        """Load one manifest by id (content hash re-verified on load)."""
+        path = self.dir / f"{manifest_id}.json"
+        if not path.exists():
+            raise KeyError(f"unknown manifest id {manifest_id!r}")
+        return Manifest.from_json(json.loads(path.read_text()))
+
+    def latest(self) -> Manifest | None:
+        """The most recently published manifest (None before any)."""
+        pointer = self.dir / self.LATEST
+        if not pointer.exists():
+            return None
+        obj = json.loads(pointer.read_text())
+        return self.load(str(obj["manifest_id"]))
+
+    def history(self) -> list[Manifest]:
+        """Every published manifest, oldest first (by ``seq``)."""
+        if not self.dir.exists():
+            return []
+        manifests = [
+            Manifest.from_json(json.loads(p.read_text()))
+            for p in self.dir.glob("*.json")
+        ]
+        return sorted(manifests, key=lambda m: m.seq)
+
+    def ids(self) -> list[str]:
+        return [m.manifest_id for m in self.history()]
+
+
+def verify_manifest(
+    root: str | Path, manifest: Manifest, *, deep: bool = False
+) -> dict:
+    """Check a manifest against the shard bytes on disk.
+
+    Structural pass (always): every shard file exists and its committed
+    records up to the frozen ``end_offset`` match the manifest's counts
+    exactly.  ``deep=True`` additionally runs the container-v2 checksum
+    verification over every covered sample.  Returns a report dict;
+    raises ``ValueError`` on the first structural mismatch and
+    :class:`~repro.core.encoding.container.CorruptSampleError` on a
+    failed deep check.
+    """
+    root = Path(root)
+    n_checked = 0
+    for entry in manifest.shards:
+        path = root / entry.name
+        if not path.exists():
+            raise ValueError(f"manifest shard {entry.name} is missing")
+        scan = scan_shard(
+            path, end_offset=entry.end_offset, check_payload=True
+        )
+        if scan.valid_end != entry.end_offset or scan.n_records != entry.n_samples:
+            raise ValueError(
+                f"shard {entry.name}: manifest freezes {entry.n_samples} "
+                f"records / {entry.end_offset} bytes but the file holds "
+                f"{scan.n_records} records / {scan.valid_end} valid bytes"
+            )
+        if deep:
+            with open(path, "rb") as fh:
+                base = n_checked
+                for i, (offset, length) in enumerate(scan.entries):
+                    fh.seek(offset)
+                    verify_sample(fh.read(length), sample_id=base + i)
+        n_checked += entry.n_samples
+    return {
+        "manifest_id": manifest.manifest_id,
+        "seq": manifest.seq,
+        "n_samples": n_checked,
+        "n_shards": len(manifest.shards),
+        "deep": deep,
+        "ok": True,
+    }

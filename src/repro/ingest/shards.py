@@ -1,0 +1,229 @@
+"""Append-only shard files with torn-write-safe commits.
+
+The ingest data plane reuses the record framing of
+:mod:`repro.storage.tfrecord` — the same layout TFRecord uses, which is
+also exactly what an append-only commit log needs::
+
+    u64 length | u32 crc32(length bytes) | payload | u32 crc32(payload)
+
+A record is **committed** iff its complete frame is present and both
+CRCs hold.  Because the file only ever grows at the tail, a crash (or a
+``kill -9``, or a full disk) can damage at most a suffix of the file:
+the scan walks records from offset 0 and stops at the first frame that
+is truncated or fails a CRC — everything before that boundary is
+committed, everything after is a *torn tail*.  :func:`recover_shard`
+truncates the tail away, after which the shard is exactly the committed
+prefix and appending can resume.  No separate journal or sidecar index
+is needed; the framing itself is the commit protocol.
+
+Scans are also how snapshot pinning works: a
+:class:`~repro.ingest.manifest.Manifest` freezes each shard at a byte
+``end_offset``, and :func:`scan_shard` with that limit reconstructs the
+frozen view no matter how far the live file has grown since.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SHARD_SUFFIX",
+    "ShardScan",
+    "ShardRecovery",
+    "scan_shard",
+    "recover_shard",
+    "AppendShard",
+]
+
+#: file suffix of ingest shards (``shard-00000.rec``)
+SHARD_SUFFIX = ".rec"
+
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+#: bytes before the payload (length + length CRC)
+HEADER_BYTES = _LEN.size + _CRC.size
+#: bytes after the payload (payload CRC)
+TRAILER_BYTES = _CRC.size
+#: full framing overhead per record
+RECORD_OVERHEAD = HEADER_BYTES + TRAILER_BYTES
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def shard_filename(index: int) -> str:
+    """Name of the ``index``-th shard (no ``-of-N``: the count is open)."""
+    if index < 0:
+        raise ValueError("shard index must be non-negative")
+    return f"shard-{index:05d}{SHARD_SUFFIX}"
+
+
+@dataclass(frozen=True)
+class ShardScan:
+    """Result of walking a shard's committed prefix.
+
+    ``entries`` are ``(payload_offset, payload_length)`` pairs for every
+    committed record, ``valid_end`` is the byte offset one past the last
+    committed frame, and ``torn_bytes`` counts the bytes between
+    ``valid_end`` and the scan limit that do not form a committed record
+    (0 for a cleanly closed shard).
+    """
+
+    entries: list[tuple[int, int]]
+    valid_end: int
+    torn_bytes: int
+
+    @property
+    def n_records(self) -> int:
+        return len(self.entries)
+
+
+def scan_shard(
+    path: str | Path,
+    *,
+    end_offset: int | None = None,
+    start_offset: int = 0,
+    check_payload: bool = True,
+) -> ShardScan:
+    """Walk a shard's records and find the committed prefix.
+
+    Parameters
+    ----------
+    end_offset:
+        Stop at this byte limit (a manifest's frozen ``end_offset``);
+        default is the current file size.  A record is committed only if
+        its *whole* frame fits under the limit.
+    start_offset:
+        Resume a scan from a known record boundary (incremental refresh
+        of a live view); must be a byte offset a previous scan returned
+        as ``valid_end``.
+    check_payload:
+        Verify each payload CRC (the recovery path must; an index
+        rebuild over already-recovered shards may skip it — the
+        container layer re-verifies at read time).
+    """
+    size = os.path.getsize(path)
+    limit = size if end_offset is None else min(int(end_offset), size)
+    entries: list[tuple[int, int]] = []
+    pos = int(start_offset)
+    if pos < 0 or pos > limit:
+        raise ValueError(f"start_offset {start_offset} outside [0, {limit}]")
+    with open(path, "rb") as fh:
+        fh.seek(pos)
+        while pos + HEADER_BYTES <= limit:
+            head = fh.read(HEADER_BYTES)
+            if len(head) < HEADER_BYTES:
+                break
+            (length,) = _LEN.unpack_from(head)
+            (len_crc,) = _CRC.unpack_from(head, _LEN.size)
+            if len_crc != _crc(head[: _LEN.size]):
+                break  # torn/garbage length field
+            record_end = pos + HEADER_BYTES + length + TRAILER_BYTES
+            if record_end > limit:
+                break  # payload or trailer truncated
+            if check_payload:
+                payload = fh.read(length)
+                (pay_crc,) = _CRC.unpack(fh.read(TRAILER_BYTES))
+                if pay_crc != _crc(payload):
+                    break  # torn/damaged payload
+            else:
+                fh.seek(record_end)
+            entries.append((pos + HEADER_BYTES, length))
+            pos = record_end
+    return ShardScan(entries=entries, valid_end=pos, torn_bytes=limit - pos)
+
+
+@dataclass(frozen=True)
+class ShardRecovery:
+    """What :func:`recover_shard` found (and possibly truncated)."""
+
+    path: Path
+    n_records: int
+    valid_end: int
+    truncated_bytes: int
+
+
+def recover_shard(path: str | Path) -> ShardRecovery:
+    """Truncate a shard to its committed prefix.
+
+    Every committed record is preserved; a torn tail (partial frame from
+    an interrupted append) is cut off so the file ends exactly at a
+    record boundary and appending can resume.  Idempotent — a clean
+    shard is left untouched.
+    """
+    path = Path(path)
+    scan = scan_shard(path, check_payload=True)
+    if scan.torn_bytes:
+        with open(path, "r+b") as fh:
+            fh.truncate(scan.valid_end)
+    return ShardRecovery(
+        path=path,
+        n_records=scan.n_records,
+        valid_end=scan.valid_end,
+        truncated_bytes=scan.torn_bytes,
+    )
+
+
+class AppendShard:
+    """One open shard file accepting framed appends.
+
+    Opening an existing file first runs :func:`recover_shard`, so an
+    ``AppendShard`` always starts at a committed record boundary.  An
+    append is not durable until :meth:`flush` (with ``sync=True`` for
+    an fsync); :meth:`~repro.ingest.writer.IngestWriter.publish` is the
+    layer that decides when durability is required.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.exists():
+            recovery = recover_shard(self.path)
+            self.n_records = recovery.n_records
+            self.nbytes = recovery.valid_end
+            self.recovered_bytes = recovery.truncated_bytes
+        else:
+            self.n_records = 0
+            self.nbytes = 0
+            self.recovered_bytes = 0
+        # O_APPEND: every write lands at the current end of file, even
+        # after the recovery truncation above
+        self._fh = open(self.path, "ab")
+
+    def append(self, payload: bytes) -> tuple[int, int]:
+        """Frame and append one payload; return ``(payload_offset, length)``.
+
+        The record is committed once its bytes reach the file (torn
+        writes are detected by the CRCs); call :meth:`flush` to push
+        them out of the userspace buffer.
+        """
+        length = _LEN.pack(len(payload))
+        offset = self.nbytes + HEADER_BYTES
+        self._fh.write(length)
+        self._fh.write(_CRC.pack(_crc(length)))
+        self._fh.write(payload)
+        self._fh.write(_CRC.pack(_crc(payload)))
+        self.n_records += 1
+        self.nbytes += HEADER_BYTES + len(payload) + TRAILER_BYTES
+        return offset, len(payload)
+
+    def flush(self, sync: bool = False) -> None:
+        self._fh.flush()
+        if sync:
+            os.fsync(self._fh.fileno())
+
+    def close(self, sync: bool = False) -> None:
+        if self._fh.closed:
+            return
+        self.flush(sync=sync)
+        self._fh.close()
+
+    def __enter__(self) -> "AppendShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,203 @@
+"""The single-writer append API of an ingest directory.
+
+:class:`IngestWriter` owns the open tail of an ingest directory: it
+encodes samples through the existing plugin codecs (or accepts
+pre-encoded container blobs), appends them to the current
+:class:`~repro.ingest.shards.AppendShard`, rolls to a new shard at a
+size threshold, and freezes the committed state into immutable
+:class:`~repro.ingest.manifest.Manifest` snapshots on :meth:`publish`.
+
+Two invariants everything downstream leans on:
+
+* **Prefix stability.**  Samples are numbered globally in append order
+  across the shard sequence, and shards only ever grow at the tail — so
+  a later manifest strictly *extends* an earlier one and global sample
+  index ``i`` refers to the same bytes in every manifest that contains
+  it.  Caches keyed by index (:class:`~repro.pipeline.sources.CachedSource`,
+  the tier hierarchy) therefore stay valid across snapshot growth.
+* **Publish durability.**  ``publish()`` flushes and fsyncs the open
+  shard *before* writing the manifest, so a manifest never promises
+  bytes the disk does not hold.  Appends between publishes are
+  buffered — a crash loses at most the unpublished suffix, and
+  :func:`~repro.ingest.shards.recover_shard` (run automatically when
+  the writer reopens the directory) truncates any torn tail back to the
+  last committed record.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.ingest.manifest import Manifest, ManifestStore, ShardEntry
+from repro.ingest.shards import (
+    SHARD_SUFFIX,
+    AppendShard,
+    ShardRecovery,
+    recover_shard,
+    shard_filename,
+)
+
+__all__ = ["IngestWriter", "FingerprintMismatch", "recover_directory"]
+
+_SHARD_RE = re.compile(r"^shard-(\d{5})\.rec$")
+_FINGERPRINT_FILE = "fingerprint.json"
+
+
+class FingerprintMismatch(ValueError):
+    """The directory was created under a different codec/config."""
+
+
+def _list_shards(root: Path) -> list[Path]:
+    """Shard files in append order (their numbering is the order)."""
+    paths = [
+        p for p in root.glob(f"shard-*{SHARD_SUFFIX}")
+        if _SHARD_RE.match(p.name)
+    ]
+    return sorted(paths, key=lambda p: p.name)
+
+
+def recover_directory(root: str | Path) -> list[ShardRecovery]:
+    """Truncate torn tails on every shard of an ingest directory.
+
+    Safe to run any time the writer is not open; the writer does the
+    same automatically on open.  Returns one report per shard.
+    """
+    return [recover_shard(p) for p in _list_shards(Path(root))]
+
+
+class IngestWriter:
+    """Append samples to an ingest directory and publish snapshots.
+
+    Parameters
+    ----------
+    root:
+        The ingest directory (created if absent).  Reopening an existing
+        directory resumes appending after crash recovery; the recovery
+        reports are kept as :attr:`recovery`.
+    fingerprint:
+        Codec/config identity of the samples (e.g. plugin name + codec +
+        shape).  Hashed into every manifest; persisted on first open and
+        enforced on reopen — appending differently-encoded samples into
+        the same directory is refused.
+    shard_max_bytes:
+        Roll to a new shard once the current one reaches this size.
+    fsync:
+        fsync shard bytes on :meth:`publish` (durable snapshots); leave
+        on except in throwaway tests.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        fingerprint: dict | None = None,
+        shard_max_bytes: int = 64 << 20,
+        fsync: bool = True,
+    ) -> None:
+        if shard_max_bytes < 1:
+            raise ValueError("shard_max_bytes must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.shard_max_bytes = int(shard_max_bytes)
+        self.fsync = fsync
+        self.fingerprint = self._resolve_fingerprint(fingerprint)
+        self.store = ManifestStore(self.root)
+        # crash recovery: truncate every shard to its committed prefix
+        paths = _list_shards(self.root)
+        self.recovery = [recover_shard(p) for p in paths]
+        #: frozen (name, n_samples, end_offset) of every *closed* shard
+        self._closed: list[ShardEntry] = []
+        for path, rec in zip(paths[:-1], self.recovery[:-1]):
+            self._closed.append(
+                ShardEntry(path.name, rec.n_records, rec.valid_end)
+            )
+        tail = paths[-1] if paths else self.root / shard_filename(0)
+        self._open = AppendShard(tail)
+
+    def _resolve_fingerprint(self, fingerprint: dict | None) -> dict:
+        path = self.root / _FINGERPRINT_FILE
+        if path.exists():
+            existing = json.loads(path.read_text())
+            if fingerprint is not None and dict(fingerprint) != existing:
+                raise FingerprintMismatch(
+                    f"directory {self.root} was created with fingerprint "
+                    f"{existing}, cannot append {dict(fingerprint)}"
+                )
+            return existing
+        fingerprint = dict(fingerprint or {})
+        path.write_text(json.dumps(fingerprint, sort_keys=True))
+        return fingerprint
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Committed samples across all shards (== next global index)."""
+        return sum(e.n_samples for e in self._closed) + self._open.n_records
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._closed) + 1
+
+    def append(self, blob: bytes) -> int:
+        """Append one encoded container blob; return its global index."""
+        if (
+            self._open.n_records > 0
+            and self._open.nbytes >= self.shard_max_bytes
+        ):
+            self._roll()
+        index = self.n_samples
+        self._open.append(blob)
+        return index
+
+    def append_sample(self, plugin, data, label) -> int:
+        """Encode one sample through a plugin codec and append it."""
+        return self.append(plugin.encode(data, label))
+
+    def _roll(self) -> None:
+        self._open.close(sync=self.fsync)
+        self._closed.append(
+            ShardEntry(
+                self._open.path.name, self._open.n_records, self._open.nbytes
+            )
+        )
+        self._open = AppendShard(self.root / shard_filename(len(self._closed)))
+
+    def flush(self, sync: bool = False) -> None:
+        self._open.flush(sync=sync)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def shard_entries(self) -> list[ShardEntry]:
+        """The committed state of every shard, open tail included."""
+        entries = list(self._closed)
+        if self._open.n_records > 0:
+            entries.append(
+                ShardEntry(
+                    self._open.path.name,
+                    self._open.n_records,
+                    self._open.nbytes,
+                )
+            )
+        return entries
+
+    def publish(self) -> Manifest:
+        """Freeze the committed state into an immutable snapshot.
+
+        Durability before visibility: shard bytes are flushed (and
+        fsynced, per :attr:`fsync`) before the manifest that references
+        them exists.  Idempotent when nothing was appended.
+        """
+        self.flush(sync=self.fsync)
+        return self.store.publish(self.shard_entries(), self.fingerprint)
+
+    def close(self) -> None:
+        self._open.close(sync=self.fsync)
+
+    def __enter__(self) -> "IngestWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -42,6 +42,9 @@ __all__ = ["DataLoader", "BAD_SAMPLE_POLICIES"]
 
 BAD_SAMPLE_POLICIES = ("raise", "skip", "substitute")
 
+#: sentinel distinguishing "not passed" from an explicit None
+_UNSET = object()
+
 
 class DataLoader:
     """Epoch iterator over batches.
@@ -186,6 +189,7 @@ class DataLoader:
         num_workers: int | None = None,
         prefetch_depth: int | None = None,
         batch_size: int | None = None,
+        order_fn=_UNSET,
     ) -> None:
         """Swap in a new executor with different worker/queue settings.
 
@@ -194,9 +198,15 @@ class DataLoader:
         these knobs between epochs without losing accumulated state.
         ``batch_size`` also retunes the fetch granularity when the
         loader was built with ``batched_fetch=True`` (how ``tune()``'s
-        chosen batch size takes effect).  Takes effect from the next
-        :meth:`batches` call.
+        chosen batch size takes effect).  Passing ``order_fn`` replaces
+        the epoch-traversal override (``None`` restores the built-in
+        shuffle) — how a training client adopts a *grown* epoch order
+        between epochs when its data service publishes new snapshot
+        manifests (:meth:`repro.serve.client.RemoteSource.manifest_order_fn`).
+        Takes effect from the next :meth:`batches` call.
         """
+        if order_fn is not _UNSET:
+            self.order_fn = order_fn
         if batch_size is not None:
             if batch_size < 1:
                 raise ValueError("batch_size must be >= 1")

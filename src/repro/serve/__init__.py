@@ -17,9 +17,13 @@ pieces — containers, :class:`~repro.storage.cache.SampleCache`,
   ``CachedSource``, ``FaultInjector`` and ``DataLoader``;
 * :mod:`~repro.serve.coordination` — :class:`ShardPlan` /
   :class:`EpochCoordinator`, deterministic seeded per-epoch shuffled
-  shards that jointly cover the dataset exactly once per epoch.
+  shards that jointly cover the dataset exactly once per epoch (fixed
+  size, or re-derived per epoch for datasets that grow under online
+  ingestion — see :mod:`repro.ingest` and the ``MANIFEST`` /
+  ``EPOCH_MANIFEST`` ops).
 
-See ``docs/serving.md`` for the wire format and failure-mode contract.
+See ``docs/serving.md`` for the wire format and failure-mode contract,
+and ``docs/ingestion.md`` for the snapshot-manifest extension.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionPolicy, BusyError

@@ -400,3 +400,51 @@ class RemoteSource:
                 protocol.OP_EPOCH, protocol.pack_epoch(rank, epoch)
             )
         return protocol.unpack_indices(body)
+
+    # -- online ingestion (snapshot manifests) -----------------------------
+
+    def manifest(self, manifest_id: str | None = None) -> dict | None:
+        """A published snapshot manifest (``MANIFEST`` op).
+
+        The latest one by default (``None`` if nothing is published
+        yet), or a specific immutable snapshot by id.  Servers without a
+        manifest store answer with an error (surfaced as ``ValueError``).
+        """
+        obj = {} if manifest_id is None else {"id": manifest_id}
+        return self.request_json(protocol.OP_MANIFEST, obj).get("manifest")
+
+    def epoch_shard_manifest(
+        self, rank: int, epoch: int
+    ) -> tuple[str, int, np.ndarray]:
+        """Begin a manifest-pinned epoch (``EPOCH_MANIFEST`` op).
+
+        Returns ``(manifest_id, n_samples, indices)``: the id of the
+        snapshot the server pinned this epoch to, the snapshot's total
+        sample count, and this rank's shard of it.  The client's own
+        view of the dataset grows to ``n_samples`` — an ingest-backed
+        server keeps appending between epochs, and subsequent ``read``
+        calls may now address the newly published samples.
+        """
+        with self._lock:
+            body = self._round_trip(
+                protocol.OP_EPOCH_MANIFEST, protocol.pack_epoch(rank, epoch)
+            )
+        manifest_id, n_samples, indices = protocol.unpack_manifest_shard(body)
+        if self._n is None or n_samples > self._n:
+            self._n = int(n_samples)
+        return manifest_id, int(n_samples), indices
+
+    def manifest_order_fn(self, rank: int):
+        """An ``epoch -> indices`` callable for ``DataLoader(order_fn=)``.
+
+        Each epoch it asks the server for this rank's manifest-pinned
+        shard, growing the source's sample range as snapshots publish —
+        the loader-side hookup for training against a live ingest
+        server (``DataLoader.reconfigure(order_fn=...)`` adopts it on an
+        existing loader).
+        """
+
+        def order(epoch: int) -> np.ndarray:
+            return self.epoch_shard_manifest(rank, epoch)[2]
+
+        return order

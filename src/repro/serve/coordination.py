@@ -14,12 +14,22 @@ clients.
 known); :class:`EpochCoordinator` is the server-side stateful wrapper that
 also tracks how far each rank has progressed, so ``HEALTH``/``STATS`` can
 report stragglers.
+
+The dataset size need not be fixed across epochs.  A coordinator built
+from one :class:`ShardPlan` keeps the classic static behaviour; a
+coordinator built with ``n_samples_fn`` re-derives a fresh plan per
+epoch — the sample count is sampled *once* per epoch (at the first
+``begin_epoch`` for it) and cached, so every rank of that epoch shards
+the same ``n`` even while the underlying dataset grows (online
+ingestion: :class:`repro.ingest.coordination.ManifestEpochCoordinator`
+pins the count to a published snapshot manifest).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -71,18 +81,87 @@ class ShardPlan:
 class EpochCoordinator:
     """Thread-safe shard dispenser with per-rank progress tracking.
 
-    Connection handler threads call :meth:`begin_epoch` concurrently; the
-    plan itself is immutable so only the progress map needs the lock.
+    Connection handler threads call :meth:`begin_epoch` concurrently;
+    plans are immutable so only the progress map and the per-epoch plan
+    cache need the lock.
+
+    Parameters
+    ----------
+    plan:
+        A fixed :class:`ShardPlan` — the static-dataset mode; every
+        epoch shards the same ``n_samples``.
+    world_size / seed / n_samples_fn:
+        The dynamic mode (mutually exclusive with ``plan``): each
+        epoch's plan is ``ShardPlan(n_samples_fn(epoch), world_size,
+        seed)``, derived once per epoch and cached so concurrent ranks
+        of the same epoch always agree on ``n`` even while the dataset
+        grows between epochs.
     """
 
-    def __init__(self, plan: ShardPlan) -> None:
-        self.plan = plan
+    def __init__(
+        self,
+        plan: ShardPlan | None = None,
+        *,
+        world_size: int | None = None,
+        seed: int | None = None,
+        n_samples_fn: Callable[[int], int] | None = None,
+    ) -> None:
+        if (plan is None) == (n_samples_fn is None):
+            raise ValueError(
+                "pass exactly one of plan= or n_samples_fn= (with world_size)"
+            )
+        if plan is not None:
+            self.world_size = plan.world_size
+            self.seed = plan.seed
+        else:
+            if world_size is None:
+                raise ValueError("n_samples_fn requires world_size")
+            self.world_size = int(world_size)
+            self.seed = 0 if seed is None else int(seed)
+        self._fixed = plan
+        self._n_samples_fn = n_samples_fn
+        self._epoch_plans: dict[int, ShardPlan] = {}
         self._lock = threading.Lock()
         self._rank_epoch: dict[int, int] = {}
 
+    @property
+    def dynamic(self) -> bool:
+        """Whether plans are re-derived per epoch."""
+        return self._fixed is None
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The current plan: the fixed one, or the latest epoch's.
+
+        In dynamic mode before any epoch has started this is an empty
+        plan (``n_samples=0``) carrying the right geometry — callers
+        reporting ``world_size``/``seed`` keep working either way.
+        """
+        if self._fixed is not None:
+            return self._fixed
+        with self._lock:
+            if self._epoch_plans:
+                return self._epoch_plans[max(self._epoch_plans)]
+        return ShardPlan(0, world_size=self.world_size, seed=self.seed)
+
+    def plan_for(self, epoch: int) -> ShardPlan:
+        """The (cached) plan governing one epoch."""
+        if self._fixed is not None:
+            return self._fixed
+        with self._lock:
+            plan = self._epoch_plans.get(epoch)
+            if plan is None:
+                plan = ShardPlan(
+                    int(self._n_samples_fn(epoch)),
+                    world_size=self.world_size,
+                    seed=self.seed,
+                )
+                self._epoch_plans[epoch] = plan
+            return plan
+
     def begin_epoch(self, rank: int, epoch: int) -> np.ndarray:
         """Record that ``rank`` is starting ``epoch`` and return its shard."""
-        shard = self.plan.shard(rank, epoch)  # validates rank
+        shard = self.plan_for(epoch).shard(rank, epoch)  # validates rank
         with self._lock:
             self._rank_epoch[rank] = epoch
         return shard

@@ -27,6 +27,17 @@ Request bodies::
     EPOCH      u32 rank | u64 epoch   → OK body = u32 count | count × u64
     READ_BATCH u32 count | count × u64 index
                → OK body = u32 count | count × (u8 slot_status | u32 len | payload)
+    MANIFEST   JSON {} or {"id": ...} → OK body = JSON {"manifest": ...}
+    EPOCH_MANIFEST u32 rank | u64 epoch
+               → OK body = u16 id_len | id | u64 n_samples | u32 count | count × u64
+
+``MANIFEST``/``EPOCH_MANIFEST`` are the online-ingestion extension
+(:mod:`repro.ingest`): ``MANIFEST`` fetches a published snapshot
+manifest (latest, or by id), and ``EPOCH_MANIFEST`` extends ``EPOCH``
+with the id and sample count of the manifest the epoch was pinned to —
+what a client needs to replay the epoch bit-identically and to grow its
+view of the dataset between epochs.  ``EPOCH`` stays wire-compatible
+for static-dataset clients.
 
 ``READ_BATCH`` is the batch plane: one round-trip carries many container
 blobs, amortizing per-request latency.  Each response *slot* stands alone:
@@ -90,6 +101,8 @@ __all__ = [
     "OP_ROUTE",
     "OP_LEASE",
     "OP_READ_BATCH",
+    "OP_MANIFEST",
+    "OP_EPOCH_MANIFEST",
     "ST_OK",
     "ST_ERROR",
     "ST_BUSY",
@@ -108,6 +121,8 @@ __all__ = [
     "unpack_epoch",
     "pack_indices",
     "unpack_indices",
+    "pack_manifest_shard",
+    "unpack_manifest_shard",
     "batch_reply_parts",
     "unpack_batch_reply",
     "pack_json",
@@ -129,6 +144,10 @@ OP_ROUTE = 0x08
 OP_LEASE = 0x09
 #: batch data plane: many blobs per round-trip (see module docstring)
 OP_READ_BATCH = 0x0A
+#: online ingestion (repro.ingest): snapshot manifest fetch and the
+#: manifest-pinned EPOCH extension
+OP_MANIFEST = 0x0B
+OP_EPOCH_MANIFEST = 0x0C
 
 #: response status codes (high bit set so a stray request/response mixup
 #: is caught immediately instead of being misparsed)
@@ -154,6 +173,8 @@ KINDS = frozenset(
         OP_ROUTE,
         OP_LEASE,
         OP_READ_BATCH,
+        OP_MANIFEST,
+        OP_EPOCH_MANIFEST,
         ST_OK,
         ST_ERROR,
         ST_BUSY,
@@ -170,6 +191,8 @@ _READ_BODY = struct.Struct("<Q")
 _EPOCH_BODY = struct.Struct("<IQ")
 _COUNT = struct.Struct("<I")
 _SLOT = struct.Struct("<BI")
+_ID_LEN = struct.Struct("<H")
+_N_SAMPLES = struct.Struct("<Q")
 
 
 class ProtocolError(ConnectionError):
@@ -352,6 +375,48 @@ def unpack_indices(body: bytes) -> np.ndarray:
             f"shard payload carries {len(payload)} bytes for {count} indices"
         )
     return np.frombuffer(payload, dtype="<u8").astype(np.int64)
+
+
+def pack_manifest_shard(
+    manifest_id: str, n_samples: int, indices: np.ndarray
+) -> bytes:
+    """Body of an ``EPOCH_MANIFEST`` reply: pinned manifest id + shard.
+
+    ``u16 id_len | id | u64 n_samples | u32 count | count × u64`` —
+    ``n_samples`` is the pinned manifest's total (the client's new view
+    of the dataset size), the indices are this rank's shard of it.
+    """
+    mid = manifest_id.encode("ascii")
+    if not mid or len(mid) > 0xFFFF:
+        raise ValueError("manifest id must be 1..65535 ASCII bytes")
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return b"".join(
+        [
+            _ID_LEN.pack(len(mid)),
+            mid,
+            _N_SAMPLES.pack(n_samples),
+            pack_indices(indices),
+        ]
+    )
+
+
+def unpack_manifest_shard(body: bytes) -> tuple[str, int, np.ndarray]:
+    """Parse an ``EPOCH_MANIFEST`` reply into ``(id, n_samples, indices)``."""
+    if len(body) < _ID_LEN.size:
+        raise ProtocolError("truncated EPOCH_MANIFEST reply")
+    (id_len,) = _ID_LEN.unpack_from(body)
+    pos = _ID_LEN.size
+    if id_len == 0 or len(body) < pos + id_len + _N_SAMPLES.size:
+        raise ProtocolError("EPOCH_MANIFEST reply truncated in the header")
+    try:
+        manifest_id = body[pos:pos + id_len].decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("EPOCH_MANIFEST manifest id is not ASCII") from None
+    pos += id_len
+    (n_samples,) = _N_SAMPLES.unpack_from(body, pos)
+    pos += _N_SAMPLES.size
+    return manifest_id, n_samples, unpack_indices(body[pos:])
 
 
 def batch_reply_parts(slots: list) -> list:

@@ -68,6 +68,8 @@ _OP_NAMES = {
     protocol.OP_STATS: "stats",
     protocol.OP_HEALTH: "health",
     protocol.OP_EPOCH: "epoch",
+    protocol.OP_MANIFEST: "manifest",
+    protocol.OP_EPOCH_MANIFEST: "epoch_manifest",
     protocol.OP_REGISTER: "register",
     protocol.OP_HEARTBEAT: "heartbeat",
     protocol.OP_ROUTE: "route",
@@ -362,6 +364,18 @@ class DataServer(FrameServer):
         ``False`` to disable verification entirely (non-container blobs).
     world_size / seed:
         Shard plan geometry for ``EPOCH`` coordination.
+    coordinator:
+        Bring your own :class:`EpochCoordinator` instead of the default
+        fixed-plan one built from ``len(source)`` — how an online-ingest
+        deployment attaches a
+        :class:`~repro.ingest.coordination.ManifestEpochCoordinator`
+        (per-epoch plans pinned to published manifests).  ``world_size``
+        / ``seed`` are ignored when this is passed.
+    manifest_store:
+        Optional :class:`~repro.ingest.manifest.ManifestStore` answering
+        ``MANIFEST`` frames (snapshot discovery for clients).  Pinned
+        per-epoch coordination additionally needs the manifest-aware
+        ``coordinator`` above — the store alone only serves lookups.
     admission:
         Optional :class:`AdmissionController`; over-budget READs are
         answered with a retryable ``ST_BUSY`` frame (load shedding)
@@ -390,6 +404,8 @@ class DataServer(FrameServer):
         backlog: int = 128,
         world_size: int = 1,
         seed: int = 0,
+        coordinator: EpochCoordinator | None = None,
+        manifest_store=None,
         stats: StatsRegistry | None = None,
         admission: AdmissionController | None = None,
         service_delay_s: float = 0.0,
@@ -416,9 +432,13 @@ class DataServer(FrameServer):
         self.admission = admission
         self.service_delay_s = service_delay_s
         self._read_lock = threading.Lock()  # serializes uncached source reads
-        self.coordinator = EpochCoordinator(
-            ShardPlan(len(source), world_size=world_size, seed=seed)
-        )
+        self.manifest_store = manifest_store
+        if coordinator is not None:
+            self.coordinator = coordinator
+        else:
+            self.coordinator = EpochCoordinator(
+                ShardPlan(len(source), world_size=world_size, seed=seed)
+            )
 
     # -- request dispatch --------------------------------------------------
 
@@ -441,6 +461,10 @@ class DataServer(FrameServer):
             )
         if kind == protocol.OP_EPOCH:
             return self._op_epoch(body)
+        if kind == protocol.OP_MANIFEST:
+            return self._op_manifest(body)
+        if kind == protocol.OP_EPOCH_MANIFEST:
+            return self._op_epoch_manifest(body)
         raise ValueError(f"unsupported op {kind:#x}")
 
     def _op_read(self, body: bytes, peer) -> bytes:
@@ -520,20 +544,61 @@ class DataServer(FrameServer):
         shard = self.coordinator.begin_epoch(rank, epoch)
         return protocol.pack_frame(protocol.ST_OK, protocol.pack_indices(shard))
 
+    def _op_manifest(self, body: bytes) -> bytes:
+        """Snapshot lookup: the latest published manifest, or one by id."""
+        if self.manifest_store is None:
+            raise ValueError("this server does not publish snapshot manifests")
+        req = protocol.unpack_json(body) if body else {}
+        if "id" in req:
+            manifest = self.manifest_store.load(str(req["id"]))
+        else:
+            manifest = self.manifest_store.latest()
+            if manifest is None:
+                return protocol.pack_frame(
+                    protocol.ST_OK, protocol.pack_json({"manifest": None})
+                )
+        return protocol.pack_frame(
+            protocol.ST_OK, protocol.pack_json({"manifest": manifest.to_json()})
+        )
+
+    def _op_epoch_manifest(self, body: bytes) -> bytes:
+        """``EPOCH`` extended with the pinned manifest id + sample count."""
+        coordinator = self.coordinator
+        if not hasattr(coordinator, "manifest_for"):
+            raise ValueError(
+                "this server's epochs are not manifest-coordinated; "
+                "use the EPOCH op"
+            )
+        rank, epoch = protocol.unpack_epoch(body)
+        shard = coordinator.begin_epoch(rank, epoch)
+        manifest = coordinator.manifest_for(epoch)
+        return protocol.pack_frame(
+            protocol.ST_OK,
+            protocol.pack_manifest_shard(
+                manifest.manifest_id, manifest.n_samples, shard
+            ),
+        )
+
     # -- reports -----------------------------------------------------------
 
     def info(self) -> dict:
-        plan = self.coordinator.plan
-        return {
+        out = {
             "server": "repro.serve",
             "protocol": 1,
             "read_batch": True,  # READ_BATCH op supported
             "n_samples": len(self.source),
-            "world_size": plan.world_size,
-            "seed": plan.seed,
+            "world_size": self.coordinator.world_size,
+            "seed": self.coordinator.seed,
             "cached": self.cache is not None,
             "verify": self._verified,
+            "manifests": self.manifest_store is not None,
         }
+        if self.manifest_store is not None:
+            latest = self.manifest_store.latest()
+            out["latest_manifest"] = (
+                None if latest is None else latest.manifest_id
+            )
+        return out
 
     def health(self) -> dict:
         out = {
@@ -546,6 +611,10 @@ class DataServer(FrameServer):
             },
             "stragglers": self.coordinator.stragglers(),
         }
+        if hasattr(self.coordinator, "pinned"):
+            out["pinned_manifests"] = {
+                str(e): mid for e, mid in self.coordinator.pinned().items()
+            }
         if self.admission is not None:
             out["admission"] = self.admission.report()
         return out

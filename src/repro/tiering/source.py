@@ -49,6 +49,19 @@ class TieredSource:
     def __len__(self) -> int:
         return len(self.inner)
 
+    def repoint(self, inner: SampleSource) -> None:
+        """Swap the inner source without dropping tier residency.
+
+        The online-ingestion hookup: between epochs a trainer re-pins to
+        a newer snapshot manifest (a *longer* view of the same
+        append-only sample sequence — global indices are
+        prefix-stable), so the hierarchy's cached keys stay valid and
+        only the miss path needs to see the new source.  New samples
+        enter the observe/migrate cycle through ordinary miss-admits.
+        """
+        self.inner = inner
+        self.manager.backing = inner
+
     def read(self, index: int) -> bytes:
         return self.manager.read(index)
 

@@ -1,0 +1,417 @@
+"""Tests for ``repro.ingest``: shards, recovery, manifests, sources.
+
+The subsystem's acceptance criteria live in three files:
+
+* here — the commit protocol (CRC-framed appends, torn-tail recovery),
+  the content-hashed manifest chain, the pinned/live sources, and the
+  grown-dataset epoch coordination;
+* ``test_ingest_properties.py`` — hypothesis property tests over
+  arbitrary interleavings and crash points;
+* ``test_ingest_serve.py`` — the MANIFEST/EPOCH_MANIFEST wire ops and
+  the cluster growth path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.ingest import (
+    AppendShard,
+    FingerprintMismatch,
+    IngestWriter,
+    LiveIngestSource,
+    ManifestEpochCoordinator,
+    ManifestSource,
+    ManifestStore,
+    recover_directory,
+    recover_shard,
+    scan_shard,
+    verify_manifest,
+)
+from repro.ingest.manifest import Manifest
+from repro.pipeline import DataLoader, ListSource
+from repro.pipeline.sources import CachedSource
+from repro.serve.coordination import EpochCoordinator, ShardPlan
+from repro.storage.cache import SampleCache
+
+
+def blob(i: int, size: int = 40) -> bytes:
+    return bytes([i % 251]) * (size + i)
+
+
+@pytest.fixture()
+def plugin():
+    return DeepcamDeltaPlugin("cpu")
+
+
+@pytest.fixture()
+def samples():
+    cfg = deepcam.DeepcamConfig(height=8, width=12, n_channels=2)
+    return deepcam.generate_dataset(6, cfg, seed=5)
+
+
+# -- shard framing and recovery -------------------------------------------
+
+
+class TestShards:
+    def test_roundtrip_scan(self, tmp_path):
+        path = tmp_path / "s.rec"
+        with AppendShard(path) as shard:
+            offsets = [shard.append(blob(i)) for i in range(5)]
+        scan = scan_shard(path)
+        assert scan.n_records == 5
+        assert scan.torn_bytes == 0
+        assert scan.entries == offsets
+        with open(path, "rb") as fh:
+            for i, (offset, length) in enumerate(scan.entries):
+                fh.seek(offset)
+                assert fh.read(length) == blob(i)
+
+    def test_scan_stops_at_end_offset(self, tmp_path):
+        path = tmp_path / "s.rec"
+        with AppendShard(path) as shard:
+            shard.append(blob(0))
+            boundary = shard.nbytes
+            shard.append(blob(1))
+        scan = scan_shard(path, end_offset=boundary)
+        assert scan.n_records == 1
+        assert scan.valid_end == boundary
+        # a record whose frame does not fit wholly under the limit is out
+        assert scan_shard(path, end_offset=boundary + 3).n_records == 1
+
+    @pytest.mark.parametrize("tail", [b"\x01", b"\xff" * 11, b"\x00" * 200])
+    def test_torn_tail_truncated(self, tmp_path, tail):
+        path = tmp_path / "s.rec"
+        with AppendShard(path) as shard:
+            for i in range(3):
+                shard.append(blob(i))
+            committed = shard.nbytes
+        with open(path, "ab") as fh:
+            fh.write(tail)
+        report = recover_shard(path)
+        assert report.n_records == 3
+        assert report.truncated_bytes == len(tail)
+        assert path.stat().st_size == committed
+        # idempotent
+        again = recover_shard(path)
+        assert again.truncated_bytes == 0
+
+    def test_corrupted_payload_cuts_from_there(self, tmp_path):
+        path = tmp_path / "s.rec"
+        with AppendShard(path) as shard:
+            shard.append(blob(0))
+            keep = shard.nbytes
+            shard.append(blob(1))
+            shard.append(blob(2))
+        data = bytearray(path.read_bytes())
+        data[keep + 14] ^= 0xFF  # flip a byte inside record 1's payload
+        path.write_bytes(data)
+        scan = scan_shard(path)
+        assert scan.n_records == 1
+        assert scan.valid_end == keep
+        recover_shard(path)
+        assert path.stat().st_size == keep
+
+    def test_reopen_resumes_after_recovery(self, tmp_path):
+        path = tmp_path / "s.rec"
+        with AppendShard(path) as shard:
+            shard.append(blob(0))
+        with open(path, "ab") as fh:
+            fh.write(b"torn!")
+        with AppendShard(path) as shard:
+            assert shard.recovered_bytes == 5
+            assert shard.n_records == 1
+            shard.append(blob(1))
+        scan = scan_shard(path)
+        assert scan.n_records == 2 and scan.torn_bytes == 0
+
+
+# -- writer + manifest chain ----------------------------------------------
+
+
+class TestWriterAndManifests:
+    def test_publish_and_replay(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={"f": 1})
+        for i in range(4):
+            writer.append(blob(i))
+        m1 = writer.publish()
+        for i in range(4, 6):
+            writer.append(blob(i))
+        m2 = writer.publish()
+        writer.close()
+        assert (m1.n_samples, m2.n_samples) == (4, 6)
+        assert m2.parent == m1.manifest_id and m2.seq == m1.seq + 1
+        with ManifestSource(tmp_path, m1) as src:
+            assert len(src) == 4
+            assert [src.read(i) for i in range(4)] == [blob(i) for i in range(4)]
+            with pytest.raises(IndexError):
+                src.read(4)  # appended after the pin: invisible
+
+    def test_publish_idempotent(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        writer.append(blob(0))
+        m1 = writer.publish()
+        m2 = writer.publish()
+        writer.close()
+        assert m1.manifest_id == m2.manifest_id
+        assert len(ManifestStore(tmp_path).ids()) == 1
+
+    def test_shards_roll_and_numbering_is_contiguous(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        for i in range(9):
+            writer.append(blob(i))
+        manifest = writer.publish()
+        writer.close()
+        names = [s.name for s in manifest.shards]
+        assert names == sorted(names)
+        assert len(names) > 1
+        assert names[0] == "shard-00000.rec"
+        assert [int(n[6:11]) for n in names] == list(range(len(names)))
+        assert manifest.n_samples == 9
+
+    def test_reopen_continues_global_numbering(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        for i in range(5):
+            assert writer.append(blob(i)) == i
+        writer.publish()
+        writer.close()
+        writer = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        assert writer.n_samples == 5
+        assert writer.append(blob(5)) == 5
+        writer.close()
+
+    def test_fingerprint_enforced(self, tmp_path):
+        IngestWriter(tmp_path, fingerprint={"codec": "delta"}).close()
+        with pytest.raises(FingerprintMismatch):
+            IngestWriter(tmp_path, fingerprint={"codec": "lut"})
+        # omitting it adopts the persisted one
+        writer = IngestWriter(tmp_path)
+        assert writer.fingerprint == {"codec": "delta"}
+        writer.close()
+
+    def test_manifest_id_is_content_hash(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={"f": 1})
+        writer.append(blob(0))
+        manifest = writer.publish()
+        writer.close()
+        assert manifest.manifest_id == Manifest.compute_id(manifest.body())
+        store = ManifestStore(tmp_path)
+        path = store.dir / f"{manifest.manifest_id}.json"
+        doc = json.loads(path.read_text())
+        doc["shards"][0]["n_samples"] = 99  # tamper
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="content hash"):
+            store.load(manifest.manifest_id)
+
+    def test_recover_directory_after_crash(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        for i in range(6):
+            writer.append(blob(i))
+        manifest = writer.publish()
+        writer.flush(sync=True)
+        with open(writer._open.path, "ab") as fh:
+            fh.write(b"\x13\x37\x00")
+        writer.close()  # abandoned mid-append
+        torn = sum(r.truncated_bytes for r in recover_directory(tmp_path))
+        assert torn == 3
+        # the published view is intact and deep-verifiable? (raw blobs
+        # here, so structural only)
+        report = verify_manifest(tmp_path, manifest)
+        assert report["ok"] and report["n_samples"] == 6
+        reopened = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        assert reopened.n_samples == 6
+        reopened.close()
+
+    def test_verify_manifest_detects_missing_bytes(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        writer.append(blob(0))
+        writer.append(blob(1))
+        manifest = writer.publish()
+        writer.close()
+        shard = tmp_path / manifest.shards[0].name
+        with open(shard, "r+b") as fh:
+            fh.truncate(manifest.shards[0].end_offset - 2)
+        with pytest.raises(ValueError, match="manifest freezes"):
+            verify_manifest(tmp_path, manifest)
+
+    def test_deep_verify_real_containers(self, tmp_path, plugin, samples):
+        writer = IngestWriter(tmp_path, fingerprint={"plugin": "deepcam"})
+        for s in samples:
+            writer.append_sample(plugin, s.data, s.label)
+        manifest = writer.publish()
+        writer.close()
+        report = verify_manifest(tmp_path, manifest, deep=True)
+        assert report["ok"] and report["deep"]
+
+
+# -- sources ---------------------------------------------------------------
+
+
+class TestSources:
+    def test_manifest_source_refuses_mismatched_dir(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        writer.append(blob(0))
+        manifest = writer.publish()
+        writer.close()
+        shard = tmp_path / manifest.shards[0].name
+        with open(shard, "r+b") as fh:
+            fh.truncate(manifest.shards[0].end_offset - 1)
+        with pytest.raises(ValueError, match="does not match manifest"):
+            ManifestSource(tmp_path, manifest)
+
+    def test_live_source_grows_on_demand(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={}, shard_max_bytes=120)
+        for i in range(3):
+            writer.append(blob(i))
+        writer.flush()
+        live = LiveIngestSource(tmp_path)
+        assert len(live) == 3
+        for i in range(3, 8):
+            writer.append(blob(i))
+        writer.flush()
+        # a read past the stale length triggers the refresh
+        assert live.read(7) == blob(7)
+        assert len(live) == 8
+        with pytest.raises(IndexError):
+            live.read(8)
+        live.close()
+        writer.close()
+
+    def test_live_source_never_serves_torn_tail(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        writer.append(blob(0))
+        writer.flush()
+        with open(writer._open.path, "ab") as fh:
+            fh.write(b"\xba\xad")  # torn frame start
+            fh.flush()
+        live = LiveIngestSource(tmp_path)
+        assert len(live) == 1
+        with pytest.raises(IndexError):
+            live.read(1)
+        live.close()
+        writer.close()
+
+    def test_prefix_stability_keeps_caches_valid(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        for i in range(4):
+            writer.append(blob(i))
+        m1 = writer.publish()
+        src1 = ManifestSource(tmp_path, m1)
+        cached = CachedSource(src1, SampleCache(1e6))
+        first = [cached.read(i) for i in range(4)]
+        for i in range(4, 7):
+            writer.append(blob(i))
+        m2 = writer.publish()
+        writer.close()
+        # re-pin the cache's inner source to the grown snapshot: cached
+        # entries keyed by global index stay correct
+        cached.inner = ManifestSource(tmp_path, m2)
+        assert [cached.read(i) for i in range(4)] == first
+        assert cached.read(6) == blob(6)
+        assert m2.shards[0].end_offset >= m1.shards[0].end_offset
+
+    def test_sources_compose_with_loader(self, tmp_path, plugin, samples):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        blobs = [plugin.encode(s.data, s.label) for s in samples]
+        for b in blobs:
+            writer.append(b)
+        manifest = writer.publish()
+        writer.close()
+        reference = DataLoader(
+            ListSource(blobs), plugin, batch_size=3, seed=2
+        )
+        with ManifestSource(tmp_path, manifest) as src:
+            pinned = DataLoader(src, plugin, batch_size=3, seed=2)
+            for (a, la), (b, lb) in zip(
+                reference.batches(0), pinned.batches(0)
+            ):
+                assert a.tobytes() == b.tobytes()
+                assert la.tobytes() == lb.tobytes()
+
+
+# -- grown-dataset epoch coordination --------------------------------------
+
+
+class TestGrownEpochs:
+    def test_dynamic_coordinator_samples_n_once_per_epoch(self):
+        sizes = iter([4, 9, 9])
+        coord = EpochCoordinator(
+            world_size=2, seed=0, n_samples_fn=lambda e: next(sizes)
+        )
+        a0 = coord.begin_epoch(0, 0)
+        b0 = coord.begin_epoch(1, 0)  # cached: does not consume a size
+        assert sorted(np.concatenate([a0, b0])) == list(range(4))
+        a1 = coord.begin_epoch(0, 1)
+        b1 = coord.begin_epoch(1, 1)
+        assert sorted(np.concatenate([a1, b1])) == list(range(9))
+
+    @pytest.mark.parametrize("world_size", [1, 2, 3, 5])
+    @pytest.mark.parametrize("grown_n", [7, 8, 11, 12])
+    def test_remainder_coverage_after_growth(self, world_size, grown_n):
+        """Every epoch covers its grown [0, n) exactly once, remainder
+        ranks included."""
+        ns = {0: 5, 1: grown_n}
+        coord = EpochCoordinator(
+            world_size=world_size, seed=3, n_samples_fn=lambda e: ns[e]
+        )
+        for epoch, n in ns.items():
+            shards = [
+                coord.begin_epoch(r, epoch) for r in range(world_size)
+            ]
+            sizes = [len(s) for s in shards]
+            assert max(sizes) - min(sizes) <= 1
+            assert sorted(np.concatenate(shards)) == list(range(n))
+
+    def test_exactly_one_of_plan_or_fn(self):
+        with pytest.raises(ValueError):
+            EpochCoordinator()
+        with pytest.raises(ValueError):
+            EpochCoordinator(
+                ShardPlan(4, 1, 0), n_samples_fn=lambda e: 4
+            )
+        with pytest.raises(ValueError):
+            EpochCoordinator(n_samples_fn=lambda e: 4)  # no world_size
+
+    def test_manifest_coordinator_pins_latest_per_epoch(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={})
+        for i in range(4):
+            writer.append(blob(i))
+        m1 = writer.publish()
+        store = ManifestStore(tmp_path)
+        coord = ManifestEpochCoordinator(store, world_size=2, seed=0)
+        shards0 = [coord.begin_epoch(r, 0) for r in range(2)]
+        assert coord.manifest_for(0).manifest_id == m1.manifest_id
+        for i in range(4, 10):
+            writer.append(blob(i))
+        m2 = writer.publish()
+        writer.close()
+        # epoch 0 stays pinned to m1 even after growth
+        assert sorted(np.concatenate(shards0)) == list(range(4))
+        assert coord.manifest_for(0).manifest_id == m1.manifest_id
+        shards1 = [coord.begin_epoch(r, 1) for r in range(2)]
+        assert sorted(np.concatenate(shards1)) == list(range(10))
+        assert coord.manifest_for(1).manifest_id == m2.manifest_id
+        assert coord.pinned() == {0: m1.manifest_id, 1: m2.manifest_id}
+
+    def test_manifest_coordinator_requires_a_publish(self, tmp_path):
+        IngestWriter(tmp_path, fingerprint={}).close()
+        coord = ManifestEpochCoordinator(ManifestStore(tmp_path))
+        with pytest.raises(RuntimeError, match="publish"):
+            coord.begin_epoch(0, 0)
+
+    def test_loader_reconfigure_order_fn(self, plugin, samples):
+        blobs = [plugin.encode(s.data, s.label) for s in samples]
+        loader = DataLoader(ListSource(blobs), plugin, batch_size=2, seed=1)
+        builtin = [b.tobytes() for b, _ in loader.batches(0)]
+        order = np.arange(len(blobs))[::-1].copy()
+        loader.reconfigure(order_fn=lambda e: order)
+        sequential = [b.tobytes() for b, _ in loader.batches(0)]
+        assert sequential != builtin
+        # None restores the built-in shuffle; omitting order_fn keeps it
+        loader.reconfigure(batch_size=2)
+        assert [b.tobytes() for b, _ in loader.batches(0)] == sequential
+        loader.reconfigure(order_fn=None)
+        assert [b.tobytes() for b, _ in loader.batches(0)] == builtin

@@ -1,0 +1,287 @@
+"""Serving and cluster integration of ``repro.ingest``.
+
+The wire-level half of the ingestion acceptance criteria: the
+``MANIFEST`` / ``EPOCH_MANIFEST`` ops, a ``DataServer`` over a live
+ingest directory handing out manifest-pinned epochs that stay
+bit-reproducible while ingestion appends concurrently, and the cluster
+growth path (heartbeats announcing a grown dataset re-shard future
+epochs without touching the registration conflict check).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterWorker, Dispatcher, Membership, dispatcher_call
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.ingest import (
+    IngestWriter,
+    LiveIngestSource,
+    ManifestEpochCoordinator,
+    ManifestSource,
+    ManifestStore,
+)
+from repro.pipeline import DataLoader
+from repro.serve import DataServer, RemoteSource, protocol
+from repro.serve.protocol import (
+    ProtocolError,
+    pack_manifest_shard,
+    unpack_manifest_shard,
+)
+
+
+def blob(i: int) -> bytes:
+    return bytes([i % 251]) * (30 + i)
+
+
+@pytest.fixture()
+def ingest_dir(tmp_path):
+    writer = IngestWriter(tmp_path, fingerprint={"t": 1}, fsync=False)
+    for i in range(8):
+        writer.append(blob(i))
+    writer.publish()
+    yield tmp_path, writer
+    writer.close()
+
+
+@pytest.fixture()
+def server(ingest_dir):
+    root, _ = ingest_dir
+    store = ManifestStore(root)
+    live = LiveIngestSource(root)
+    with DataServer(
+        live,
+        coordinator=ManifestEpochCoordinator(store, world_size=2, seed=0),
+        manifest_store=store,
+    ) as srv:
+        yield srv
+    live.close()
+
+
+class TestManifestFrames:
+    def test_pack_unpack_round_trip(self):
+        indices = np.array([5, 1, 3], dtype=np.int64)
+        body = pack_manifest_shard("ab" * 32, 7, indices)
+        mid, n, out = unpack_manifest_shard(body)
+        assert (mid, n) == ("ab" * 32, 7)
+        assert out.tolist() == [5, 1, 3]
+
+    def test_empty_shard_round_trips(self):
+        mid, n, out = unpack_manifest_shard(
+            pack_manifest_shard("x", 0, np.array([], dtype=np.int64))
+        )
+        assert (mid, n, out.tolist()) == ("x", 0, [])
+
+    def test_truncated_body_rejected(self):
+        body = pack_manifest_shard("abcd", 4, np.arange(4))
+        for cut in (1, 5, len(body) - 3):
+            with pytest.raises(ProtocolError):
+                unpack_manifest_shard(body[:cut])
+
+    def test_id_length_bounds(self):
+        with pytest.raises(ValueError):
+            pack_manifest_shard("", 0, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            pack_manifest_shard("x" * 70_000, 0, np.array([], dtype=np.int64))
+
+
+class TestServerOps:
+    def test_manifest_op_returns_latest_and_by_id(self, ingest_dir, server):
+        root, writer = ingest_dir
+        with RemoteSource(*server.address) as src:
+            latest = src.manifest()
+            assert latest["manifest_id"] == ManifestStore(
+                root
+            ).latest().manifest_id
+            assert latest["shards"][0]["n_samples"] == 8
+            by_id = src.manifest(latest["manifest_id"])
+            assert by_id == latest
+
+    def test_manifest_op_without_store_errors(self, ingest_dir):
+        root, _ = ingest_dir
+        live = LiveIngestSource(root)
+        with DataServer(live) as srv, RemoteSource(*srv.address) as src:
+            with pytest.raises(ValueError, match="manifest"):
+                src.manifest()
+        live.close()
+
+    def test_epoch_manifest_pins_both_ranks(self, ingest_dir, server):
+        root, writer = ingest_dir
+        with RemoteSource(*server.address) as a, RemoteSource(
+            *server.address
+        ) as b:
+            mid_a, n_a, shard_a = a.epoch_shard_manifest(0, 0)
+            # growth lands between the two ranks' requests...
+            for i in range(8, 14):
+                writer.append(blob(i))
+            writer.publish()
+            mid_b, n_b, shard_b = b.epoch_shard_manifest(1, 0)
+            # ...but epoch 0 was already pinned: both ranks agree
+            assert mid_a == mid_b and n_a == n_b == 8
+            assert sorted(np.concatenate([shard_a, shard_b])) == list(range(8))
+            # the next epoch adopts the grown snapshot
+            mid2, n2, _ = a.epoch_shard_manifest(0, 1)
+            assert n2 == 14 and mid2 != mid_a
+
+    def test_epoch_manifest_requires_manifest_coordinator(self, ingest_dir):
+        root, _ = ingest_dir
+        live = LiveIngestSource(root)
+        with DataServer(live) as srv, RemoteSource(*srv.address) as src:
+            with pytest.raises(ValueError, match="EPOCH"):
+                src.epoch_shard_manifest(0, 0)
+        live.close()
+
+    def test_client_length_grows_with_pin(self, ingest_dir, server):
+        root, writer = ingest_dir
+        with RemoteSource(*server.address) as src:
+            assert len(src) == 8
+            for i in range(8, 11):
+                writer.append(blob(i))
+            writer.publish()
+            _, n, shard = src.epoch_shard_manifest(0, 1)
+            assert n == 11 and len(src) == 11
+            # reads past the old length now succeed over the wire
+            assert src.read(10) == blob(10)
+
+    def test_info_and_health_report_manifests(self, ingest_dir, server):
+        with RemoteSource(*server.address) as src:
+            src.epoch_shard_manifest(0, 0)
+            info = src.info()
+            assert info["manifests"] is True
+            assert info["latest_manifest"]
+            health = src.health()
+            assert health["pinned_manifests"] == {
+                "0": info["latest_manifest"]
+            }
+
+
+class TestConcurrentIngestTraining:
+    def test_epochs_bit_reproducible_under_concurrent_ingest(self, tmp_path):
+        root = tmp_path / "ingest"
+        cfg = deepcam.DeepcamConfig(height=8, width=12, n_channels=2)
+        plugin = DeepcamDeltaPlugin("cpu")
+        samples = deepcam.generate_dataset(20, cfg, seed=9)
+        writer = IngestWriter(root, fingerprint={"t": 2}, fsync=False)
+        for s in samples[:8]:
+            writer.append_sample(plugin, s.data, s.label)
+        writer.publish()
+
+        store = ManifestStore(root)
+        live = LiveIngestSource(root)
+        stop = threading.Event()
+
+        def ingest_loop():
+            k = 8
+            while not stop.wait(0.005) and k < len(samples):
+                writer.append_sample(plugin, samples[k].data, samples[k].label)
+                k += 1
+                if k % 4 == 0:
+                    writer.publish()
+
+        with DataServer(
+            live,
+            coordinator=ManifestEpochCoordinator(store, world_size=1, seed=0),
+            manifest_store=store,
+        ) as srv:
+            thread = threading.Thread(target=ingest_loop, daemon=True)
+            thread.start()
+            try:
+                remote = RemoteSource(*srv.address)
+                loader = DataLoader(
+                    remote, plugin, batch_size=4,
+                    order_fn=remote.manifest_order_fn(0),
+                )
+                epochs, pins = [], []
+                for e in range(3):
+                    epochs.append(
+                        [b.tobytes() for b, _ in loader.batches(e)]
+                    )
+                    pins.append(remote.epoch_shard_manifest(0, e)[0])
+                remote.close()
+            finally:
+                stop.set()
+                thread.join(timeout=5.0)
+        live.close()
+
+        # replay every epoch cold from its manifest id alone
+        from repro.serve import ShardPlan
+
+        for e, (lived, mid) in enumerate(zip(epochs, pins)):
+            manifest = store.load(mid)
+            plan = ShardPlan(manifest.n_samples, world_size=1, seed=0)
+            with ManifestSource(root, manifest) as src:
+                replayed = DataLoader(
+                    src, plugin, batch_size=4,
+                    order_fn=lambda _e: plan.shard(0, e),
+                )
+                assert [
+                    b.tobytes() for b, _ in replayed.batches(e)
+                ] == lived
+
+
+class TestClusterGrowth:
+    def test_heartbeat_growth_bumps_version_and_resize_event(self):
+        m = Membership(lease_s=2.0)
+        m.register("h", 9000, 64)
+        v = m.version
+        assert m.heartbeat("w0", n_samples=64) is True  # no growth: no bump
+        assert m.version == v
+        assert m.heartbeat("w0", n_samples=80) is True
+        assert m.version == v + 1
+        assert m.n_samples() == 80
+        assert any(e.kind == "resize" for e in m.events)
+        # shrink announcements are ignored (prefix stability: committed
+        # samples never disappear)
+        m.heartbeat("w0", n_samples=10)
+        assert m.n_samples() == 80
+
+    def test_cluster_epochs_reshard_after_worker_growth(self, tmp_path):
+        writer = IngestWriter(tmp_path, fingerprint={}, fsync=False)
+        for i in range(8):
+            writer.append(blob(i))
+        writer.publish()
+        live = LiveIngestSource(tmp_path)
+        with Dispatcher(lease_s=1.0, world_size=2, seed=0) as dispatcher:
+            worker = ClusterWorker(
+                live, dispatcher=dispatcher.address
+            ).start()
+            try:
+                host, port = dispatcher.address
+                shard0 = [
+                    protocol.unpack_indices(_epoch(host, port, r, 0))
+                    for r in range(2)
+                ]
+                assert sorted(np.concatenate(shard0)) == list(range(8))
+                for i in range(8, 13):
+                    writer.append(blob(i))
+                writer.publish()
+                live.refresh()
+                worker._heartbeat_once()  # announces the grown size
+                shard1 = [
+                    protocol.unpack_indices(_epoch(host, port, r, 1))
+                    for r in range(2)
+                ]
+                assert sorted(np.concatenate(shard1)) == list(range(13))
+                # epoch 0 is cached: still the original 8
+                again = protocol.unpack_indices(_epoch(host, port, 0, 0))
+                assert again.tolist() == shard0[0].tolist()
+            finally:
+                worker.close(drain=False, timeout_s=2.0)
+        live.close()
+        writer.close()
+
+
+def _epoch(host, port, rank, epoch):
+    import socket
+
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        sock.sendall(
+            protocol.pack_frame(
+                protocol.OP_EPOCH, protocol.pack_epoch(rank, epoch)
+            )
+        )
+        kind, payload = protocol.recv_frame(sock, frame_timeout_s=5.0)
+    assert kind == protocol.ST_OK
+    return payload
