@@ -37,6 +37,7 @@ import pytest
 
 from repro.cluster import ClusterSource, ClusterWorker, Dispatcher
 from repro.core.plugins import DeepcamDeltaPlugin
+from bench_util import record_bench
 from repro.datasets import deepcam
 from repro.pipeline import ListSource
 from repro.serve.admission import AdmissionController, AdmissionPolicy
@@ -162,6 +163,15 @@ def test_aggregate_throughput_scales_1_to_8_workers(blobs):
         f"\ncluster scaling, {SERVICE_DELAY_S * 1e3:.0f} ms serialized "
         f"service: 1 worker {rates[1]:.0f} reads/s, "
         f"8 workers {rates[8]:.0f} reads/s — scaling {scaling:.2f}x"
+    )
+    record_bench(
+        "cluster_scaling",
+        {
+            "workers_1_reads_per_s": round(rates[1], 1),
+            "workers_8_reads_per_s": round(rates[8], 1),
+            "scaling_1_to_8": round(scaling, 2),
+            "service_delay_ms": SERVICE_DELAY_S * 1e3,
+        },
     )
     assert scaling >= 6.0, (
         f"aggregate throughput scaled only {scaling:.2f}x from 1 to 8 "

@@ -67,6 +67,8 @@ def test_verify_overhead_under_5pct_of_decode(deepcam_blob, cosmo_blob):
 
 
 def test_retry_wrapper_overhead_under_5pct_of_decode(deepcam_blob):
+    from bench_util import record_bench
+
     plugin, blob = deepcam_blob
     plain = ListSource([blob] * 8)
     wrapped = RetryingSource(
@@ -87,6 +89,13 @@ def test_retry_wrapper_overhead_under_5pct_of_decode(deepcam_blob):
     print(
         f"\nclean-path retry+verify: {overhead * 1e6:.1f} µs per 8 reads "
         f"({ratio:.2%} of the matching decode time)"
+    )
+    record_bench(
+        "fault_overhead",
+        {
+            "clean_path_overhead_us": round(overhead * 1e6, 2),
+            "overhead_vs_decode_frac": round(ratio, 4),
+        },
     )
     assert ratio < 0.05
     assert wrapped.stats.retries == 0  # clean path: the wrapper never fires

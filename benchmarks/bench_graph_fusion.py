@@ -30,6 +30,7 @@ import time
 
 import pytest
 
+from bench_util import record_bench
 from repro.core.plugins import CosmoflowLutPlugin, DeepcamDeltaPlugin
 from repro.datasets import cosmoflow, deepcam
 from repro.graph import compile_graph
@@ -111,6 +112,15 @@ def test_cosmoflow_fusion_speedup(cosmo):
         f"\ncosmoflow fusion: naive {naive_s * 1e3:.1f} ms vs optimized "
         f"{opt_s * 1e3:.1f} ms per epoch — {speedup:.2f}x"
     )
+    record_bench(
+        "fusion_cosmoflow",
+        {
+            "naive_epoch_ms": round(naive_s * 1e3, 2),
+            "optimized_epoch_ms": round(opt_s * 1e3, 2),
+            "speedup": round(speedup, 2),
+            "bit_identical": identical,
+        },
+    )
     assert identical, "optimized epoch is not bit-identical to naive"
     assert speedup >= MIN_SPEEDUP, (
         f"fused decode is only {speedup:.2f}x faster (gate: {MIN_SPEEDUP}x)"
@@ -129,6 +139,15 @@ def test_deepcam_prefilter_speedup(cam):
     print(
         f"\ndeepcam prefilter: naive {naive_s * 1e3:.1f} ms vs optimized "
         f"{opt_s * 1e3:.1f} ms per epoch — {speedup:.2f}x"
+    )
+    record_bench(
+        "prefilter_deepcam",
+        {
+            "naive_epoch_ms": round(naive_s * 1e3, 2),
+            "optimized_epoch_ms": round(opt_s * 1e3, 2),
+            "speedup": round(speedup, 2),
+            "bit_identical": identical,
+        },
     )
     assert identical, "optimized epoch is not bit-identical to naive"
     assert speedup >= MIN_SPEEDUP, (

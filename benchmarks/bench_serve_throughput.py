@@ -28,6 +28,7 @@ from time import perf_counter
 
 import pytest
 
+from bench_util import record_bench
 from repro.core.plugins import DeepcamDeltaPlugin
 from repro.datasets import deepcam
 from repro.pipeline import ListSource
@@ -87,6 +88,15 @@ def test_cached_path_scales_1_to_4_clients(blobs):
         f"\ncached path, {SERVICE_DELAY_S * 1e3:.0f} ms simulated link: "
         + ", ".join(f"{c} client(s) {v:.0f} samples/s" for c, v in thr.items())
         + f" — 1→4 scaling {scaling:.2f}x"
+    )
+    record_bench(
+        "serve",
+        {
+            "clients_1_samples_per_s": round(thr[1], 1),
+            "clients_4_samples_per_s": round(thr[4], 1),
+            "scaling_1_to_4": round(scaling, 2),
+            "service_delay_ms": SERVICE_DELAY_S * 1e3,
+        },
     )
     assert scaling >= 2.0, (
         f"aggregate throughput scaled only {scaling:.2f}x from 1 to 4 "

@@ -109,6 +109,16 @@ def test_instrumented_epoch_under_5pct_of_decode(deepcam_blob, num_workers):
         f"{instrumented_s * 1e3:.2f} ms instrumented — "
         f"overhead {ratio:.2%} of decode time"
     )
+    from bench_util import record_bench
+
+    record_bench(
+        f"tuner_overhead_workers{num_workers}",
+        {
+            "plain_epoch_ms": round(plain_s * 1e3, 3),
+            "instrumented_epoch_ms": round(instrumented_s * 1e3, 3),
+            "overhead_vs_decode_frac": round(ratio, 4),
+        },
+    )
     assert ratio < 0.05
 
 

@@ -9,7 +9,9 @@ for the common dataset chores:
 * ``analyze``   — Fig-5-style compressibility statistics for a record file.
 * ``bench``     — time decode throughput of a record file on this machine.
 * ``stats``     — codec-level statistics of encoded samples (line modes,
-  table sizes, compression).
+  table sizes, compression); ``--all`` instead emits one merged
+  document over every subsystem (loader, pipeline, tiers, remote
+  server, cluster, ingest) with a stable key schema.
 * ``verify``    — integrity-check every container in a record file
   (container-v2 CRC32s); non-zero exit when corruption is found.
 * ``chaos``     — run epochs over a record file under seeded fault
@@ -57,9 +59,16 @@ for the common dataset chores:
   and with ``--check`` differentially executes both over the record
   file, exiting non-zero unless every surviving sample is bit-identical.
 
+* ``trace``     — the observability plane (``repro.observe``):
+  ``record`` runs traced epochs over a record file and writes the
+  per-sample span trees to a trace JSON file; ``export`` renders a
+  trace file as a ``chrome://tracing`` timeline, flamegraph.pl folded
+  stacks, or a text tree; ``top`` prints the per-span-name time table
+  from a trace file or scraped live from a running server's METRICS op.
+
 ``bench``, ``stats``, ``tune``, ``vectors verify``, ``fuzz``, ``serve``,
-``fetch``, ``cluster``, ``tiers``, ``graph``, ``ingest`` and
-``manifest`` accept ``--json`` for machine-readable output.
+``fetch``, ``cluster``, ``tiers``, ``graph``, ``ingest``, ``manifest``
+and ``trace`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
@@ -212,8 +221,103 @@ def _pipeline_counters(args, blobs) -> dict:
     }
 
 
+_MERGED_STATS_KEYS = (
+    "loader", "pipeline", "tiers", "remote", "cluster", "ingest"
+)
+
+
+def _merged_stats(args) -> dict:
+    """One document over every subsystem (``repro stats --all``).
+
+    The key schema is stable: every subsystem key is always present,
+    ``null`` when that subsystem was not probed — so dashboards can
+    index ``doc["cluster"]["workers"]`` without existence checks.
+    Local sections (loader/pipeline) need ``--workload``; tiers need
+    ``--tiers``; remote/cluster/ingest attach to running systems via
+    ``--port`` / ``--dispatcher-port`` / ``--ingest-dir``.
+    """
+    from repro.pipeline import DataLoader, ListSource
+
+    blobs = list(_iter_samples(args.input, args.gzip))
+    out: dict = {
+        "schema": 1,
+        "input": args.input,
+        "samples": {
+            "n": len(blobs),
+            "bytes": sum(len(b) for b in blobs),
+        },
+        **{key: None for key in _MERGED_STATS_KEYS},
+    }
+    if args.workload:
+        plugin = _make_plugin(args.workload, args.representation)
+        loader = DataLoader(
+            ListSource(blobs), plugin, batch_size=2, shuffle=False,
+            graph=True,
+        )
+        for _ in loader.batches(0):
+            pass
+        snap = loader.stats.snapshot()
+
+        def section(prefixes: set) -> dict:
+            return {
+                name: {"count": n, "seconds": seconds}
+                for name, (n, seconds) in sorted(snap.items())
+                if name.split(".", 1)[0] in prefixes
+            }
+
+        out["loader"] = section({"loader", "executor", "cache", "source",
+                                 "retry"})
+        out["pipeline"] = section({"pipeline"})
+    if args.tiers:
+        out["tiers"] = _probe_tiers(args).status()
+    if args.port:
+        from repro.serve import RemoteSource
+
+        try:
+            with RemoteSource(
+                args.host, args.port, timeout_s=args.timeout_s
+            ) as src:
+                out["remote"] = src.metrics()
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+    if args.dispatcher_port:
+        from repro.cluster.dispatcher import dispatcher_call
+        from repro.serve import protocol
+
+        try:
+            out["cluster"] = dispatcher_call(
+                args.host, args.dispatcher_port, protocol.OP_LEASE,
+                {"action": "status"}, timeout_s=args.timeout_s,
+            )
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot reach dispatcher {args.host}:"
+                f"{args.dispatcher_port}: {exc}"
+            )
+    if args.ingest_dir:
+        out["ingest"] = _ingest_status(Path(args.ingest_dir))
+    return out
+
+
 def cmd_stats(args) -> int:
     from repro.core.encoding.delta import LINE_CONST, LINE_DELTA, LINE_RAW
+
+    if args.all:
+        out = _merged_stats(args)
+        if args.json:
+            print(json.dumps(out, indent=2))
+            return 0
+        print(
+            f"{out['samples']['n']} sample(s), "
+            f"{out['samples']['bytes'] / 1e6:.2f} MB"
+        )
+        for key in _MERGED_STATS_KEYS:
+            sec = out[key]
+            print(
+                f"{key}: " + ("not probed" if sec is None
+                              else f"{len(sec)} key(s)")
+            )
+        return 0
 
     rows = []
     records = []
@@ -436,6 +540,14 @@ def cmd_serve(args) -> int:
     cache = (
         SampleCache(args.cache_mb * 1e6) if args.cache_mb > 0 else None
     )
+    recorder = None
+    if args.trace:
+        from repro.observe import TraceRecorder
+
+        recorder = TraceRecorder(
+            sample_rate=args.trace_sample_rate, seed=args.seed,
+            proc="server",
+        )
     server = DataServer(
         source,
         host=args.host,
@@ -448,6 +560,7 @@ def cmd_serve(args) -> int:
         coordinator=coordinator,
         manifest_store=manifest_store,
         service_delay_s=args.service_delay_ms / 1e3,
+        trace=recorder,
     )
     server.start()
     stop = threading.Event()
@@ -591,14 +704,41 @@ def cmd_fetch(args) -> int:
         return 1 if bad else 0
 
 
-def cmd_ingest(args) -> int:
-    from repro.ingest import (
-        IngestWriter,
-        ManifestStore,
-        recover_directory,
-        scan_shard,
-    )
+def _ingest_status(root: Path) -> dict:
+    """Committed/torn/manifest counters of an ingest directory.
+
+    Shared by ``repro ingest status`` and ``repro stats --all``.
+    """
+    from repro.ingest import ManifestStore, scan_shard
     from repro.ingest.writer import _list_shards
+
+    store = ManifestStore(root)
+    shards = []
+    for path in _list_shards(root):
+        scan = scan_shard(path)
+        shards.append(
+            {
+                "name": path.name,
+                "n_samples": scan.n_records,
+                "committed_bytes": scan.valid_end,
+                "torn_bytes": scan.torn_bytes,
+            }
+        )
+    latest = store.latest()
+    return {
+        "dir": str(root),
+        "n_samples": sum(s["n_samples"] for s in shards),
+        "n_shards": len(shards),
+        "torn_bytes": sum(s["torn_bytes"] for s in shards),
+        "manifests": len(store.ids()),
+        "latest_manifest": None if latest is None else latest.manifest_id,
+        "published_samples": None if latest is None else latest.n_samples,
+        "shards": shards,
+    }
+
+
+def cmd_ingest(args) -> int:
+    from repro.ingest import IngestWriter, recover_directory
 
     root = Path(args.dir)
 
@@ -629,29 +769,7 @@ def cmd_ingest(args) -> int:
         return 0
 
     if args.action == "status":
-        store = ManifestStore(root)
-        shards = []
-        for path in _list_shards(root):
-            scan = scan_shard(path)
-            shards.append(
-                {
-                    "name": path.name,
-                    "n_samples": scan.n_records,
-                    "committed_bytes": scan.valid_end,
-                    "torn_bytes": scan.torn_bytes,
-                }
-            )
-        latest = store.latest()
-        out = {
-            "dir": str(root),
-            "n_samples": sum(s["n_samples"] for s in shards),
-            "n_shards": len(shards),
-            "torn_bytes": sum(s["torn_bytes"] for s in shards),
-            "manifests": len(store.ids()),
-            "latest_manifest": None if latest is None else latest.manifest_id,
-            "published_samples": None if latest is None else latest.n_samples,
-            "shards": shards,
-        }
+        out = _ingest_status(root)
         if args.json:
             print(json.dumps(out, indent=2))
         else:
@@ -662,7 +780,7 @@ def cmd_ingest(args) -> int:
                 + (
                     f", latest {out['latest_manifest'][:12]}… covers "
                     f"{out['published_samples']}"
-                    if latest is not None
+                    if out["latest_manifest"] is not None
                     else ""
                 )
             )
@@ -1279,6 +1397,125 @@ def cmd_tiers(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from repro.observe import (
+        TraceRecorder,
+        build_trees,
+        chrome_trace,
+        folded_stacks,
+        load_spans,
+        render_top,
+        render_tree,
+        top_spans,
+    )
+
+    if args.action == "record":
+        from repro.pipeline import DataLoader, ListSource
+
+        if not args.input or not args.workload:
+            raise SystemExit("trace record needs --input and --workload")
+        if not args.output:
+            raise SystemExit("trace record needs --output (the trace file)")
+        plugin = _make_plugin(args.workload, args.representation)
+        blobs = list(_iter_samples(args.input, args.gzip))
+        if not blobs:
+            raise SystemExit("no records in input")
+        recorder = TraceRecorder(
+            capacity=args.capacity,
+            sample_rate=args.sample_rate,
+            seed=args.seed,
+            exemplars=args.exemplars,
+            proc="loader",
+        )
+        loader = DataLoader(
+            ListSource(blobs), plugin, batch_size=args.batch_size,
+            shuffle=False, graph=True, trace=recorder,
+        )
+        n = 0
+        for epoch in range(args.epochs):
+            for batch, _ in loader.batches(epoch):
+                n += batch.shape[0]
+        doc = recorder.to_json()
+        Path(args.output).write_text(json.dumps(doc, indent=2))
+        summary = {
+            "samples": n,
+            "epochs": args.epochs,
+            "spans": len(doc["spans"]),
+            "exemplars": len(doc["exemplars"]),
+            "sample_rate": args.sample_rate,
+            "output": args.output,
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(
+                f"traced {n} sample(s) over {args.epochs} epoch(s): "
+                f"{summary['spans']} span(s), {summary['exemplars']} "
+                f"exemplar tree(s) -> {args.output}"
+            )
+        return 0
+
+    if args.action == "export":
+        if not args.trace:
+            raise SystemExit("trace export needs --trace (a record file)")
+        spans = load_spans(args.trace)
+        if args.format == "chrome":
+            text = json.dumps(chrome_trace(spans), indent=2)
+        elif args.format == "folded":
+            text = "\n".join(folded_stacks(spans))
+        else:
+            text = render_tree(build_trees(spans))
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(
+                f"wrote {args.format} export of {len(spans)} span(s) "
+                f"to {args.output}"
+            )
+        else:
+            print(text)
+        return 0
+
+    # top: the "where did the time go" table, from a recorded trace
+    # file or scraped live from a running server's METRICS op
+    if args.trace:
+        rows = top_spans(load_spans(args.trace))
+    elif args.port:
+        from repro.serve import RemoteSource
+
+        try:
+            with RemoteSource(
+                args.host, args.port, timeout_s=args.timeout_s
+            ) as src:
+                observe = src.metrics().get("observe")
+        except OSError as exc:
+            raise SystemExit(f"cannot reach {args.host}:{args.port}: {exc}")
+        if not observe:
+            raise SystemExit(
+                f"server {args.host}:{args.port} has no trace recorder "
+                f"attached (start it with tracing enabled)"
+            )
+        rows = [
+            {
+                "name": name,
+                "n": st["n"],
+                "total_s": st["total_s"],
+                "mean_s": st["total_s"] / max(1, st["n"]),
+                "max_s": st["max_s"],
+            }
+            for name, st in observe["spans"].items()
+        ]
+        rows.sort(key=lambda r: -r["total_s"])
+    else:
+        raise SystemExit(
+            "trace top needs --trace FILE or --port of a live server"
+        )
+    if args.json:
+        print(json.dumps(rows[:args.limit], indent=2))
+    else:
+        print(render_top(rows, limit=args.limit))
+    return 0
+
+
 def _add_tier_probe_args(p: argparse.ArgumentParser) -> None:
     """The knobs of the :func:`_probe_tiers` read sweep (``tiers``/``stats``)."""
     from repro.tiering import POLICIES
@@ -1356,6 +1593,24 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--representation", choices=("base", "plugin"),
                     default="plugin", help="representation for --pipeline")
     _add_tier_probe_args(st)
+    st.add_argument("--all", action="store_true",
+                    help="emit one merged document over every subsystem "
+                         "(loader, pipeline, tiers, remote, cluster, "
+                         "ingest) with a stable key schema; sections not "
+                         "probed are null")
+    st.add_argument("--host", default="127.0.0.1",
+                    help="with --all: server/dispatcher contact address")
+    st.add_argument("--port", type=int, default=0,
+                    help="with --all: include a running server's counters "
+                         "and trace summary (METRICS scrape)")
+    st.add_argument("--dispatcher-port", type=int, default=0,
+                    help="with --all: include a running dispatcher's "
+                         "membership/routing status")
+    st.add_argument("--ingest-dir", default=None,
+                    help="with --all: include this ingest directory's "
+                         "committed/torn/manifest counters")
+    st.add_argument("--timeout-s", type=float, default=5.0,
+                    help="with --all: remote probe timeout")
     st.add_argument("--json", action="store_true",
                     help="machine-readable output")
     st.set_defaults(func=cmd_stats)
@@ -1429,6 +1684,11 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--service-delay-ms", type=float, default=0.0,
                     help="simulated per-read link/storage latency "
                          "(benchmarking aid; see docs/serving.md)")
+    sv.add_argument("--trace", action="store_true",
+                    help="attach a span recorder; scrape it live with "
+                         "`repro trace top --port` (METRICS op)")
+    sv.add_argument("--trace-sample-rate", type=float, default=1.0,
+                    help="head-sampling probability for --trace")
     sv.add_argument("--duration-s", type=float, default=None,
                     help="serve for N seconds then drain (default: until "
                          "SIGINT/SIGTERM)")
@@ -1637,6 +1897,50 @@ def build_parser() -> argparse.ArgumentParser:
     ti.add_argument("--json", action="store_true",
                     help="machine-readable output")
     ti.set_defaults(func=cmd_tiers)
+
+    tr = sub.add_parser(
+        "trace",
+        help="record, export, and summarize per-sample span traces",
+    )
+    tr.add_argument("action", choices=("record", "export", "top"))
+    tr.add_argument("--workload", choices=("cosmoflow", "deepcam"),
+                    help="record: workload plugin")
+    tr.add_argument("--representation", choices=("base", "plugin"),
+                    default="plugin")
+    tr.add_argument("--input", default=None,
+                    help="record: record file to run traced epochs over")
+    tr.add_argument("--gzip", action="store_true")
+    tr.add_argument("--epochs", type=int, default=1)
+    tr.add_argument("--batch-size", type=int, default=2)
+    tr.add_argument("--sample-rate", type=float, default=1.0,
+                    help="head-sampling probability; slowest-K exemplar "
+                         "trees are kept at any rate")
+    tr.add_argument("--capacity", type=int, default=4096,
+                    help="span ring-buffer capacity")
+    tr.add_argument("--exemplars", type=int, default=8,
+                    help="slowest-K full trace trees to retain")
+    tr.add_argument("--seed", type=int, default=0,
+                    help="sampling/id seed (reproduces which samples "
+                         "were traced)")
+    tr.add_argument("--output", default=None,
+                    help="record: trace JSON file to write (required); "
+                         "export: write here instead of stdout")
+    tr.add_argument("--trace", default=None,
+                    help="export/top: a trace file written by record")
+    tr.add_argument("--format", choices=("chrome", "folded", "tree"),
+                    default="chrome",
+                    help="export format: chrome://tracing JSON, "
+                         "flamegraph.pl folded stacks, or a text tree")
+    tr.add_argument("--host", default="127.0.0.1",
+                    help="top: live server to scrape (METRICS op)")
+    tr.add_argument("--port", type=int, default=0,
+                    help="top: live server port")
+    tr.add_argument("--timeout-s", type=float, default=5.0)
+    tr.add_argument("--limit", type=int, default=20,
+                    help="top: rows to print")
+    tr.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    tr.set_defaults(func=cmd_trace)
     return p
 
 

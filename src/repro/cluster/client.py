@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.cluster.routing import RoutingTable
 from repro.core.encoding.container import CorruptSampleError
+from repro.observe import trace as observe
 from repro.serve import protocol
 from repro.serve.client import RemoteSource, ServerBusyError
 from repro.tune.stats import StatsRegistry
@@ -266,8 +267,17 @@ class ClusterSource:
                     continue
                 attempts += 1
                 try:
-                    conn = self._connection(worker_id, table.address(worker_id))
-                    blob = conn.read(index)
+                    # one span per attempt: a failover reads as sibling
+                    # cluster.attempt spans under the same parent, each
+                    # naming the replica it tried
+                    with observe.span(
+                        "cluster.attempt", worker=worker_id, index=index,
+                        attempt=attempts, last_resort=last_resort,
+                    ):
+                        conn = self._connection(
+                            worker_id, table.address(worker_id)
+                        )
+                        blob = conn.read(index)
                 except ServerBusyError as exc:
                     self.stats.add("cluster.busy_sheds")
                     busy_hint = max(busy_hint, exc.retry_after_s)
@@ -339,8 +349,13 @@ class ClusterSource:
         for worker_id, members in groups.items():
             batch = [index for _, index in members]
             try:
-                conn = self._connection(worker_id, table.address(worker_id))
-                replies = conn.read_batch_slots(batch)
+                with observe.span(
+                    "cluster.batch", worker=worker_id, n=len(batch)
+                ):
+                    conn = self._connection(
+                        worker_id, table.address(worker_id)
+                    )
+                    replies = conn.read_batch_slots(batch)
             except (OSError, TimeoutError):
                 self.stats.add("cluster.failovers")
                 self._mark_suspect(worker_id)

@@ -70,6 +70,7 @@ class ClusterWorker:
         max_connections: int = 32,
         control_timeout_s: float = 5.0,
         stats: StatsRegistry | None = None,
+        trace=None,
     ) -> None:
         self.dispatcher = dispatcher
         self.control_timeout_s = control_timeout_s
@@ -82,7 +83,12 @@ class ClusterWorker:
             service_delay_s=service_delay_s,
             max_connections=max_connections,
             stats=stats,
+            trace=trace,
         )
+        #: the worker's span recorder (scraped via the METRICS op) —
+        #: give each replica a distinct ``proc`` name so stitched trees
+        #: show which replica served (or failed) each attempt
+        self.trace = trace
         self.stats = self.server.stats
         self.worker_id = worker_id
         self.advertise_host = advertise_host

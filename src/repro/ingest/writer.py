@@ -31,6 +31,7 @@ import re
 from pathlib import Path
 
 from repro.ingest.manifest import Manifest, ManifestStore, ShardEntry
+from repro.observe import trace as observe
 from repro.ingest.shards import (
     SHARD_SUFFIX,
     AppendShard,
@@ -58,13 +59,23 @@ def _list_shards(root: Path) -> list[Path]:
     return sorted(paths, key=lambda p: p.name)
 
 
-def recover_directory(root: str | Path) -> list[ShardRecovery]:
+def recover_directory(
+    root: str | Path, *, trace=None
+) -> list[ShardRecovery]:
     """Truncate torn tails on every shard of an ingest directory.
 
     Safe to run any time the writer is not open; the writer does the
-    same automatically on open.  Returns one report per shard.
+    same automatically on open.  Returns one report per shard.  With a
+    :class:`repro.observe.TraceRecorder` (``trace=``) the sweep records
+    an ``ingest.recover`` span tree, one child span per shard.
     """
-    return [recover_shard(p) for p in _list_shards(Path(root))]
+    paths = _list_shards(Path(root))
+    with observe.traced(trace, "ingest.recover", shards=len(paths)):
+        out = []
+        for p in paths:
+            with observe.span("ingest.recover_shard", shard=p.name):
+                out.append(recover_shard(p))
+        return out
 
 
 class IngestWriter:
@@ -95,9 +106,12 @@ class IngestWriter:
         fingerprint: dict | None = None,
         shard_max_bytes: int = 64 << 20,
         fsync: bool = True,
+        trace=None,
     ) -> None:
         if shard_max_bytes < 1:
             raise ValueError("shard_max_bytes must be >= 1")
+        #: optional TraceRecorder: publish/recover become span trees
+        self.trace = trace
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.shard_max_bytes = int(shard_max_bytes)
@@ -106,7 +120,8 @@ class IngestWriter:
         self.store = ManifestStore(self.root)
         # crash recovery: truncate every shard to its committed prefix
         paths = _list_shards(self.root)
-        self.recovery = [recover_shard(p) for p in paths]
+        with observe.traced(trace, "ingest.recover", shards=len(paths)):
+            self.recovery = [recover_shard(p) for p in paths]
         #: frozen (name, n_samples, end_offset) of every *closed* shard
         self._closed: list[ShardEntry] = []
         for path, rec in zip(paths[:-1], self.recovery[:-1]):
@@ -190,8 +205,12 @@ class IngestWriter:
         fsynced, per :attr:`fsync`) before the manifest that references
         them exists.  Idempotent when nothing was appended.
         """
-        self.flush(sync=self.fsync)
-        return self.store.publish(self.shard_entries(), self.fingerprint)
+        with observe.traced(
+            self.trace, "ingest.publish", samples=self.n_samples
+        ):
+            with observe.span("ingest.flush"):
+                self.flush(sync=self.fsync)
+            return self.store.publish(self.shard_entries(), self.fingerprint)
 
     def close(self) -> None:
         self._open.close(sync=self.fsync)

@@ -1,0 +1,59 @@
+"""``repro.observe`` — the observability plane.
+
+Per-sample distributed tracing across loader → sources → wire → server
+→ cluster → tiers, with bounded-memory recording, seeded head/tail
+sampling, cross-process context propagation, and timeline/flamegraph
+export.  See ``docs/observability.md`` for the span taxonomy and knobs.
+"""
+
+from repro.observe.export import (
+    build_trees,
+    chrome_trace,
+    folded_stacks,
+    load_spans,
+    render_top,
+    render_tree,
+    stitch,
+    top_spans,
+)
+from repro.observe.trace import (
+    Span,
+    TraceRecorder,
+    current_span_id,
+    current_trace,
+    current_trace_id,
+    span,
+    span_from_json,
+    span_to_json,
+    traced,
+)
+from repro.observe.wire import (
+    WIRE_VERSION,
+    TraceContext,
+    pack_trace_context,
+    unpack_trace_context,
+)
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "span",
+    "traced",
+    "current_trace",
+    "current_trace_id",
+    "current_span_id",
+    "span_to_json",
+    "span_from_json",
+    "TraceContext",
+    "WIRE_VERSION",
+    "pack_trace_context",
+    "unpack_trace_context",
+    "stitch",
+    "build_trees",
+    "render_tree",
+    "chrome_trace",
+    "top_spans",
+    "render_top",
+    "folded_stacks",
+    "load_spans",
+]

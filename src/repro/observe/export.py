@@ -1,0 +1,191 @@
+"""Exporters: Chrome timelines, text flamegraphs, stitched span trees.
+
+Three consumers of recorded spans:
+
+* :func:`chrome_trace` — the ``trace_event`` JSON array format that
+  ``chrome://tracing`` / Perfetto load directly; each recorder ``proc``
+  becomes a timeline process, each recording thread a track.
+* :func:`top_spans` / :func:`render_top` — the "where did the time go"
+  table (count, total, mean, max per span name), the CLI's
+  ``repro trace top``.
+* :func:`folded_stacks` — collapsed-stack lines (``proc;a;b  <µs>``)
+  in the flamegraph.pl input format, self-time attributed.
+
+Stitching (:func:`stitch` + :func:`build_trees`) merges span lists from
+*several* recorders — the client's and those scraped from servers via
+the ``METRICS`` frame — into one forest: spans join by ``trace_id`` and
+parent/child links, so a client ``wire.rpc`` span shows the server's
+``server.handle`` (and everything under it) as its children, replica
+failovers included.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe.trace import span_from_json, span_to_json
+
+__all__ = [
+    "stitch",
+    "build_trees",
+    "render_tree",
+    "chrome_trace",
+    "top_spans",
+    "render_top",
+    "folded_stacks",
+    "load_spans",
+]
+
+
+def stitch(*span_groups) -> list:
+    """Merge span lists from several recorders, deduped by span id.
+
+    Accepts lists of :class:`Span` or of their JSON dicts.  Output is
+    sorted by wall-clock start, which interleaves client and server
+    spans of one trace correctly (both clock ``time.time()``).
+    """
+    merged: dict = {}
+    for group in span_groups:
+        for s in group:
+            if isinstance(s, dict):
+                s = span_from_json(s)
+            merged.setdefault(s.span_id, s)
+    return sorted(merged.values(), key=lambda s: s.t0)
+
+
+def build_trees(spans) -> list:
+    """Group spans into trees: ``{"span": s, "children": [...]}``.
+
+    A span whose parent is absent from the input (or 0) roots its own
+    tree — so a server-side tree whose client half was sampled away
+    still renders, just unstitched.
+    """
+    spans = stitch(spans)
+    by_id = {s.span_id: {"span": s, "children": []} for s in spans}
+    roots = []
+    for s in spans:
+        node = by_id[s.span_id]
+        parent = by_id.get(s.parent_id)
+        if parent is None or s.parent_id == s.span_id:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def render_tree(trees, *, indent: int = 0) -> str:
+    """Indented text rendering of :func:`build_trees` output."""
+    lines = []
+    for node in trees:
+        s = node["span"]
+        meta = ""
+        if s.meta:
+            meta = "  " + " ".join(f"{k}={v}" for k, v in s.meta.items())
+        lines.append(
+            f"{'  ' * indent}{s.name}  {s.dur * 1e3:.3f} ms"
+            f"  [{s.proc}]{meta}"
+        )
+        if node["children"]:
+            lines.append(render_tree(node["children"], indent=indent + 1))
+    return "\n".join(lines)
+
+
+def chrome_trace(spans) -> list:
+    """Spans → ``trace_event`` JSON array (complete "X" events).
+
+    Wall-clock start times in µs; one pid per recorder ``proc`` with a
+    metadata event naming it, the recording thread id as tid.
+    """
+    spans = stitch(spans)
+    events = []
+    pids: dict = {}
+    for s in spans:
+        pid = pids.get(s.proc)
+        if pid is None:
+            pid = pids[s.proc] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": s.proc},
+            })
+        ev = {
+            "ph": "X",
+            "name": s.name,
+            "pid": pid,
+            "tid": s.tid & 0xFFFFFFFF,
+            "ts": s.t0 * 1e6,
+            "dur": s.dur * 1e6,
+            "args": {"trace_id": format(s.trace_id, "x")},
+        }
+        if s.meta:
+            ev["args"].update({k: str(v) for k, v in s.meta.items()})
+        events.append(ev)
+    return events
+
+
+def top_spans(spans) -> list:
+    """Aggregate by name → rows sorted by total time, descending."""
+    agg: dict = {}
+    for s in stitch(spans):
+        row = agg.setdefault(
+            s.name, {"name": s.name, "n": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        row["n"] += 1
+        row["total_s"] += s.dur
+        if s.dur > row["max_s"]:
+            row["max_s"] = s.dur
+    rows = sorted(agg.values(), key=lambda r: -r["total_s"])
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["n"]
+    return rows
+
+
+def render_top(rows, *, limit: int = 20) -> str:
+    """Text table for :func:`top_spans` rows."""
+    header = f"{'span':<24} {'n':>7} {'total ms':>10} {'mean ms':>9} {'max ms':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows[:limit]:
+        lines.append(
+            f"{row['name']:<24} {row['n']:>7} {row['total_s'] * 1e3:>10.2f} "
+            f"{row['mean_s'] * 1e3:>9.3f} {row['max_s'] * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def folded_stacks(spans) -> list:
+    """Collapsed-stack lines (``proc;root;child  <self-µs>``).
+
+    Self time = a span's duration minus its direct children's — the
+    flamegraph.pl convention, so frame widths sum correctly.
+    """
+    out: dict = {}
+
+    def walk(node, prefix):
+        s = node["span"]
+        path = f"{prefix};{s.name}" if prefix else f"{s.proc};{s.name}"
+        child_total = sum(c["span"].dur for c in node["children"])
+        self_us = max(0.0, (s.dur - child_total)) * 1e6
+        out[path] = out.get(path, 0.0) + self_us
+        for child in node["children"]:
+            walk(child, path)
+
+    for root in build_trees(spans):
+        walk(root, "")
+    return [f"{path} {int(round(us))}" for path, us in sorted(out.items())]
+
+
+def load_spans(path) -> list:
+    """Read spans back from a ``repro trace record`` JSON file.
+
+    Includes exemplar trees (deduped), so slow outliers survive into
+    exports even when the ring has since wrapped past them.
+    """
+    doc = json.loads(open(path).read())
+    groups = [doc.get("spans", [])]
+    for ex in doc.get("exemplars", []):
+        groups.append(ex.get("spans", []))
+    return stitch(*groups)
+
+
+def dump_spans(spans) -> list:
+    """Spans → JSON dicts (convenience for tests/CLI)."""
+    return [span_to_json(s) for s in stitch(spans)]

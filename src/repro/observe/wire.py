@@ -1,0 +1,123 @@
+"""Trace-context header codec: the field that crosses the frame protocol.
+
+The PR 4 frame protocol carries fixed-layout bodies (``READ`` is exactly
+a ``u64`` index), so the trace context travels as an **optional trailing
+header** after the fixed part of ``READ``/``READ_BATCH`` request bodies
+— and as a ``trace_id`` key inside the (naturally extensible) JSON of
+scalar error replies.  Compatibility rules:
+
+* The header is **self-describing TLV** (``u8 version | u8 nfields |
+  nfields × (u8 tag, u8 len, payload)``): readers skip tags they do not
+  know, so a v2 peer can add fields a v1 peer ignores — the
+  "versioned optional header field, ignored by old peers" contract.
+  The hypothesis round-trip test in ``tests/test_observe_wire.py``
+  drives this with injected unknown fields.
+* A server that accepts the extended bodies but has no recorder simply
+  discards the header (header-*ignorant*, not header-intolerant).
+* Servers predating this header reject non-8-byte ``READ`` bodies, so
+  clients only attach it after the ``INFO`` handshake advertises
+  ``trace_headers`` — capability negotiation, the same seam
+  ``read_batch`` support uses.
+
+The codec is deliberately independent of :mod:`repro.serve.protocol`
+(no frame knowledge here) so it can ride any future transport.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "WIRE_VERSION",
+    "TraceContext",
+    "pack_trace_context",
+    "unpack_trace_context",
+]
+
+#: current header version; readers accept any version (TLV carries compat)
+WIRE_VERSION = 1
+
+# field tags — never reuse a retired tag number
+TAG_TRACE_ID = 0x01   # u64
+TAG_PARENT_ID = 0x02  # u64
+TAG_FLAGS = 0x03      # u8 bitfield, bit0 = sampled
+
+_U64 = struct.Struct("<Q")
+_HDR = struct.Struct("<BB")   # version, nfields
+_FLD = struct.Struct("<BB")   # tag, len
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of an in-flight trace."""
+
+    trace_id: int
+    parent_id: int = 0
+    sampled: bool = True
+
+    def __bool__(self) -> bool:
+        return self.trace_id != 0
+
+
+def pack_trace_context(
+    ctx: TraceContext, *, extra_fields: tuple = ()
+) -> bytes:
+    """Encode a context; ``extra_fields`` are ``(tag, payload)`` pairs.
+
+    ``extra_fields`` exists for forward-compat tests (and future
+    versions): unknown tags must survive a peer that does not know them.
+    """
+    fields = [
+        (TAG_TRACE_ID, _U64.pack(ctx.trace_id)),
+        (TAG_PARENT_ID, _U64.pack(ctx.parent_id)),
+        (TAG_FLAGS, bytes([1 if ctx.sampled else 0])),
+    ]
+    fields.extend(extra_fields)
+    if len(fields) > 255:
+        raise ValueError("too many trace-context fields")
+    out = [_HDR.pack(WIRE_VERSION, len(fields))]
+    for tag, payload in fields:
+        if not 0 <= tag <= 255 or len(payload) > 255:
+            raise ValueError(f"bad trace-context field ({tag}, {payload!r})")
+        out.append(_FLD.pack(tag, len(payload)))
+        out.append(bytes(payload))
+    return b"".join(out)
+
+
+def unpack_trace_context(buf: bytes) -> TraceContext | None:
+    """Decode a header; lenient by design.
+
+    Returns ``None`` for an empty buffer, a truncated header, or one
+    carrying no ``trace_id`` — a peer must never fail a read because it
+    could not understand an *optional* observability field.  Unknown
+    tags are skipped.
+    """
+    if not buf:
+        return None
+    buf = bytes(buf)
+    if len(buf) < _HDR.size:
+        return None
+    _version, nfields = _HDR.unpack_from(buf, 0)
+    pos = _HDR.size
+    trace_id = parent_id = 0
+    sampled = True
+    for _ in range(nfields):
+        if pos + _FLD.size > len(buf):
+            return None  # truncated
+        tag, ln = _FLD.unpack_from(buf, pos)
+        pos += _FLD.size
+        if pos + ln > len(buf):
+            return None  # truncated
+        payload = buf[pos:pos + ln]
+        pos += ln
+        if tag == TAG_TRACE_ID and ln == _U64.size:
+            trace_id = _U64.unpack(payload)[0]
+        elif tag == TAG_PARENT_ID and ln == _U64.size:
+            parent_id = _U64.unpack(payload)[0]
+        elif tag == TAG_FLAGS and ln >= 1:
+            sampled = bool(payload[0] & 1)
+        # unknown tag (or known tag, unexpected length): skip
+    if trace_id == 0:
+        return None
+    return TraceContext(trace_id, parent_id, sampled)

@@ -50,6 +50,11 @@ class FailedItem:
     error: Exception
     error_repr: str = ""
     traceback: str = ""
+    #: id of the span tree that recorded this sample's failing fetch
+    #: (0 = untraced).  The traced pipeline tags exceptions with the
+    #: active trace id as they unwind, so the link needs no plumbing at
+    #: the construction sites.
+    trace_id: int = 0
 
     def __post_init__(self) -> None:
         if not self.error_repr:
@@ -62,6 +67,10 @@ class FailedItem:
                     type(self.error), self.error, self.error.__traceback__
                 )),
             )
+        if not self.trace_id:
+            object.__setattr__(
+                self, "trace_id", getattr(self.error, "trace_id", 0) or 0
+            )
 
     def to_json(self) -> dict:
         """JSON-safe description (no live exception object)."""
@@ -69,6 +78,7 @@ class FailedItem:
             "index": self.index,
             "error": self.error_repr,
             "traceback": self.traceback,
+            "trace_id": format(self.trace_id, "x") if self.trace_id else None,
         }
 
 

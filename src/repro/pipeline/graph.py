@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.observe import trace as observe
 from repro.pipeline.ops import Op, PipelineItem
 from repro.util.timing import Stopwatch
 
@@ -49,6 +50,12 @@ class Pipeline:
         self._watches: list[Stopwatch] = []
         self._watch_lock = threading.Lock()
         self._flushed: dict[str, tuple[int, float]] = {}
+        #: optional :class:`repro.observe.TraceRecorder` — when attached
+        #: (``DataLoader(trace=...)``), every sample records a
+        #: ``loader.fetch`` span tree; the trace starts here, on the
+        #: worker thread that runs the sample, so source wrappers deeper
+        #: in the chain land their spans in the right tree
+        self.trace = None
 
     def _thread_watch(self) -> Stopwatch:
         """This thread's private stopwatch (created and registered once)."""
@@ -77,10 +84,16 @@ class Pipeline:
         short-circuits the remaining stages — the item comes back marked
         and the loader drops it from the epoch.
         """
+        if self.trace is None:
+            return self._run(index, epoch)
+        with self.trace.trace("loader.fetch", index=index, epoch=epoch):
+            return self._run(index, epoch)
+
+    def _run(self, index: int, epoch: int) -> PipelineItem:
         item = PipelineItem(index=index, meta={"epoch": epoch})
         watch = self._thread_watch()
         for op in self.ops:
-            with watch.measure(op.name):
+            with watch.measure(op.name), observe.span(op.name):
                 item = op(item)
             if item.meta.get("dropped"):
                 break
@@ -112,7 +125,6 @@ class Pipeline:
         failure.
         """
         from repro.pipeline.ops import DecodeOp, ReadOp
-        from repro.pipeline.sources import read_batch_slots
 
         ops = self.ops
         results: list = [None] * len(indices)
@@ -129,6 +141,17 @@ class Pipeline:
                     results[j] = exc
             return results
 
+        # one trace for the whole group: the batch plane amortizes the
+        # fetch, so per-sample attribution inside it does not exist
+        with observe.traced(
+            self.trace, "loader.fetch", epoch=epoch, batch=len(indices)
+        ):
+            return self._run_batch_fast(indices, epoch, decode_pool, results)
+
+    def _run_batch_fast(self, indices, epoch, decode_pool, results) -> list:
+        from repro.pipeline.sources import read_batch_slots
+
+        ops = self.ops
         read_op, decode_op = ops[0], ops[1]
         watch = self._thread_watch()
         items = [
@@ -137,7 +160,7 @@ class Pipeline:
         ]
 
         # --- read: one batched fetch, per-slot failures stay in their slot
-        with watch.measure(read_op.name):
+        with watch.measure(read_op.name), observe.span(read_op.name):
             slots = read_batch_slots(
                 read_op.source, [item.index for item in items]
             )
@@ -164,7 +187,7 @@ class Pipeline:
         # --- decode: one vectorized multi-sample call
         if live:
             blobs = [items[j].blob for j in live]
-            with watch.measure(decode_op.name):
+            with watch.measure(decode_op.name), observe.span(decode_op.name):
                 pairs = None
                 try:
                     if decode_pool is not None and decode_op.device is None:

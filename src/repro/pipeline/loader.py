@@ -115,6 +115,12 @@ class DataLoader:
         many worker processes (escapes the GIL for CPU-heavy decodes;
         ignored for simulated-GPU placements, which keep their
         accounting in-process).
+    trace:
+        Optional :class:`repro.observe.TraceRecorder`: record every
+        sample's fetch as a ``loader.fetch`` span tree (sampled per the
+        recorder's knobs), with whatever the read path crossed —
+        retries, tiers, cache, wire round-trips — as child spans.  See
+        docs/observability.md.
     """
 
     def __init__(
@@ -137,6 +143,7 @@ class DataLoader:
         optimize_graph: bool = True,
         batched_fetch: bool = False,
         decode_processes: int = 0,
+        trace=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -174,6 +181,12 @@ class DataLoader:
             ]
             ops.extend(extra_ops or [])
             self.pipeline = Pipeline(ops)
+        #: optional :class:`repro.observe.TraceRecorder`; spans originate
+        #: on the pipeline (worker threads), survive :meth:`reconfigure`
+        #: with the pipeline, and never alter results — a traced epoch is
+        #: bit-identical to an untraced one (bench_trace_overhead.py)
+        self.trace = trace
+        self.pipeline.trace = trace
         self.batched_fetch = bool(batched_fetch)
         self.executor = PrefetchExecutor(
             self.pipeline,

@@ -23,6 +23,7 @@ import threading
 from typing import Protocol, runtime_checkable
 
 from repro.core.encoding.container import verify_sample
+from repro.observe import trace as observe
 from repro.storage.cache import SampleCache
 from repro.storage.filesystem import Tier
 from repro.storage.tfrecord import build_index
@@ -226,12 +227,16 @@ class CachedSource:
         return len(self.inner)
 
     def read(self, index: int) -> bytes:
-        blob = self.cache.get(index)
-        if blob is None:
-            blob = self.inner.read(index)
-            if self.verify:
-                verify_sample(blob, sample_id=index)
-            self.cache.put(index, blob)
+        with observe.span("cache", index=index) as sp:
+            blob = self.cache.get(index)
+            if blob is None:
+                sp.annotate(hit=False)
+                blob = self.inner.read(index)
+                if self.verify:
+                    verify_sample(blob, sample_id=index)
+                self.cache.put(index, blob)
+            else:
+                sp.annotate(hit=True)
         return blob
 
     def read_batch(self, indices) -> list[bytes]:

@@ -23,6 +23,22 @@ class QuarantineEntry:
     error_type: str
     message: str
     action: str  # "skipped" | "substituted" | "raised"
+    #: id of the span tree that captured the failing fetch (0 =
+    #: untraced) — with a :class:`repro.observe.TraceRecorder` attached
+    #: to the loader, ``recorder.spans_for(trace_id)`` replays exactly
+    #: where this sample's read went wrong
+    trace_id: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-safe form (the quarantine half of ``FailedItem.to_json``)."""
+        return {
+            "sample_id": self.sample_id,
+            "epoch": self.epoch,
+            "error": self.error_type,
+            "message": self.message,
+            "action": self.action,
+            "trace_id": format(self.trace_id, "x") if self.trace_id else None,
+        }
 
 
 @dataclass
@@ -40,9 +56,14 @@ class QuarantineLog:
             error_type=type(error).__name__,
             message=str(error),
             action=action,
+            trace_id=getattr(error, "trace_id", 0) or 0,
         )
         self.entries.append(entry)
         return entry
+
+    def to_json(self) -> list[dict]:
+        """JSON-safe dump of every entry, append order preserved."""
+        return [e.to_json() for e in self.entries]
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.encoding.container import CorruptSampleError, verify_sample
+from repro.observe import trace as observe
 
 __all__ = ["RetryPolicy", "RetryStats", "RetryingSource"]
 
@@ -132,13 +133,15 @@ class RetryingSource:
         last_exc: Exception | None = None
         for attempt in range(policy.max_attempts):
             try:
-                blob = self.inner.read(index)
-                if self.verify:
-                    try:
-                        verify_sample(blob, sample_id=index)
-                    except CorruptSampleError:
-                        self.stats.verify_failures += 1
-                        raise
+                with observe.span("retry.attempt", attempt=attempt,
+                                  index=index):
+                    blob = self.inner.read(index)
+                    if self.verify:
+                        try:
+                            verify_sample(blob, sample_id=index)
+                        except CorruptSampleError:
+                            self.stats.verify_failures += 1
+                            raise
                 self.stats.reads += 1
                 return blob
             except self.retryable as exc:
@@ -180,7 +183,9 @@ class RetryingSource:
         slots: list | None = None
         for attempt in range(policy.max_attempts):
             try:
-                slots = _slots(self.inner, indices)
+                with observe.span("retry.attempt", attempt=attempt,
+                                  batch=len(indices)):
+                    slots = _slots(self.inner, indices)
                 break
             except self.retryable as exc:
                 self.stats._count_error(exc)

@@ -47,6 +47,8 @@ import time
 import numpy as np
 
 from repro.core.encoding.container import CorruptSampleError
+from repro.observe import trace as observe
+from repro.observe.wire import TraceContext, pack_trace_context
 from repro.serve import protocol
 from repro.tune.stats import StatsRegistry
 
@@ -145,6 +147,10 @@ class RemoteSource:
         with self._lock:
             self._info = self._request_json(protocol.OP_INFO)
             self._n = int(self._info["n_samples"])
+        # capability negotiation: only attach trace-context headers to
+        # servers that advertise parsing (or skipping) them — servers
+        # predating the header reject extended READ bodies
+        self._trace_headers = bool(self._info.get("trace_headers", False))
 
     # -- connection management --------------------------------------------
 
@@ -278,13 +284,24 @@ class RemoteSource:
         name = str(detail.get("error", "RemoteOpError"))
         message = str(detail.get("message", "remote operation failed"))
         if name in ("CorruptSampleError", "FrameCorruptError"):
-            raise CorruptSampleError(
+            exc: Exception = CorruptSampleError(
                 message, sample_id=context, section=detail.get("section")
             )
-        exc_type = _REMOTE_ERRORS.get(name)
-        if exc_type is not None:
-            raise exc_type(message)
-        raise RemoteOpError(f"{name}: {message}")
+        else:
+            exc_type = _REMOTE_ERRORS.get(name)
+            if exc_type is not None:
+                exc = exc_type(message)
+            else:
+                exc = RemoteOpError(f"{name}: {message}")
+        # a traced server echoes the trace id; keep it on the exception
+        # so FailedItem/QuarantineLog can link back to the span tree
+        tid = detail.get("trace_id")
+        if tid:
+            try:
+                exc.trace_id = int(str(tid), 16)
+            except ValueError:
+                pass
+        raise exc
 
     def _request_json(self, op: int) -> dict:
         return protocol.unpack_json(self._round_trip(op, b""))
@@ -305,15 +322,34 @@ class RemoteSource:
         assert self._n is not None
         return self._n
 
+    def _trace_tail(self) -> bytes:
+        """The trace-context header for the current request, or ``b""``.
+
+        Non-empty only when this thread is inside an active trace *and*
+        the server negotiated header support; the propagated parent is
+        the innermost open span (the ``wire.rpc`` span at call sites),
+        so the server's ``server.handle`` stitches directly under it.
+        """
+        if not self._trace_headers:
+            return b""
+        trace = observe.current_trace()
+        if trace is None:
+            return b""
+        return pack_trace_context(
+            TraceContext(trace.trace_id, trace.stack[-1], trace.sampled)
+        )
+
     def read(self, index: int) -> bytes:
         """Fetch one container blob.  Raises ``IndexError`` out of range."""
         n = len(self)
         if not 0 <= index < n:
             raise IndexError(f"sample index {index} out of range [0, {n})")
-        with self._lock:
-            return self._round_trip(
-                protocol.OP_READ, protocol.pack_read(index), context=index
-            )
+        with observe.span("wire.rpc", op="read", index=index):
+            body = protocol.pack_read(index, trace=self._trace_tail())
+            with self._lock:
+                return self._round_trip(
+                    protocol.OP_READ, body, context=index
+                )
 
     def read_batch_slots(self, indices) -> list:
         """Many blobs in one ``READ_BATCH`` round-trip, per-slot errors.
@@ -336,12 +372,14 @@ class RemoteSource:
                 )
         if not indices:
             return []
-        with self._lock:
-            body = self._round_trip(
-                protocol.OP_READ_BATCH,
-                protocol.pack_indices(np.asarray(indices, dtype=np.int64)),
-                context=tuple(indices),
+        with observe.span("wire.rpc", op="read_batch", n=len(indices)):
+            request = protocol.pack_indices(
+                np.asarray(indices, dtype=np.int64), trace=self._trace_tail()
             )
+            with self._lock:
+                body = self._round_trip(
+                    protocol.OP_READ_BATCH, request, context=tuple(indices)
+                )
         raw = protocol.unpack_batch_reply(body)
         if len(raw) != len(indices):
             self._drop()  # server answered a different question: resync
@@ -385,6 +423,23 @@ class RemoteSource:
         """Live server-side counter snapshot (``STATS`` op)."""
         with self._lock:
             return self._request_json(protocol.OP_STATS)
+
+    def metrics(self, trace_id: int | str | None = None) -> dict:
+        """Live observability scrape (``METRICS`` op).
+
+        Counters plus the server's span-stats summary; pass a trace id
+        (int or hex string) to also fetch every span the server holds
+        for that trace — the ingredients of a stitched cross-process
+        tree (:func:`repro.observe.stitch`).
+        """
+        obj: dict = {}
+        if trace_id is not None:
+            obj["trace_id"] = (
+                format(trace_id, "x")
+                if isinstance(trace_id, int)
+                else str(trace_id)
+            )
+        return self.request_json(protocol.OP_METRICS, obj)
 
     # back-compat alias: pre-cluster callers used ``stats()`` for the
     # server snapshot; ``stats`` is now the client-side StatsRegistry

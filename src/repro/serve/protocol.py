@@ -30,6 +30,19 @@ Request bodies::
     MANIFEST   JSON {} or {"id": ...} → OK body = JSON {"manifest": ...}
     EPOCH_MANIFEST u32 rank | u64 epoch
                → OK body = u16 id_len | id | u64 n_samples | u32 count | count × u64
+    METRICS    JSON {} or {"trace_id": <hex>}
+               → OK body = JSON counters + span stats (+ spans of one trace)
+
+``READ`` and ``READ_BATCH`` request bodies may carry an **optional
+trace-context header** after their fixed part (the self-describing TLV
+of :mod:`repro.observe.wire`), so a client span and the server spans it
+causes stitch into one tree.  The fixed part is self-delimiting, a
+server without a trace recorder skips the tail unread, and clients only
+attach it once the ``INFO`` handshake advertises ``trace_headers`` —
+servers predating the header never see it, so mixed-version deployments
+stay compatible.  Scalar error replies propagate the context back as a
+``trace_id`` key in their JSON body (unknown JSON keys were always
+ignored, so old clients are unaffected).
 
 ``MANIFEST``/``EPOCH_MANIFEST`` are the online-ingestion extension
 (:mod:`repro.ingest`): ``MANIFEST`` fetches a published snapshot
@@ -103,6 +116,7 @@ __all__ = [
     "OP_READ_BATCH",
     "OP_MANIFEST",
     "OP_EPOCH_MANIFEST",
+    "OP_METRICS",
     "ST_OK",
     "ST_ERROR",
     "ST_BUSY",
@@ -117,6 +131,8 @@ __all__ = [
     "recv_frame",
     "pack_read",
     "unpack_read",
+    "unpack_read_traced",
+    "unpack_indices_traced",
     "pack_epoch",
     "unpack_epoch",
     "pack_indices",
@@ -148,6 +164,8 @@ OP_READ_BATCH = 0x0A
 #: manifest-pinned EPOCH extension
 OP_MANIFEST = 0x0B
 OP_EPOCH_MANIFEST = 0x0C
+#: observability plane (repro.observe): live counter + span-stats scrape
+OP_METRICS = 0x0D
 
 #: response status codes (high bit set so a stray request/response mixup
 #: is caught immediately instead of being misparsed)
@@ -175,6 +193,7 @@ KINDS = frozenset(
         OP_READ_BATCH,
         OP_MANIFEST,
         OP_EPOCH_MANIFEST,
+        OP_METRICS,
         ST_OK,
         ST_ERROR,
         ST_BUSY,
@@ -329,10 +348,18 @@ def recv_frame(
 # -- op body codecs ---------------------------------------------------------
 
 
-def pack_read(index: int) -> bytes:
-    """Body of a ``READ`` request: the sample index as ``u64``."""
+def pack_read(index: int, trace: bytes = b"") -> bytes:
+    """Body of a ``READ`` request: the sample index as ``u64``.
+
+    ``trace`` is an optional trace-context header
+    (:func:`repro.observe.wire.pack_trace_context`), appended after the
+    fixed part — only send it to servers whose ``INFO`` advertises
+    ``trace_headers``.
+    """
     if index < 0:
         raise ValueError("sample index must be non-negative on the wire")
+    if trace:
+        return _READ_BODY.pack(index) + trace
     return _READ_BODY.pack(index)
 
 
@@ -341,6 +368,20 @@ def unpack_read(body: bytes) -> int:
     if len(body) != _READ_BODY.size:
         raise ProtocolError(f"READ body must be {_READ_BODY.size} bytes")
     return _READ_BODY.unpack(body)[0]
+
+
+def unpack_read_traced(body: bytes):
+    """Parse a ``READ`` body, tolerating a trailing trace-context header.
+
+    Returns ``(index, TraceContext | None)``; a malformed or absent
+    header is ``None`` — observability must never fail a read.
+    """
+    from repro.observe.wire import unpack_trace_context
+
+    if len(body) < _READ_BODY.size:
+        raise ProtocolError(f"READ body must be >= {_READ_BODY.size} bytes")
+    (index,) = _READ_BODY.unpack_from(body, 0)
+    return index, unpack_trace_context(body[_READ_BODY.size:])
 
 
 def pack_epoch(rank: int, epoch: int) -> bytes:
@@ -358,9 +399,16 @@ def unpack_epoch(body: bytes) -> tuple[int, int]:
     return rank, epoch
 
 
-def pack_indices(indices: np.ndarray) -> bytes:
-    """Shard payload: ``u32 count`` then the indices as little-endian u64."""
+def pack_indices(indices: np.ndarray, trace: bytes = b"") -> bytes:
+    """Shard payload: ``u32 count`` then the indices as little-endian u64.
+
+    ``trace`` appends an optional trace-context header (only meaningful
+    on ``READ_BATCH`` *requests*, and only to ``trace_headers`` servers;
+    shard replies never carry one).
+    """
     arr = np.ascontiguousarray(np.asarray(indices, dtype="<u8"))
+    if trace:
+        return _COUNT.pack(arr.size) + arr.tobytes() + trace
     return _COUNT.pack(arr.size) + arr.tobytes()
 
 
@@ -375,6 +423,31 @@ def unpack_indices(body: bytes) -> np.ndarray:
             f"shard payload carries {len(payload)} bytes for {count} indices"
         )
     return np.frombuffer(payload, dtype="<u8").astype(np.int64)
+
+
+def unpack_indices_traced(body: bytes):
+    """Parse a ``READ_BATCH`` request body, tolerating a trace tail.
+
+    Returns ``(indices, TraceContext | None)``.  The fixed part is
+    self-delimiting (``count`` says where the indices end), so any
+    trailing bytes are the optional trace-context header; malformed
+    headers parse as ``None`` rather than failing the batch.
+    """
+    from repro.observe.wire import unpack_trace_context
+
+    if len(body) < _COUNT.size:
+        raise ProtocolError("truncated shard payload")
+    (count,) = _COUNT.unpack(body[: _COUNT.size])
+    end = _COUNT.size + count * 8
+    if len(body) < end:
+        raise ProtocolError(
+            f"shard payload carries {len(body) - _COUNT.size} bytes "
+            f"for {count} indices"
+        )
+    indices = np.frombuffer(body[_COUNT.size:end], dtype="<u8").astype(
+        np.int64
+    )
+    return indices, unpack_trace_context(body[end:])
 
 
 def pack_manifest_shard(

@@ -46,9 +46,11 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from contextlib import nullcontext
 from time import perf_counter
 
 from repro.core.encoding.container import verify_sample
+from repro.observe import trace as observe
 from repro.pipeline.sources import CachedSource, SampleSource, read_batch_slots
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, BusyError
@@ -74,7 +76,11 @@ _OP_NAMES = {
     protocol.OP_HEARTBEAT: "heartbeat",
     protocol.OP_ROUTE: "route",
     protocol.OP_LEASE: "lease",
+    protocol.OP_METRICS: "metrics",
 }
+
+#: shared inert context for the tracing-disabled path (no allocation)
+_NULL_CTX = nullcontext()
 
 
 class FrameServer:
@@ -323,6 +329,9 @@ class FrameServer:
         section = getattr(exc, "section", None)
         if section is not None:
             payload["section"] = section
+        trace_id = getattr(exc, "trace_id", 0)
+        if trace_id:  # propagate the trace back; old clients ignore the key
+            payload["trace_id"] = format(trace_id, "x")
         return protocol.pack_frame(protocol.ST_ERROR, protocol.pack_json(payload))
 
     def _busy_frame(self, exc: BusyError) -> bytes:
@@ -410,6 +419,7 @@ class DataServer(FrameServer):
         admission: AdmissionController | None = None,
         service_delay_s: float = 0.0,
         frame_timeout_s: float = 30.0,
+        trace=None,
     ) -> None:
         super().__init__(
             host=host,
@@ -431,6 +441,11 @@ class DataServer(FrameServer):
         self.verify = verify
         self.admission = admission
         self.service_delay_s = service_delay_s
+        #: optional :class:`repro.observe.TraceRecorder` — when attached,
+        #: every READ/READ_BATCH is recorded as a ``server.handle`` span
+        #: tree, continuing the client's trace when the request carried a
+        #: trace-context header (scraped live via the METRICS op)
+        self.trace = trace
         self._read_lock = threading.Lock()  # serializes uncached source reads
         self.manifest_store = manifest_store
         if coordinator is not None:
@@ -465,25 +480,49 @@ class DataServer(FrameServer):
             return self._op_manifest(body)
         if kind == protocol.OP_EPOCH_MANIFEST:
             return self._op_epoch_manifest(body)
+        if kind == protocol.OP_METRICS:
+            return self._op_metrics(body)
         raise ValueError(f"unsupported op {kind:#x}")
 
+    def _handle_trace(self, op: str, tctx, **meta):
+        """Server-side root trace for one request, or a shared no-op.
+
+        With a trace-context header (``tctx``) the server span continues
+        the client's trace — same trace id, parented under the client's
+        ``wire.rpc`` span, honoring the client's sampling decision — so
+        the two halves stitch into one tree at export.
+        """
+        if self.trace is None:
+            return _NULL_CTX
+        if tctx is not None:
+            return self.trace.trace(
+                "server.handle",
+                trace_id=tctx.trace_id,
+                parent_id=tctx.parent_id,
+                sampled=tctx.sampled,
+                op=op,
+                **meta,
+            )
+        return self.trace.trace("server.handle", op=op, **meta)
+
     def _op_read(self, body: bytes, peer) -> bytes:
-        index = protocol.unpack_read(body)
-        if self.admission is not None:
-            self.admission.admit(peer)  # raises BusyError on shed
-        try:
-            if self.service_delay_s > 0:
-                time.sleep(self.service_delay_s)  # outside every lock
-            if self.cache is not None:
-                blob = self.source.read(index)  # cache is internally locked
-            else:
-                with self._read_lock:  # sources need not be thread-safe
-                    blob = self.source.read(index)
-                if self.verify:
-                    verify_sample(blob, sample_id=index)
-        finally:
+        index, tctx = protocol.unpack_read_traced(body)
+        with self._handle_trace("read", tctx, index=index):
             if self.admission is not None:
-                self.admission.release()
+                self.admission.admit(peer)  # raises BusyError on shed
+            try:
+                if self.service_delay_s > 0:
+                    time.sleep(self.service_delay_s)  # outside every lock
+                if self.cache is not None:
+                    blob = self.source.read(index)  # internally locked
+                else:
+                    with self._read_lock:  # sources need not be thread-safe
+                        blob = self.source.read(index)
+                    if self.verify:
+                        verify_sample(blob, sample_id=index)
+            finally:
+                if self.admission is not None:
+                    self.admission.release()
         self._record("serve.read.bytes", float(len(blob)))
         # scatter-gather: the blob buffer goes to sendmsg by reference
         return (protocol.ST_OK, [blob])
@@ -498,43 +537,51 @@ class DataServer(FrameServer):
         same JSON payload an ``ST_ERROR`` frame would — the rest of the
         batch is still delivered.
         """
-        indices = protocol.unpack_indices(body)
-        if self.admission is not None:
-            self.admission.admit(peer)  # raises BusyError on shed
-        try:
-            if self.service_delay_s > 0:
-                time.sleep(self.service_delay_s)  # once per batch
-            if self.cache is not None:
-                raw = read_batch_slots(self.source, indices)
-            else:
-                with self._read_lock:  # sources need not be thread-safe
-                    raw = read_batch_slots(self.source, indices)
-        finally:
+        indices, tctx = protocol.unpack_indices_traced(body)
+        with self._handle_trace("read_batch", tctx, n=len(indices)):
             if self.admission is not None:
-                self.admission.release()
-        slots = []
-        n_bytes = 0
-        for index, blob in zip(indices, raw):
-            if not isinstance(blob, Exception) and self.verify:
-                try:
-                    verify_sample(blob, sample_id=int(index))
-                except Exception as exc:  # noqa: BLE001 — slot-isolated
-                    blob = exc
-            if isinstance(blob, Exception):
-                payload = {
-                    "error": type(blob).__name__,
-                    "message": str(blob),
-                }
-                section = getattr(blob, "section", None)
-                if section is not None:
-                    payload["section"] = section
-                slots.append(
-                    (protocol.SLOT_ERROR, protocol.pack_json(payload))
-                )
-                self._record("serve.read_batch.slot_errors")
-            else:
-                slots.append((protocol.SLOT_OK, blob))
-                n_bytes += len(blob)
+                self.admission.admit(peer)  # raises BusyError on shed
+            try:
+                if self.service_delay_s > 0:
+                    time.sleep(self.service_delay_s)  # once per batch
+                if self.cache is not None:
+                    raw = read_batch_slots(self.source, indices)
+                else:
+                    with self._read_lock:  # sources need not be thread-safe
+                        raw = read_batch_slots(self.source, indices)
+            finally:
+                if self.admission is not None:
+                    self.admission.release()
+            trace_hex = (
+                format(observe.current_trace_id(), "x")
+                if observe.current_trace_id()
+                else None
+            )
+            slots = []
+            n_bytes = 0
+            for index, blob in zip(indices, raw):
+                if not isinstance(blob, Exception) and self.verify:
+                    try:
+                        verify_sample(blob, sample_id=int(index))
+                    except Exception as exc:  # noqa: BLE001 — slot-isolated
+                        blob = exc
+                if isinstance(blob, Exception):
+                    payload = {
+                        "error": type(blob).__name__,
+                        "message": str(blob),
+                    }
+                    section = getattr(blob, "section", None)
+                    if section is not None:
+                        payload["section"] = section
+                    if trace_hex is not None:
+                        payload["trace_id"] = trace_hex
+                    slots.append(
+                        (protocol.SLOT_ERROR, protocol.pack_json(payload))
+                    )
+                    self._record("serve.read_batch.slot_errors")
+                else:
+                    slots.append((protocol.SLOT_OK, blob))
+                    n_bytes += len(blob)
         self._record("serve.read.bytes", float(n_bytes))
         self._record("serve.read_batch.samples", n=len(slots))
         return (protocol.ST_OK, protocol.batch_reply_parts(slots))
@@ -581,11 +628,36 @@ class DataServer(FrameServer):
 
     # -- reports -----------------------------------------------------------
 
+    def _op_metrics(self, body: bytes) -> bytes:
+        """Live observability scrape: counters + span stats (+ one trace).
+
+        Request JSON: ``{}`` for the summary, or ``{"trace_id": <hex>}``
+        to also fetch every known span of one trace — the fetch half of
+        cross-process stitching (``repro trace top`` / ``observe.stitch``).
+        """
+        req = protocol.unpack_json(body) if body else {}
+        out = self.stats_report()
+        if self.trace is not None:
+            out["observe"] = self.trace.summary()
+            tid = req.get("trace_id")
+            if tid:
+                out["trace_spans"] = [
+                    observe.span_to_json(s)
+                    for s in self.trace.spans_for(int(str(tid), 16))
+                ]
+        else:
+            out["observe"] = None
+        return protocol.pack_frame(protocol.ST_OK, protocol.pack_json(out))
+
     def info(self) -> dict:
         out = {
             "server": "repro.serve",
             "protocol": 1,
             "read_batch": True,  # READ_BATCH op supported
+            # this server parses (or harmlessly skips) trace-context
+            # headers on READ/READ_BATCH — the client's cue to attach them
+            "trace_headers": True,
+            "trace": self.trace is not None,  # spans actually recorded
             "n_samples": len(self.source),
             "world_size": self.coordinator.world_size,
             "seed": self.coordinator.seed,

@@ -44,6 +44,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.core.encoding.container import CorruptSampleError, verify_sample
+from repro.observe import trace as observe
 from repro.storage.filesystem import TierSpec, read_time, write_time
 from repro.tiering.policy import EvictionPolicy, LruPolicy
 from repro.tune.stats import StatsRegistry
@@ -291,23 +292,29 @@ class TierManager:
         verifies (when configured) and admits the blob so later epochs
         hit.
         """
-        blob = self.lookup(key)
-        if blob is not None:
-            return blob
-        if self.backing is None:
-            raise KeyError(f"sample {key!r} resident in no tier and no "
-                           f"backing store is attached")
-        blob = self.backing.read(key)
-        with self._lock:
-            self.stats.add("tiers.backing.reads", float(len(blob)))
-            if self.backing_spec is not None:
-                self.stats.add(
-                    "tiers.backing.read_s",
-                    read_time(self.backing_spec, len(blob)),
-                )
-        if self.verify:
-            verify_sample(blob, sample_id=key)  # raises before any admit
-        self.admit(key, blob)
+        with observe.span("tier.hit", key=key) as sp:
+            blob = self.lookup(key)
+            if blob is not None:
+                idx = self._residency.get(key)
+                if idx is not None:
+                    sp.annotate(level=self.levels[idx].name)
+                return blob
+            sp.name = "tier.miss"  # renamed before commit: lookup missed
+            if self.backing is None:
+                raise KeyError(f"sample {key!r} resident in no tier and no "
+                               f"backing store is attached")
+            blob = self.backing.read(key)
+            with self._lock:
+                self.stats.add("tiers.backing.reads", float(len(blob)))
+                if self.backing_spec is not None:
+                    self.stats.add(
+                        "tiers.backing.read_s",
+                        read_time(self.backing_spec, len(blob)),
+                    )
+            if self.verify:
+                verify_sample(blob, sample_id=key)  # raises before any admit
+        with observe.span("tier.admit", key=key, bytes=len(blob)):
+            self.admit(key, blob)
         return blob
 
     # -- placement ---------------------------------------------------------

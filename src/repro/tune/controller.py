@@ -89,6 +89,7 @@ class AdaptiveController:
         hysteresis: float = 0.05,
         settle_epochs: int = 2,
         tier_manager=None,
+        trace=None,
     ) -> None:
         if not 0 <= min_workers <= max_workers:
             raise ValueError("need 0 <= min_workers <= max_workers")
@@ -106,6 +107,11 @@ class AdaptiveController:
         self.hysteresis = hysteresis
         self.settle_epochs = settle_epochs
         self.tier_manager = tier_manager
+        #: optional :class:`repro.observe.TraceRecorder` (typically the
+        #: loader's): each re-tune decision cites the slowest captured
+        #: sample's span tree as evidence, so the history answers not
+        #: just *what* the controller did but *what it saw*
+        self.trace = trace
         self.history: list[tuple[EpochObservation, str]] = []
         self._pending: _Pending | None = None
         self._locked: set[tuple[str, int]] = set()
@@ -175,8 +181,33 @@ class AdaptiveController:
         """Decision core (pure in ``obs`` + controller state; exposed
         separately so tests can drive it with synthetic observations)."""
         action = self._decide(obs)
+        if action != "hold":
+            action += self._exemplar_evidence()
         self.history.append((obs, action))
         return action
+
+    def _exemplar_evidence(self) -> str:
+        """Cite the slowest captured span tree, if a recorder is attached.
+
+        Tail exemplars survive any sampling rate, so even a 1/64-sampled
+        run gives the decision a concrete worst sample: its trace id,
+        duration, and the child span that dominated it.
+        """
+        if self.trace is None:
+            return ""
+        exemplars = self.trace.exemplars()
+        if not exemplars:
+            return ""
+        dur, trace_id, spans = exemplars[0]
+        root_id = spans[-1].span_id  # root commits last (exited last)
+        children = [s for s in spans if s.parent_id == root_id]
+        detail = ""
+        if children:
+            worst = max(children, key=lambda s: s.dur)
+            detail = f", {worst.name} {worst.dur * 1e3:.1f} ms"
+        return (
+            f" [exemplar {trace_id:x}: {dur * 1e3:.1f} ms{detail}]"
+        )
 
     def _apply(self, knob: str, value: int) -> None:
         if knob == "num_workers":

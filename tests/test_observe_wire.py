@@ -1,0 +1,278 @@
+"""Cross-process trace propagation: header codec, stitching, failover.
+
+The contract under test, end to end:
+
+* the TLV trace-context header round-trips any context and tolerates
+  fields it has never heard of (hypothesis-driven);
+* a traced client and a traced server stitch into ONE span tree —
+  ``loader.fetch → wire.rpc → server.handle → …`` — scraped live over
+  the ``METRICS`` frame;
+* mixed versions interoperate in both directions: a header-bearing
+  client against a recorder-less server, an old-style strict client
+  body against the new tolerant server, and a client that never attaches
+  headers when the handshake does not advertise them;
+* the acceptance path: one ``READ_BATCH`` through a replicated cluster
+  with a replica killed mid-trace exports as one stitched tree holding
+  the client spans, the surviving worker's server spans, and the
+  failover's retry attempts — all under a single trace id.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSource, ClusterWorker, Dispatcher
+from repro.core.plugins import DeepcamDeltaPlugin
+from repro.datasets import deepcam
+from repro.observe import TraceRecorder, build_trees, span, stitch
+from repro.observe.wire import (
+    TAG_FLAGS,
+    TAG_PARENT_ID,
+    TAG_TRACE_ID,
+    TraceContext,
+    pack_trace_context,
+    unpack_trace_context,
+)
+from repro.pipeline import ListSource
+from repro.serve import DataServer, RemoteSource, protocol
+
+N = 16
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    cfg = deepcam.DeepcamConfig(height=16, width=24, n_channels=4)
+    plugin = DeepcamDeltaPlugin("cpu")
+    ds = deepcam.generate_dataset(N, cfg, seed=3)
+    return [plugin.encode(s.data, s.label) for s in ds]
+
+
+_KNOWN_TAGS = {TAG_TRACE_ID, TAG_PARENT_ID, TAG_FLAGS}
+
+contexts_st = st.builds(
+    TraceContext,
+    trace_id=st.integers(min_value=1, max_value=2**64 - 1),
+    parent_id=st.integers(min_value=0, max_value=2**64 - 1),
+    sampled=st.booleans(),
+)
+
+unknown_fields_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255).filter(
+            lambda t: t not in _KNOWN_TAGS
+        ),
+        st.binary(max_size=16),
+    ),
+    max_size=4,
+)
+
+
+class TestHeaderCodec:
+    @given(ctx=contexts_st, extra=unknown_fields_st)
+    @settings(max_examples=200)
+    def test_round_trip_survives_unknown_fields(self, ctx, extra):
+        buf = pack_trace_context(ctx, extra_fields=tuple(extra))
+        assert unpack_trace_context(buf) == ctx
+
+    @given(ctx=contexts_st, cut=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100)
+    def test_truncation_never_raises(self, ctx, cut):
+        buf = pack_trace_context(ctx)[:cut]
+        out = unpack_trace_context(buf)
+        assert out is None or out == ctx
+
+    def test_empty_and_header_without_trace_id(self):
+        assert unpack_trace_context(b"") is None
+        # a version/count header with zero fields carries no trace id
+        assert unpack_trace_context(bytes([1, 0])) is None
+        # only-unknown-fields header: parsed, skipped, no trace id
+        only_unknown = bytes([1, 1, 0x70, 1, 0x78])
+        assert unpack_trace_context(only_unknown) is None
+
+    def test_protocol_bodies_with_and_without_tail(self):
+        ctx = TraceContext(0xABC, parent_id=7, sampled=False)
+        tail = pack_trace_context(ctx)
+        body = protocol.pack_read(5, trace=tail)
+        assert protocol.unpack_read_traced(body) == (5, ctx)
+        # old strict unpacker refuses the extended body...
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_read(body)
+        # ...and the tolerant one accepts the old 8-byte body
+        assert protocol.unpack_read_traced(protocol.pack_read(5)) == (5, None)
+
+        batch = protocol.pack_indices([1, 2, 3], trace=tail)
+        indices, got = protocol.unpack_indices_traced(batch)
+        assert list(indices) == [1, 2, 3] and got == ctx
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_indices(batch)
+        plain = protocol.pack_indices([1, 2, 3])
+        indices, got = protocol.unpack_indices_traced(plain)
+        assert list(indices) == [1, 2, 3] and got is None
+
+
+class TestClientServerStitching:
+    def test_one_tree_across_the_wire(self, blobs):
+        client_rec = TraceRecorder(seed=1, proc="client")
+        server_rec = TraceRecorder(seed=2, proc="server")
+        with DataServer(ListSource(blobs), trace=server_rec) as server:
+            host, port = server.address
+            with RemoteSource(host, port) as src:
+                assert src._trace_headers
+                with client_rec.trace("loader.fetch", index=4):
+                    blob = src.read(4)
+        assert blob == blobs[4]
+        spans = stitch(client_rec.spans(), server_rec.spans())
+        trees = build_trees(spans)
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["span"].name == "loader.fetch"
+        rpc = root["children"][0]
+        assert rpc["span"].name == "wire.rpc"
+        handle = rpc["children"][0]
+        assert handle["span"].name == "server.handle"
+        assert handle["span"].proc == "server"
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_metrics_scrape_returns_summary_and_trace(self, blobs):
+        client_rec = TraceRecorder(seed=1, proc="client")
+        server_rec = TraceRecorder(seed=2, proc="server")
+        with DataServer(ListSource(blobs), trace=server_rec) as server:
+            with RemoteSource(*server.address) as src:
+                with client_rec.trace("loader.fetch") as tr:
+                    src.read(0)
+                    tid = tr.trace_id
+                out = src.metrics(tid)
+        assert out["observe"]["proc"] == "server"
+        assert out["observe"]["traces"] == 1
+        scraped = out["trace_spans"]
+        assert scraped and all(
+            int(s["trace_id"], 16) == tid for s in scraped
+        )
+        # the scraped JSON stitches against the local spans directly
+        trees = build_trees(stitch(client_rec.spans(), scraped))
+        assert len(trees) == 1
+
+    def test_error_reply_carries_the_trace_id(self, blobs):
+        class Failing(ListSource):
+            def read(self, index):
+                if index == 1:
+                    raise RuntimeError("injected")
+                return super().read(index)
+
+        client_rec = TraceRecorder(seed=1, proc="client")
+        server_rec = TraceRecorder(seed=2, proc="server")
+        with DataServer(Failing(blobs), trace=server_rec) as server:
+            with RemoteSource(*server.address) as src:
+                with pytest.raises(Exception) as info:
+                    with client_rec.trace("loader.fetch") as tr:
+                        tid = tr.trace_id
+                        src.read(1)
+        assert getattr(info.value, "trace_id", 0) == tid
+        # the server kept the failing handle's spans under the same id
+        assert server_rec.spans_for(tid)
+
+
+class TestMixedVersions:
+    def test_header_bearing_client_vs_recorderless_server(self, blobs):
+        """A server with no recorder still advertises and accepts the
+        header — it is header-ignorant, not header-intolerant."""
+        client_rec = TraceRecorder(seed=1, proc="client")
+        with DataServer(ListSource(blobs)) as server:  # trace=None
+            assert server.info()["trace_headers"] is True
+            assert server.info()["trace"] is False
+            with RemoteSource(*server.address) as src:
+                with client_rec.trace("loader.fetch"):
+                    got = [src.read(i) for i in range(4)]
+                    slots = src.read_batch_slots([4, 5])
+        assert got == blobs[:4] and slots == blobs[4:6]
+        # the client half still recorded its rpc spans
+        assert any(s.name == "wire.rpc" for s in client_rec.spans())
+
+    def test_client_gates_on_the_handshake(self, blobs, monkeypatch):
+        """Against a server that does not advertise ``trace_headers``
+        (pre-header builds), the client must send pristine bodies."""
+        info = DataServer.info
+
+        def old_info(self):
+            out = info(self)
+            out.pop("trace_headers")
+            return out
+
+        monkeypatch.setattr(DataServer, "info", old_info)
+        client_rec = TraceRecorder(seed=1, proc="client")
+        with DataServer(ListSource(blobs)) as server:
+            with RemoteSource(*server.address) as src:
+                assert not src._trace_headers
+                assert src._trace_tail() == b""
+                with client_rec.trace("loader.fetch"):
+                    assert src._trace_tail() == b""
+                    assert src.read(2) == blobs[2]
+
+    def test_old_style_strict_bodies_against_the_new_server(self, blobs):
+        """Raw frames exactly as an old client would send them."""
+        server_rec = TraceRecorder(seed=2, proc="server")
+        with DataServer(ListSource(blobs), trace=server_rec) as server:
+            with RemoteSource(*server.address) as src:
+                payload = src._round_trip(
+                    protocol.OP_READ, protocol.pack_read(3)
+                )
+        assert bytes(payload) == blobs[3]
+
+
+class TestClusterFailoverAcceptance:
+    def test_read_batch_with_replica_death_stitches_one_tree(self, blobs):
+        """The ISSUE acceptance path: one READ_BATCH through a
+        replicated cluster, one replica killed mid-trace → one stitched
+        span tree holding client, surviving-worker, and retry spans."""
+        dispatcher = Dispatcher(lease_s=0.5, replication=2,
+                                n_buckets=4).start()
+        worker_recs = [
+            TraceRecorder(seed=10 + k, proc=f"worker:{k}") for k in range(2)
+        ]
+        workers = [
+            ClusterWorker(
+                ListSource(blobs), dispatcher=dispatcher.address,
+                trace=worker_recs[k],
+            ).start()
+            for k in range(2)
+        ]
+        client_rec = TraceRecorder(seed=1, proc="client")
+        indices = list(range(8))
+        try:
+            with ClusterSource(dispatcher.address, timeout_s=2.0) as src:
+                src.read(0)  # open connections, learn the table
+                workers[0].close(drain=False, timeout_s=2.0)  # hard kill
+                with client_rec.trace("loader.fetch",
+                                      batch=len(indices)) as tr:
+                    tid = tr.trace_id
+                    slots = src.read_batch_slots(indices)
+        finally:
+            workers[1].close(drain=False, timeout_s=2.0)
+            dispatcher.close(drain=False, timeout_s=2.0)
+        # every slot served despite the death — bit-identical bytes
+        assert slots == [blobs[i] for i in indices]
+        failovers = dict(src.stats.snapshot()).get(
+            "cluster.failovers", (0, 0.0))[0]
+        assert failovers > 0, "the dead replica was never routed to"
+
+        spans = stitch(
+            client_rec.spans_for(tid),
+            worker_recs[0].spans_for(tid),
+            worker_recs[1].spans_for(tid),
+        )
+        assert len({s.trace_id for s in spans}) == 1
+        trees = build_trees(spans)
+        assert len(trees) == 1, "client and worker spans did not stitch"
+        root = trees[0]["span"]
+        assert root.name == "loader.fetch" and root.proc == "client"
+        names = {s.name for s in spans}
+        assert "cluster.batch" in names  # the READ_BATCH group fetch
+        assert "cluster.attempt" in names  # the per-replica retry path
+        assert "wire.rpc" in names
+        procs = {s.proc for s in spans if s.name == "server.handle"}
+        assert "worker:1" in procs or "worker:0" in procs, (
+            "no worker-side server.handle span joined the trace"
+        )
+        # the failover story is visible: more attempts than batches
+        attempts = [s for s in spans if s.name == "cluster.attempt"]
+        assert attempts, "scalar failover attempts missing from the tree"
